@@ -1,0 +1,88 @@
+// Figure 8(b): the impact of restricting the Split Point Selection Factor
+// (Section 4.3) on the Exhaustive planner, compared against Heuristic-5 run
+// with a large SPSF. The paper's finding: Exhaustive with a small SPSF is
+// substantially WORSE than Heuristic-5 with a large SPSF -- over-restricting
+// split points obscures the correlations the planner needs.
+//
+// Output: mean and worst train-cost of Exhaustive at several SPSF settings,
+// normalized to Heuristic-5 @ full SPSF.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "lab_config.h"
+#include "opt/exhaustive.h"
+#include "opt/greedy_plan.h"
+#include "opt/optseq.h"
+#include "prob/dataset_estimator.h"
+
+using namespace caqp;
+using namespace caqp::bench;
+
+int main() {
+  Banner("Figure 8(b): Exhaustive at shrinking SPSF vs Heuristic-5");
+
+  LabSetup lab = MakeReducedLab();
+  const Schema& schema = lab.train.schema();
+  DatasetEstimator est(lab.train);
+  PerAttributeCostModel cm(schema);
+
+  LabQueryOptions qopts;
+  qopts.num_queries = 30;
+  const std::vector<Query> queries = GenerateLabQueries(
+      lab.train, {lab.attrs.light, lab.attrs.temperature, lab.attrs.humidity},
+      qopts);
+
+  // Reference: Heuristic-5 with the full split-point grid (the analogue of
+  // the paper's SPSF 1e14 on its larger domains).
+  const SplitPointSet full = SplitPointSet::AllPoints(schema);
+  OptSeqSolver optseq;
+  GreedyPlanner::Options gopts;
+  gopts.split_points = &full;
+  gopts.seq_solver = &optseq;
+  gopts.max_splits = 5;
+  GreedyPlanner h5(est, cm, gopts);
+  const auto m_h5 = RunWorkload(h5, queries, lab.train, lab.test, cm);
+
+  std::printf("\n%-26s %12s %12s\n", "planner (log10 SPSF)", "mean norm",
+              "worst norm");
+  std::printf("%-26s %12.3f %12.3f   (reference)\n", "Heuristic-5 (full)",
+              1.0, 1.0);
+
+  std::vector<std::string> rows;
+  rows.push_back("Heuristic-5 full," + std::to_string(full.Log10Spsf()) +
+                 ",1.0,1.0");
+
+  for (const double log10_spsf : {0.5, 1.0, 2.0, 3.0}) {
+    const SplitPointSet restricted =
+        SplitPointSet::FromLog10Spsf(schema, log10_spsf);
+    ExhaustivePlanner::Options eopts;
+    eopts.split_points = &restricted;
+    ExhaustivePlanner exhaustive(est, cm, eopts);
+    const auto m_ex = RunWorkload(exhaustive, queries, lab.train, lab.test, cm);
+
+    double norm_sum = 0, norm_max = 0;
+    for (size_t i = 0; i < m_ex.size(); ++i) {
+      const double norm =
+          m_h5[i].train_cost > 0 ? m_ex[i].train_cost / m_h5[i].train_cost
+                                 : 1.0;
+      norm_sum += norm;
+      norm_max = std::max(norm_max, norm);
+    }
+    char label[64];
+    std::snprintf(label, sizeof(label), "Exhaustive (%.1f->%.1f)", log10_spsf,
+                  restricted.Log10Spsf());
+    std::printf("%-26s %12.3f %12.3f\n", label, norm_sum / m_ex.size(),
+                norm_max);
+    rows.push_back("Exhaustive," + std::to_string(restricted.Log10Spsf()) +
+                   "," + std::to_string(norm_sum / m_ex.size()) + "," +
+                   std::to_string(norm_max));
+  }
+  WriteCsv("fig8b_spsf", "planner,log10_spsf,mean_norm_vs_h5,worst_norm",
+           rows);
+  std::printf(
+      "\nexpected shape: small SPSF -> Exhaustive worse than Heuristic-5;\n"
+      "large SPSF -> Exhaustive matches or beats it (norm <= 1).\n");
+  return 0;
+}

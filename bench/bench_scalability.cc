@@ -1,0 +1,200 @@
+// Section 6.4 scalability study, as google-benchmark parameter sweeps. The
+// paper's claims:
+//  * the heuristic scales linearly in dataset size and domain size, and
+//    exponentially (base 2, via OptSeq) in the number of query predicates --
+//    polynomially when GreedySeq is the base solver;
+//  * the exhaustive algorithm is linear in dataset size, polynomial in the
+//    domain size, and exponential in the number of attributes (base = the
+//    domain size).
+
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic_gen.h"
+#include "opt/exhaustive.h"
+#include "opt/greedy_plan.h"
+#include "opt/greedyseq.h"
+#include "opt/optseq.h"
+#include "prob/dataset_estimator.h"
+#include "test_support.h"
+
+using namespace caqp;
+
+namespace {
+
+// ---------------------------------------------------------------- Heuristic
+
+void BM_HeuristicVsDatasetSize(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const Dataset ds = benchsupport::MakeCorrelated(6, 8, rows, 1);
+  const Query q = benchsupport::MidRangeQuery(ds.schema(), 3);
+  PerAttributeCostModel cm(ds.schema());
+  const SplitPointSet splits = SplitPointSet::AllPoints(ds.schema());
+  GreedySeqSolver solver;
+  for (auto _ : state) {
+    DatasetEstimator est(ds);
+    GreedyPlanner::Options opts;
+    opts.split_points = &splits;
+    opts.seq_solver = &solver;
+    opts.max_splits = 4;
+    GreedyPlanner planner(est, cm, opts);
+    benchmark::DoNotOptimize(planner.BuildPlan(q));
+  }
+  state.SetComplexityN(static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_HeuristicVsDatasetSize)
+    ->RangeMultiplier(2)
+    ->Range(2000, 32000)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HeuristicVsDomainSize(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  const Dataset ds = benchsupport::MakeCorrelated(5, k, 8000, 2);
+  const Query q = benchsupport::MidRangeQuery(ds.schema(), 3);
+  PerAttributeCostModel cm(ds.schema());
+  const SplitPointSet splits = SplitPointSet::AllPoints(ds.schema());
+  GreedySeqSolver solver;
+  for (auto _ : state) {
+    DatasetEstimator est(ds);
+    GreedyPlanner::Options opts;
+    opts.split_points = &splits;
+    opts.seq_solver = &solver;
+    opts.max_splits = 4;
+    GreedyPlanner planner(est, cm, opts);
+    benchmark::DoNotOptimize(planner.BuildPlan(q));
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_HeuristicVsDomainSize)
+    ->RangeMultiplier(2)
+    ->Range(4, 64)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HeuristicVsPredicates_OptSeq(benchmark::State& state) {
+  const uint32_t m = static_cast<uint32_t>(state.range(0));
+  SyntheticDataOptions opts;
+  opts.n = 2 * m;  // one cheap witness per expensive predicate
+  opts.gamma = 1;
+  opts.sel = 0.6;
+  opts.tuples = 4000;
+  const Dataset ds = GenerateSyntheticData(opts);
+  const Query q = SyntheticAllExpensiveQuery(ds.schema());
+  PerAttributeCostModel cm(ds.schema());
+  const SplitPointSet splits = SplitPointSet::AllPoints(ds.schema());
+  OptSeqSolver solver;  // exponential in m
+  for (auto _ : state) {
+    DatasetEstimator est(ds);
+    GreedyPlanner::Options gopts;
+    gopts.split_points = &splits;
+    gopts.seq_solver = &solver;
+    gopts.max_splits = 3;
+    GreedyPlanner planner(est, cm, gopts);
+    benchmark::DoNotOptimize(planner.BuildPlan(q));
+  }
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_HeuristicVsPredicates_OptSeq)
+    ->DenseRange(4, 14, 2)
+    ->Complexity([](benchmark::IterationCount n) {
+      return static_cast<double>(n) * static_cast<double>(1ll << n);
+    })
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HeuristicVsPredicates_GreedySeq(benchmark::State& state) {
+  const uint32_t m = static_cast<uint32_t>(state.range(0));
+  SyntheticDataOptions opts;
+  opts.n = 2 * m;
+  opts.gamma = 1;
+  opts.sel = 0.6;
+  opts.tuples = 4000;
+  const Dataset ds = GenerateSyntheticData(opts);
+  const Query q = SyntheticAllExpensiveQuery(ds.schema());
+  PerAttributeCostModel cm(ds.schema());
+  const SplitPointSet splits = SplitPointSet::AllPoints(ds.schema());
+  GreedySeqSolver solver;  // polynomial in m
+  for (auto _ : state) {
+    DatasetEstimator est(ds);
+    GreedyPlanner::Options gopts;
+    gopts.split_points = &splits;
+    gopts.seq_solver = &solver;
+    gopts.max_splits = 3;
+    GreedyPlanner planner(est, cm, gopts);
+    benchmark::DoNotOptimize(planner.BuildPlan(q));
+  }
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_HeuristicVsPredicates_GreedySeq)
+    ->DenseRange(4, 20, 4)
+    ->Complexity(benchmark::oNSquared)
+    ->Unit(benchmark::kMillisecond);
+
+// --------------------------------------------------------------- Exhaustive
+
+void BM_ExhaustiveVsDomainSize(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  const Dataset ds = benchsupport::MakeCorrelated(3, k, 4000, 3);
+  const Query q = benchsupport::MidRangeQuery(ds.schema(), 2);
+  PerAttributeCostModel cm(ds.schema());
+  const SplitPointSet splits = SplitPointSet::AllPoints(ds.schema());
+  for (auto _ : state) {
+    DatasetEstimator est(ds);
+    ExhaustivePlanner::Options opts;
+    opts.split_points = &splits;
+    ExhaustivePlanner planner(est, cm, opts);
+    benchmark::DoNotOptimize(planner.BuildPlan(q));
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_ExhaustiveVsDomainSize)
+    ->DenseRange(2, 10, 2)
+    ->Complexity(benchmark::oNCubed)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExhaustiveVsNumAttributes(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const Dataset ds = benchsupport::MakeCorrelated(n, 4, 4000, 4);
+  const Query q = benchsupport::MidRangeQuery(ds.schema(), 2);
+  PerAttributeCostModel cm(ds.schema());
+  const SplitPointSet splits = SplitPointSet::AllPoints(ds.schema());
+  for (auto _ : state) {
+    DatasetEstimator est(ds);
+    ExhaustivePlanner::Options opts;
+    opts.split_points = &splits;
+    ExhaustivePlanner planner(est, cm, opts);
+    benchmark::DoNotOptimize(planner.BuildPlan(q));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ExhaustiveVsNumAttributes)
+    ->DenseRange(2, 6, 1)
+    ->Complexity([](benchmark::IterationCount n) {
+      // Subproblem count ~ (K(K+1)/2)^n with K=4.
+      double c = 1;
+      for (int64_t i = 0; i < n; ++i) c *= 10.0;
+      return c;
+    })
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExhaustiveVsDatasetSize(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const Dataset ds = benchsupport::MakeCorrelated(4, 4, rows, 5);
+  const Query q = benchsupport::MidRangeQuery(ds.schema(), 2);
+  PerAttributeCostModel cm(ds.schema());
+  const SplitPointSet splits = SplitPointSet::AllPoints(ds.schema());
+  for (auto _ : state) {
+    DatasetEstimator est(ds);
+    ExhaustivePlanner::Options opts;
+    opts.split_points = &splits;
+    ExhaustivePlanner planner(est, cm, opts);
+    benchmark::DoNotOptimize(planner.BuildPlan(q));
+  }
+  state.SetComplexityN(static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_ExhaustiveVsDatasetSize)
+    ->RangeMultiplier(2)
+    ->Range(2000, 32000)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

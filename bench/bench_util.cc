@@ -1,0 +1,80 @@
+#include "bench_util.h"
+
+#include <chrono>
+
+#include "plan/plan_serde.h"
+
+namespace caqp {
+namespace bench {
+
+std::vector<Measurement> RunWorkload(Planner& planner,
+                                     const std::vector<Query>& queries,
+                                     const Dataset& train, const Dataset& test,
+                                     const AcquisitionCostModel& cost_model) {
+  std::vector<Measurement> out;
+  out.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Measurement m;
+    m.planner = planner.Name();
+    m.query_index = i;
+    const auto t0 = std::chrono::steady_clock::now();
+    const Plan plan = planner.BuildPlan(queries[i]);
+    const auto t1 = std::chrono::steady_clock::now();
+    m.plan_build_seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    m.plan_splits = plan.NumSplits();
+    m.plan_bytes = PlanSizeBytes(plan);
+    m.train_cost =
+        EmpiricalPlanCost(plan, train, queries[i], cost_model).mean_cost;
+    const EmpiricalCostResult te =
+        EmpiricalPlanCost(plan, test, queries[i], cost_model);
+    m.test_cost = te.mean_cost;
+    m.verdict_errors = te.verdict_errors;
+    out.push_back(m);
+  }
+  return out;
+}
+
+double MeanTestCost(const std::vector<Measurement>& ms) {
+  double total = 0;
+  for (const Measurement& m : ms) total += m.test_cost;
+  return ms.empty() ? 0.0 : total / ms.size();
+}
+
+double MeanTrainCost(const std::vector<Measurement>& ms) {
+  double total = 0;
+  for (const Measurement& m : ms) total += m.train_cost;
+  return ms.empty() ? 0.0 : total / ms.size();
+}
+
+std::vector<double> GainsVersus(const std::vector<Measurement>& baseline,
+                                const std::vector<Measurement>& alg,
+                                bool use_test) {
+  std::vector<double> gains;
+  const size_t n = std::min(baseline.size(), alg.size());
+  for (size_t i = 0; i < n; ++i) {
+    const double b = use_test ? baseline[i].test_cost : baseline[i].train_cost;
+    const double a = use_test ? alg[i].test_cost : alg[i].train_cost;
+    if (a > 0) gains.push_back(b / a);
+  }
+  return gains;
+}
+
+void WriteCsv(const std::string& name, const std::string& header,
+              const std::vector<std::string>& rows) {
+  std::filesystem::create_directories("results");
+  const std::string path = "results/" + name + ".csv";
+  std::ofstream out(path);
+  out << header << "\n";
+  for (const std::string& row : rows) out << row << "\n";
+  std::printf("[wrote %s: %zu rows]\n", path.c_str(), rows.size());
+}
+
+void Banner(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace caqp

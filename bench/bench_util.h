@@ -1,0 +1,60 @@
+// Shared infrastructure for the figure-reproduction benchmarks: planner
+// bundles, cost evaluation over train/test splits, table printing and CSV
+// output (results/ directory, one file per figure).
+
+#ifndef CAQP_BENCH_BENCH_UTIL_H_
+#define CAQP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/query.h"
+#include "opt/cost_model.h"
+#include "opt/planner.h"
+#include "plan/plan_cost.h"
+
+namespace caqp {
+namespace bench {
+
+/// Per-(query, planner) measurement.
+struct Measurement {
+  std::string planner;
+  size_t query_index = 0;
+  double train_cost = 0.0;
+  double test_cost = 0.0;
+  size_t plan_splits = 0;
+  size_t plan_bytes = 0;
+  size_t verdict_errors = 0;
+  double plan_build_seconds = 0.0;
+};
+
+/// Runs one planner over a query workload, costing plans on both splits.
+std::vector<Measurement> RunWorkload(Planner& planner,
+                                     const std::vector<Query>& queries,
+                                     const Dataset& train, const Dataset& test,
+                                     const AcquisitionCostModel& cost_model);
+
+/// Mean of a field over measurements of one planner.
+double MeanTestCost(const std::vector<Measurement>& ms);
+double MeanTrainCost(const std::vector<Measurement>& ms);
+
+/// Per-query cost ratio baseline/alg (>1: alg wins); aligned by query index.
+std::vector<double> GainsVersus(const std::vector<Measurement>& baseline,
+                                const std::vector<Measurement>& alg,
+                                bool use_test = true);
+
+/// Writes rows to results/<name>.csv with a header line.
+void WriteCsv(const std::string& name, const std::string& header,
+              const std::vector<std::string>& rows);
+
+/// Prints a section banner.
+void Banner(const std::string& title);
+
+}  // namespace bench
+}  // namespace caqp
+
+#endif  // CAQP_BENCH_BENCH_UTIL_H_

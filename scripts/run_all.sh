@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite and every figure benchmark,
+# and records the outputs the repository's EXPERIMENTS.md refers to.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/bench_*; do "$b"; done 2>&1 | tee bench_output.txt
+echo "done: see test_output.txt, bench_output.txt and results/*.csv"

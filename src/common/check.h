@@ -1,0 +1,48 @@
+// Internal invariant checking. CAQP follows the Google C++ style: the library
+// does not throw exceptions for programmer errors; it aborts with a message.
+// CHECK macros are always on (they guard planner invariants whose violation
+// would silently produce wrong plans); DCHECK compiles out in NDEBUG builds.
+
+#ifndef CAQP_COMMON_CHECK_H_
+#define CAQP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace caqp {
+namespace internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace caqp
+
+#define CAQP_CHECK(expr)                                   \
+  do {                                                     \
+    if (!(expr)) {                                         \
+      ::caqp::internal::CheckFail(__FILE__, __LINE__, #expr); \
+    }                                                      \
+  } while (0)
+
+#define CAQP_CHECK_OP(a, op, b) CAQP_CHECK((a)op(b))
+#define CAQP_CHECK_EQ(a, b) CAQP_CHECK_OP(a, ==, b)
+#define CAQP_CHECK_NE(a, b) CAQP_CHECK_OP(a, !=, b)
+#define CAQP_CHECK_LT(a, b) CAQP_CHECK_OP(a, <, b)
+#define CAQP_CHECK_LE(a, b) CAQP_CHECK_OP(a, <=, b)
+#define CAQP_CHECK_GT(a, b) CAQP_CHECK_OP(a, >, b)
+#define CAQP_CHECK_GE(a, b) CAQP_CHECK_OP(a, >=, b)
+
+#ifdef NDEBUG
+#define CAQP_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define CAQP_DCHECK(expr) CAQP_CHECK(expr)
+#endif
+
+#endif  // CAQP_COMMON_CHECK_H_

@@ -1,0 +1,119 @@
+// Status / Result: lightweight absl-style error propagation for fallible
+// operations (parsing, file I/O, deserialization). Planner-internal logic
+// uses CHECK macros instead; Status is reserved for errors a caller can
+// legitimately hit with bad external input.
+
+#ifndef CAQP_COMMON_STATUS_H_
+#define CAQP_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace caqp {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kDataLoss,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("OK", "InvalidArgument"...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the OK path (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    CAQP_CHECK(code != StatusCode::kOk);
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or an error Status. Dereferencing a non-OK Result aborts.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    CAQP_CHECK(!std::get<Status>(rep_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    CAQP_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    CAQP_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    CAQP_CHECK(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace caqp
+
+/// Propagates a non-OK status out of the enclosing function.
+#define CAQP_RETURN_IF_ERROR(expr)       \
+  do {                                   \
+    ::caqp::Status _st = (expr);         \
+    if (!_st.ok()) return _st;           \
+  } while (0)
+
+#endif  // CAQP_COMMON_STATUS_H_

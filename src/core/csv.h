@@ -1,0 +1,52 @@
+// CSV ingestion: lets users run the planners over their own sensor logs
+// (e.g., the original Intel Lab trace if available). Raw real-valued columns
+// are discretized into a Dataset through per-column UniformDiscretizers.
+
+#ifndef CAQP_CORE_CSV_H_
+#define CAQP_CORE_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "core/discretizer.h"
+
+namespace caqp {
+
+/// Raw parsed CSV: column names (from the header row) and row-major numeric
+/// cells. Every data row must have exactly one numeric cell per column.
+struct CsvTable {
+  std::vector<std::string> column_names;
+  std::vector<std::vector<double>> rows;
+};
+
+/// Parses CSV text with a mandatory header row. Supports comma separation,
+/// leading/trailing whitespace around cells and blank-line skipping; no
+/// quoting (sensor logs are plain numeric).
+Result<CsvTable> ParseCsv(const std::string& text);
+
+/// Reads and parses a CSV file.
+Result<CsvTable> LoadCsvFile(const std::string& path);
+
+/// Per-column ingestion spec: how to discretize and what acquiring the
+/// attribute costs.
+struct CsvColumnSpec {
+  std::string name;   // must match a CSV header
+  uint32_t bins = 8;  // discretized domain size
+  double cost = 1.0;  // acquisition cost C_i
+  /// false: equi-width bins over the observed [min, max] (the paper's
+  /// Section 4.3 equal-sized ranges). true: equi-depth bins at sample
+  /// quantiles -- better for heavy-tailed readings such as light in Lux,
+  /// where equi-width packs almost all mass into one bin.
+  bool equi_depth = false;
+};
+
+/// Builds a Dataset by discretizing the selected columns per their specs.
+/// Column order in `specs` defines the schema's attribute order.
+Result<Dataset> DatasetFromCsv(const CsvTable& table,
+                               const std::vector<CsvColumnSpec>& specs);
+
+}  // namespace caqp
+
+#endif  // CAQP_CORE_CSV_H_

@@ -1,0 +1,73 @@
+#include "core/dataset.h"
+
+namespace caqp {
+
+Dataset::Dataset(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.num_attributes());
+}
+
+void Dataset::Append(const Tuple& tuple) {
+  CAQP_CHECK(schema_.ValidTuple(tuple));
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    columns_[i].push_back(tuple[i]);
+  }
+  ++num_rows_;
+}
+
+void Dataset::AppendColumns(const std::vector<std::vector<Value>>& columns) {
+  CAQP_CHECK_EQ(columns.size(), schema_.num_attributes());
+  const size_t add = columns.empty() ? 0 : columns[0].size();
+  for (size_t a = 0; a < columns.size(); ++a) {
+    CAQP_CHECK_EQ(columns[a].size(), add);
+    for (Value v : columns[a]) {
+      CAQP_CHECK_LT(v, schema_.domain_size(static_cast<AttrId>(a)));
+    }
+    columns_[a].insert(columns_[a].end(), columns[a].begin(),
+                       columns[a].end());
+  }
+  num_rows_ += add;
+}
+
+Tuple Dataset::GetTuple(RowId row) const {
+  CAQP_DCHECK(row < num_rows_);
+  Tuple t(schema_.num_attributes());
+  for (size_t a = 0; a < t.size(); ++a) {
+    t[a] = columns_[a][row];
+  }
+  return t;
+}
+
+std::pair<Dataset, Dataset> Dataset::SplitAt(size_t pivot) const {
+  CAQP_CHECK_LE(pivot, num_rows_);
+  Dataset head(schema_);
+  Dataset tail(schema_);
+  head.num_rows_ = pivot;
+  tail.num_rows_ = num_rows_ - pivot;
+  for (size_t a = 0; a < columns_.size(); ++a) {
+    head.columns_[a].assign(columns_[a].begin(), columns_[a].begin() + pivot);
+    tail.columns_[a].assign(columns_[a].begin() + pivot, columns_[a].end());
+  }
+  return {std::move(head), std::move(tail)};
+}
+
+std::pair<Dataset, Dataset> Dataset::SplitFraction(
+    double train_fraction) const {
+  CAQP_CHECK_GE(train_fraction, 0.0);
+  CAQP_CHECK_LE(train_fraction, 1.0);
+  return SplitAt(static_cast<size_t>(train_fraction * num_rows_));
+}
+
+Dataset Dataset::Select(const std::vector<RowId>& rows) const {
+  Dataset out(schema_);
+  out.num_rows_ = rows.size();
+  for (size_t a = 0; a < columns_.size(); ++a) {
+    out.columns_[a].reserve(rows.size());
+    for (RowId r : rows) {
+      CAQP_DCHECK(r < num_rows_);
+      out.columns_[a].push_back(columns_[a][r]);
+    }
+  }
+  return out;
+}
+
+}  // namespace caqp

@@ -1,0 +1,79 @@
+// Column-major store of discretized tuples. Datasets serve two roles in the
+// paper's architecture (Figure 4):
+//
+//  1. *Historical/training data*: the basestation estimates every conditional
+//     probability the planners need from counts over this data (Section 5).
+//  2. *Test data*: held-out tuples over a disjoint time window, used to
+//     measure the realized acquisition cost of a plan.
+//
+// Column-major layout keeps the planner's hot loops (per-attribute histogram
+// builds and range filters over row-id sets) cache-friendly.
+
+#ifndef CAQP_CORE_DATASET_H_
+#define CAQP_CORE_DATASET_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/schema.h"
+#include "core/types.h"
+
+namespace caqp {
+
+/// Row index into a Dataset.
+using RowId = uint32_t;
+
+class Dataset {
+ public:
+  /// Creates an empty dataset over `schema`.
+  explicit Dataset(Schema schema);
+
+  /// Appends a tuple; aborts if it does not match the schema (data
+  /// generators are in-process and must produce valid tuples).
+  void Append(const Tuple& tuple);
+
+  /// Bulk append of column data. All columns must have equal length and
+  /// in-domain values.
+  void AppendColumns(const std::vector<std::vector<Value>>& columns);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_attributes() const { return schema_.num_attributes(); }
+  const Schema& schema() const { return schema_; }
+
+  Value at(RowId row, AttrId attr) const {
+    CAQP_DCHECK(row < num_rows_);
+    return columns_[attr][row];
+  }
+
+  /// Materializes row `row` as a Tuple.
+  Tuple GetTuple(RowId row) const;
+
+  /// Whole column for attribute `attr`.
+  const std::vector<Value>& column(AttrId attr) const {
+    CAQP_DCHECK(attr < columns_.size());
+    return columns_[attr];
+  }
+
+  /// Splits rows [0, pivot) / [pivot, n) into two datasets — the paper's
+  /// disjoint-time-window train/test protocol (Section 6, "Test v.
+  /// Training").
+  std::pair<Dataset, Dataset> SplitAt(size_t pivot) const;
+
+  /// Convenience: split by fraction (train gets floor(frac * n) rows).
+  std::pair<Dataset, Dataset> SplitFraction(double train_fraction) const;
+
+  /// Dataset restricted to the given rows (used by tests; planners keep
+  /// row-id vectors instead of materializing).
+  Dataset Select(const std::vector<RowId>& rows) const;
+
+ private:
+  Schema schema_;
+  size_t num_rows_ = 0;
+  /// columns_[attr][row]
+  std::vector<std::vector<Value>> columns_;
+};
+
+}  // namespace caqp
+
+#endif  // CAQP_CORE_DATASET_H_

@@ -1,0 +1,30 @@
+// Binary dataset persistence: lets a basestation cache its (possibly large)
+// discretized history between runs instead of re-ingesting CSV. Compact
+// varint encoding, column-major, with a magic/version header and full
+// validation on load.
+
+#ifndef CAQP_CORE_DATASET_IO_H_
+#define CAQP_CORE_DATASET_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+
+namespace caqp {
+
+/// Serializes schema + columns to a byte buffer.
+std::vector<uint8_t> SerializeDataset(const Dataset& dataset);
+
+/// Parses a buffer produced by SerializeDataset. Fails cleanly on
+/// truncation, bad magic, or out-of-domain values.
+Result<Dataset> DeserializeDataset(const std::vector<uint8_t>& bytes);
+
+/// File convenience wrappers.
+Status SaveDataset(const Dataset& dataset, const std::string& path);
+Result<Dataset> LoadDataset(const std::string& path);
+
+}  // namespace caqp
+
+#endif  // CAQP_CORE_DATASET_IO_H_

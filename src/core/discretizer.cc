@@ -1,0 +1,71 @@
+#include "core/discretizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace caqp {
+
+UniformDiscretizer::UniformDiscretizer(double min_value, double max_value,
+                                       uint32_t bins)
+    : min_(min_value), max_(max_value), bins_(bins) {
+  CAQP_CHECK_GE(bins, 2u);
+  CAQP_CHECK_LT(min_value, max_value);
+  width_ = (max_ - min_) / bins_;
+}
+
+Value UniformDiscretizer::ToBin(double raw) const {
+  if (raw <= min_) return 0;
+  if (raw >= max_) return static_cast<Value>(bins_ - 1);
+  auto bin = static_cast<uint32_t>((raw - min_) / width_);
+  if (bin >= bins_) bin = bins_ - 1;  // Guards against FP edge rounding.
+  return static_cast<Value>(bin);
+}
+
+double UniformDiscretizer::BinLower(Value bin) const {
+  CAQP_DCHECK(bin < bins_);
+  return min_ + width_ * bin;
+}
+
+double UniformDiscretizer::BinUpper(Value bin) const {
+  CAQP_DCHECK(bin < bins_);
+  return min_ + width_ * (bin + 1);
+}
+
+double UniformDiscretizer::BinCenter(Value bin) const {
+  return 0.5 * (BinLower(bin) + BinUpper(bin));
+}
+
+QuantileDiscretizer::QuantileDiscretizer(std::vector<double> sample,
+                                         uint32_t bins)
+    : bins_(bins) {
+  CAQP_CHECK_GE(bins, 2u);
+  CAQP_CHECK(!sample.empty());
+  std::sort(sample.begin(), sample.end());
+  min_ = sample.front();
+  cuts_.reserve(bins_ - 1);
+  const size_t n = sample.size();
+  for (uint32_t i = 1; i < bins_; ++i) {
+    size_t idx = std::min<size_t>(n - 1, (n * i) / bins_);
+    double cut = sample[idx];
+    // Keep cuts strictly increasing; duplicated quantiles (very common with
+    // quantized sensor readings) would otherwise create empty bins that trap
+    // every value in the first of the duplicates.
+    if (!cuts_.empty() && cut <= cuts_.back()) {
+      cut = std::nextafter(cuts_.back(), sample.back() + 1.0);
+    }
+    cuts_.push_back(cut);
+  }
+}
+
+Value QuantileDiscretizer::ToBin(double raw) const {
+  auto it = std::upper_bound(cuts_.begin(), cuts_.end(), raw);
+  return static_cast<Value>(it - cuts_.begin());
+}
+
+double QuantileDiscretizer::BinLower(Value bin) const {
+  CAQP_DCHECK(bin < bins_);
+  if (bin == 0) return min_;
+  return cuts_[bin - 1];
+}
+
+}  // namespace caqp

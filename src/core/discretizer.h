@@ -1,0 +1,72 @@
+// Discretizers map raw (real-valued) sensor readings into the finite domains
+// [0, K) that the planners operate on (paper Section 2.1 / 4.3). Two
+// strategies are provided:
+//
+//  * UniformDiscretizer  -- equi-width bins over [min, max]; this matches the
+//    paper's split-point restriction scheme ("divide the domain of the
+//    variable into equal sized ranges").
+//  * QuantileDiscretizer -- equi-depth bins fit to a sample, useful for
+//    heavy-tailed readings such as light in Lux.
+//
+// A Discretizer also reports per-bin representative values so benches can map
+// bins back to physical units when printing plans (Figure 9 style output).
+
+#ifndef CAQP_CORE_DISCRETIZER_H_
+#define CAQP_CORE_DISCRETIZER_H_
+
+#include <vector>
+
+#include "core/types.h"
+
+namespace caqp {
+
+/// Equi-width discretization of [min_value, max_value] into `bins` bins.
+/// Values outside the range clamp to the first/last bin.
+class UniformDiscretizer {
+ public:
+  UniformDiscretizer(double min_value, double max_value, uint32_t bins);
+
+  /// Bin index for a raw reading.
+  Value ToBin(double raw) const;
+  /// Lower edge of a bin in raw units.
+  double BinLower(Value bin) const;
+  /// Upper edge of a bin in raw units.
+  double BinUpper(Value bin) const;
+  /// Midpoint of a bin in raw units.
+  double BinCenter(Value bin) const;
+
+  uint32_t bins() const { return bins_; }
+  double min_value() const { return min_; }
+  double max_value() const { return max_; }
+
+ private:
+  double min_;
+  double max_;
+  uint32_t bins_;
+  double width_;
+};
+
+/// Equi-depth discretization: bin edges are sample quantiles, so each bin
+/// holds roughly the same number of training points.
+class QuantileDiscretizer {
+ public:
+  /// Fits `bins` equi-depth bins to the sample. The sample must be non-empty.
+  QuantileDiscretizer(std::vector<double> sample, uint32_t bins);
+
+  Value ToBin(double raw) const;
+  /// Inclusive lower edge of bin i (== upper edge of bin i-1).
+  double BinLower(Value bin) const;
+
+  uint32_t bins() const { return bins_; }
+
+ private:
+  uint32_t bins_;
+  /// bins_ - 1 interior cut points, ascending. Value v maps to the first bin
+  /// whose cut exceeds it.
+  std::vector<double> cuts_;
+  double min_;
+};
+
+}  // namespace caqp
+
+#endif  // CAQP_CORE_DISCRETIZER_H_

@@ -1,0 +1,23 @@
+#include "core/predicate.h"
+
+#include <cstdio>
+
+namespace caqp {
+
+Truth Predicate::EvaluateOnRange(const ValueRange& range) const {
+  const bool fully_inside = (lo <= range.lo && range.hi <= hi);
+  const bool disjoint = (range.hi < lo || range.lo > hi);
+  if (fully_inside) return negated ? Truth::kFalse : Truth::kTrue;
+  if (disjoint) return negated ? Truth::kTrue : Truth::kFalse;
+  return Truth::kUnknown;
+}
+
+std::string Predicate::ToString(const Schema& schema) const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s %sin [%u,%u]",
+                schema.name(attr).c_str(), negated ? "not " : "",
+                static_cast<unsigned>(lo), static_cast<unsigned>(hi));
+  return buf;
+}
+
+}  // namespace caqp

@@ -1,0 +1,101 @@
+#include "core/query.h"
+
+#include <algorithm>
+#include <set>
+
+namespace caqp {
+
+Query Query::Conjunction(Conjunct predicates) {
+  CAQP_CHECK(!predicates.empty());
+  Query q;
+  q.conjuncts_.push_back(std::move(predicates));
+  return q;
+}
+
+Query Query::Disjunction(std::vector<Conjunct> conjuncts) {
+  CAQP_CHECK(!conjuncts.empty());
+  for (const Conjunct& c : conjuncts) CAQP_CHECK(!c.empty());
+  Query q;
+  q.conjuncts_ = std::move(conjuncts);
+  return q;
+}
+
+bool Query::Matches(const Tuple& t) const {
+  for (const Conjunct& c : conjuncts_) {
+    bool all = true;
+    for (const Predicate& p : c) {
+      if (!p.Matches(t)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+Truth Query::EvaluateConjunctOnRanges(
+    size_t conjunct, const std::vector<ValueRange>& ranges) const {
+  CAQP_DCHECK(conjunct < conjuncts_.size());
+  Truth acc = Truth::kTrue;
+  for (const Predicate& p : conjuncts_[conjunct]) {
+    CAQP_DCHECK(p.attr < ranges.size());
+    acc = TruthAnd(acc, p.EvaluateOnRange(ranges[p.attr]));
+    if (acc == Truth::kFalse) return Truth::kFalse;
+  }
+  return acc;
+}
+
+Truth Query::EvaluateOnRanges(const std::vector<ValueRange>& ranges) const {
+  Truth acc = Truth::kFalse;
+  for (size_t i = 0; i < conjuncts_.size(); ++i) {
+    acc = TruthOr(acc, EvaluateConjunctOnRanges(i, ranges));
+    if (acc == Truth::kTrue) return Truth::kTrue;
+  }
+  return acc;
+}
+
+std::vector<AttrId> Query::ReferencedAttributes() const {
+  std::set<AttrId> attrs;
+  for (const Conjunct& c : conjuncts_) {
+    for (const Predicate& p : c) attrs.insert(p.attr);
+  }
+  return {attrs.begin(), attrs.end()};
+}
+
+bool Query::ValidFor(const Schema& schema) const {
+  if (conjuncts_.empty()) return false;
+  for (const Conjunct& c : conjuncts_) {
+    if (c.empty()) return false;
+    std::set<AttrId> seen;
+    for (const Predicate& p : c) {
+      if (p.attr >= schema.num_attributes()) return false;
+      if (p.hi >= schema.domain_size(p.attr)) return false;
+      if (p.lo > p.hi) return false;
+      if (!seen.insert(p.attr).second) return false;
+    }
+  }
+  return true;
+}
+
+size_t Query::TotalPredicates() const {
+  size_t n = 0;
+  for (const Conjunct& c : conjuncts_) n += c.size();
+  return n;
+}
+
+std::string Query::ToString(const Schema& schema) const {
+  std::string out;
+  for (size_t i = 0; i < conjuncts_.size(); ++i) {
+    if (i > 0) out += " OR ";
+    if (conjuncts_.size() > 1) out += "(";
+    for (size_t j = 0; j < conjuncts_[i].size(); ++j) {
+      if (j > 0) out += " AND ";
+      out += conjuncts_[i][j].ToString(schema);
+    }
+    if (conjuncts_.size() > 1) out += ")";
+  }
+  return out;
+}
+
+}  // namespace caqp

@@ -1,0 +1,80 @@
+// Queries.
+//
+// The paper's core query class is a conjunction of range predicates
+// (Query (1)); Section 7 extends to existential queries, which we support as
+// DNF: an OR of conjunctions ("does any mote see bright AND hot?"). A
+// conjunctive query is a DNF query with a single conjunct, and the sequential
+// planners (Naive / OptSeq / GreedySeq) require that form; the exhaustive and
+// greedy conditional planners work on any DNF query through the three-valued
+// range evaluation.
+
+#ifndef CAQP_CORE_QUERY_H_
+#define CAQP_CORE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/predicate.h"
+#include "core/schema.h"
+#include "core/types.h"
+
+namespace caqp {
+
+/// A conjunction of predicates (implicitly ANDed).
+using Conjunct = std::vector<Predicate>;
+
+class Query {
+ public:
+  Query() = default;
+
+  /// Conjunctive query: WHERE p1 AND p2 AND ... Each attribute may appear in
+  /// at most one predicate (the paper's query class).
+  static Query Conjunction(Conjunct predicates);
+
+  /// DNF query: WHERE (c1) OR (c2) OR ... Each conjunct independently obeys
+  /// the one-predicate-per-attribute rule.
+  static Query Disjunction(std::vector<Conjunct> conjuncts);
+
+  bool IsConjunctive() const { return conjuncts_.size() == 1; }
+  const std::vector<Conjunct>& conjuncts() const { return conjuncts_; }
+
+  /// The single conjunct of a conjunctive query; aborts otherwise.
+  const Conjunct& predicates() const {
+    CAQP_CHECK(IsConjunctive());
+    return conjuncts_[0];
+  }
+
+  /// phi(x): truth of the WHERE clause on a full tuple.
+  bool Matches(const Tuple& t) const;
+
+  /// Three-valued truth of phi given per-attribute ranges (one per schema
+  /// attribute). Drives the planners' "ranges sufficient to determine truth"
+  /// base case (Figure 5).
+  Truth EvaluateOnRanges(const std::vector<ValueRange>& ranges) const;
+
+  /// Truth of phi assuming X_attr in `ranges[attr]` for every attribute, but
+  /// evaluated per-conjunct; identical to EvaluateOnRanges (exposed for
+  /// tests).
+  Truth EvaluateConjunctOnRanges(size_t conjunct,
+                                 const std::vector<ValueRange>& ranges) const;
+
+  /// Sorted ids of the attributes referenced anywhere in the query.
+  std::vector<AttrId> ReferencedAttributes() const;
+
+  /// True if every referenced attribute id is valid for `schema` and the
+  /// one-predicate-per-attribute-per-conjunct rule holds.
+  bool ValidFor(const Schema& schema) const;
+
+  /// Total number of predicates across conjuncts.
+  size_t TotalPredicates() const;
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  /// DNF: OR over conjuncts_, AND within each.
+  std::vector<Conjunct> conjuncts_;
+};
+
+}  // namespace caqp
+
+#endif  // CAQP_CORE_QUERY_H_

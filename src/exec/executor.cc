@@ -1,0 +1,67 @@
+#include "exec/executor.h"
+
+namespace caqp {
+
+ExecutionResult ExecutePlan(const Plan& plan, const Schema& schema,
+                            const AcquisitionCostModel& cost_model,
+                            AcquisitionSource& source) {
+  ExecutionResult out;
+  // Cache of acquired values; valid where out.acquired has the bit set.
+  std::vector<Value> values(schema.num_attributes(), 0);
+
+  auto acquire = [&](AttrId a) -> Value {
+    if (!out.acquired.Contains(a)) {
+      out.cost += cost_model.Cost(a, out.acquired);
+      out.acquired.Insert(a);
+      ++out.acquisitions;
+      values[a] = source.Acquire(a);
+    }
+    return values[a];
+  };
+
+  const PlanNode* n = &plan.root();
+  while (n->kind == PlanNode::Kind::kSplit) {
+    const Value v = acquire(n->attr);
+    n = (v >= n->split_value) ? n->ge.get() : n->lt.get();
+  }
+
+  switch (n->kind) {
+    case PlanNode::Kind::kVerdict:
+      out.verdict = n->verdict;
+      break;
+    case PlanNode::Kind::kSequential: {
+      out.verdict = true;
+      for (const Predicate& p : n->sequence) {
+        if (!p.Matches(acquire(p.attr))) {
+          out.verdict = false;
+          break;
+        }
+      }
+      break;
+    }
+    case PlanNode::Kind::kGeneric: {
+      RangeVec ranges = schema.FullRanges();
+      for (size_t a = 0; a < schema.num_attributes(); ++a) {
+        if (out.acquired.Contains(static_cast<AttrId>(a))) {
+          ranges[a] = ValueRange{values[a], values[a]};
+        }
+      }
+      Truth t = n->residual_query.EvaluateOnRanges(ranges);
+      for (size_t k = 0; t == Truth::kUnknown && k < n->acquire_order.size();
+           ++k) {
+        const AttrId a = n->acquire_order[k];
+        const Value v = acquire(a);
+        ranges[a] = ValueRange{v, v};
+        t = n->residual_query.EvaluateOnRanges(ranges);
+      }
+      CAQP_CHECK(t != Truth::kUnknown);
+      out.verdict = (t == Truth::kTrue);
+      break;
+    }
+    case PlanNode::Kind::kSplit:
+      CAQP_CHECK(false);
+  }
+  return out;
+}
+
+}  // namespace caqp

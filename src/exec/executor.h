@@ -1,0 +1,59 @@
+// Plan execution engine (the "simple traversal of a binary tree" that runs
+// on motes, paper Section 2.5). The executor is deliberately tiny and
+// allocation-free on the hot path: current sensor hardware is the reason the
+// paper computes plans offline, so execution must stay cheap.
+//
+// Values are pulled through an AcquisitionSource, which lets the same engine
+// run over a recorded dataset, a live simulated sensor, or (in tests) a
+// source that records the acquisition order.
+
+#ifndef CAQP_EXEC_EXECUTOR_H_
+#define CAQP_EXEC_EXECUTOR_H_
+
+#include <vector>
+
+#include "core/schema.h"
+#include "opt/cost_model.h"
+#include "plan/plan.h"
+#include "prob/subproblem.h"
+
+namespace caqp {
+
+/// Supplies attribute values for the tuple currently being evaluated.
+/// Acquire() is called at most once per attribute per tuple.
+class AcquisitionSource {
+ public:
+  virtual ~AcquisitionSource() = default;
+  virtual Value Acquire(AttrId attr) = 0;
+};
+
+/// Source backed by a fully materialized tuple.
+class TupleSource : public AcquisitionSource {
+ public:
+  explicit TupleSource(const Tuple& t) : tuple_(t) {}
+  Value Acquire(AttrId attr) override {
+    CAQP_DCHECK(attr < tuple_.size());
+    return tuple_[attr];
+  }
+
+ private:
+  const Tuple& tuple_;
+};
+
+/// Outcome of executing one plan over one tuple.
+struct ExecutionResult {
+  bool verdict = false;      ///< truth of the WHERE clause per the plan
+  double cost = 0.0;         ///< total acquisition cost charged
+  int acquisitions = 0;      ///< number of distinct attributes acquired
+  AttrSet acquired;          ///< which attributes were acquired
+};
+
+/// Evaluates `plan` for one tuple, acquiring attributes lazily from `source`
+/// and charging `cost_model` for each first acquisition.
+ExecutionResult ExecutePlan(const Plan& plan, const Schema& schema,
+                            const AcquisitionCostModel& cost_model,
+                            AcquisitionSource& source);
+
+}  // namespace caqp
+
+#endif  // CAQP_EXEC_EXECUTOR_H_

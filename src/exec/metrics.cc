@@ -1,0 +1,54 @@
+#include "exec/metrics.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace caqp {
+
+GainStats SummarizeGains(std::vector<double> gains) {
+  GainStats s;
+  if (gains.empty()) return s;
+  std::sort(gains.begin(), gains.end());
+  s.min = gains.front();
+  s.max = gains.back();
+  s.median = gains[gains.size() / 2];
+  double total = 0.0;
+  for (double g : gains) total += g;
+  s.mean = total / gains.size();
+  return s;
+}
+
+std::vector<std::pair<double, double>> CumulativeGainCurve(
+    std::vector<double> gains, int points) {
+  std::vector<std::pair<double, double>> curve;
+  if (gains.empty() || points < 2) return curve;
+  std::sort(gains.begin(), gains.end());
+  const double lo = gains.front();
+  const double hi = gains.back();
+  for (int i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * i / (points - 1);
+    // Fraction of experiments with gain >= x.
+    const auto it = std::lower_bound(gains.begin(), gains.end(), x);
+    const double frac =
+        static_cast<double>(gains.end() - it) / static_cast<double>(gains.size());
+    curve.emplace_back(x, frac);
+  }
+  return curve;
+}
+
+std::string FormatRow(const std::vector<std::string>& cells,
+                      const std::vector<int>& widths) {
+  CAQP_CHECK_EQ(cells.size(), widths.size());
+  std::string out = "|";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::string c = cells[i];
+    const int pad = widths[i] - static_cast<int>(c.size());
+    for (int p = 0; p < pad; ++p) c += ' ';
+    out += " " + c + " |";
+  }
+  return out;
+}
+
+}  // namespace caqp

@@ -1,0 +1,52 @@
+// Aggregated execution metrics and the comparison statistics the paper's
+// evaluation plots: normalized costs (relative to Naive) and cumulative
+// frequency of performance gain (Figure 8(c), Figures 10-11).
+
+#ifndef CAQP_EXEC_METRICS_H_
+#define CAQP_EXEC_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace caqp {
+
+/// Streaming accumulator for per-tuple execution costs.
+class CostAccumulator {
+ public:
+  void Add(double cost) {
+    total_ += cost;
+    ++count_;
+  }
+  double mean() const { return count_ ? total_ / count_ : 0.0; }
+  double total() const { return total_; }
+  size_t count() const { return count_; }
+
+ private:
+  double total_ = 0.0;
+  size_t count_ = 0;
+};
+
+/// Ratios of baseline cost to algorithm cost, one per experiment; >1 means
+/// the algorithm beat the baseline. Mirrors the paper's "performance gain".
+struct GainStats {
+  double mean = 0.0;
+  double min = 0.0;    ///< worst case across experiments
+  double max = 0.0;    ///< best case
+  double median = 0.0;
+};
+
+GainStats SummarizeGains(std::vector<double> gains);
+
+/// Cumulative-frequency curve over gains: for each threshold x returns the
+/// fraction of experiments with gain >= x (the Figure 8(c) / 10 / 11 plot).
+/// `points` thresholds are spaced between min and max gain.
+std::vector<std::pair<double, double>> CumulativeGainCurve(
+    std::vector<double> gains, int points = 20);
+
+/// Formats a markdown-style table row; benches share this for output.
+std::string FormatRow(const std::vector<std::string>& cells,
+                      const std::vector<int>& widths);
+
+}  // namespace caqp
+
+#endif  // CAQP_EXEC_METRICS_H_

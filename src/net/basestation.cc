@@ -1,0 +1,86 @@
+#include "net/basestation.h"
+
+#include "prob/dataset_estimator.h"
+
+namespace caqp {
+
+void Basestation::CollectHistory(const Dataset& data) {
+  CAQP_CHECK(data.schema() == schema_);
+  for (RowId r = 0; r < data.num_rows(); ++r) {
+    history_.Append(data.GetTuple(r));
+  }
+}
+
+Plan Basestation::TrainPlan(const Query& query, const SplitPointSet& splits,
+                            const SequentialSolver& solver, size_t max_splits,
+                            double size_penalty_alpha) {
+  CAQP_CHECK_GT(history_.num_rows(), 0u);
+  DatasetEstimator estimator(history_);
+  GreedyPlanner::Options opts;
+  opts.split_points = &splits;
+  opts.seq_solver = &solver;
+  opts.max_splits = max_splits;
+  opts.size_penalty_alpha = size_penalty_alpha;
+  GreedyPlanner planner(estimator, cost_model_, opts);
+  return planner.BuildPlan(query);
+}
+
+size_t Basestation::Disseminate(const Plan& plan, std::vector<Mote*>& motes) {
+  const std::vector<uint8_t> bytes = SerializePlan(plan);
+  size_t installed = 0;
+  for (Mote* mote : motes) {
+    const Radio::Delivery d = radio_.Transmit(bytes, energy_, mote->energy());
+    if (!d.delivered) continue;
+    if (mote->ReceivePlanBytes(d.payload).ok()) ++installed;
+  }
+  return installed;
+}
+
+std::vector<Basestation::EpochReport> Basestation::RunContinuousQuery(
+    std::vector<Mote*>& motes, size_t epochs, size_t result_message_bytes) {
+  std::vector<EpochReport> reports;
+  reports.reserve(epochs);
+  const std::vector<uint8_t> result_msg(result_message_bytes, 0);
+  for (size_t e = 0; e < epochs; ++e) {
+    EpochReport rep;
+    rep.epoch = e;
+    for (Mote* mote : motes) {
+      const std::optional<ExecutionResult> res = mote->RunEpoch(e);
+      if (!res.has_value()) continue;
+      ++rep.motes_reporting;
+      rep.acquisition_cost += res->cost;
+      if (res->verdict) {
+        // Matching tuples are shipped back to the basestation.
+        const Radio::Delivery d =
+            radio_.Transmit(result_msg, mote->energy(), energy_);
+        if (d.delivered) ++rep.matches;
+      }
+    }
+    reports.push_back(rep);
+  }
+  return reports;
+}
+
+Basestation::LimitResult Basestation::RunLimitQuery(
+    std::vector<Mote*>& motes, size_t limit, size_t max_epochs,
+    size_t result_message_bytes) {
+  LimitResult res;
+  const std::vector<uint8_t> result_msg(result_message_bytes, 0);
+  for (size_t e = 0; e < max_epochs && res.matches < limit; ++e) {
+    ++res.epochs_run;
+    for (Mote* mote : motes) {
+      if (res.matches >= limit) break;
+      const std::optional<ExecutionResult> r = mote->RunEpoch(e);
+      if (!r.has_value()) continue;
+      res.acquisition_cost += r->cost;
+      if (r->verdict) {
+        const Radio::Delivery d =
+            radio_.Transmit(result_msg, mote->energy(), energy_);
+        if (d.delivered) ++res.matches;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace caqp

@@ -1,0 +1,42 @@
+// Energy accounting for the simulated sensor network. Costs are in the same
+// abstract units the planners optimize (the paper's per-attribute C_i), so a
+// mote's meter directly reflects plan quality; radio transmissions charge
+// per byte, implementing the alpha * zeta(P) dissemination term of
+// Section 2.4.
+
+#ifndef CAQP_NET_ENERGY_H_
+#define CAQP_NET_ENERGY_H_
+
+#include <cstddef>
+
+#include "common/check.h"
+
+namespace caqp {
+
+class EnergyMeter {
+ public:
+  /// budget < 0 means unlimited.
+  explicit EnergyMeter(double budget = -1.0) : budget_(budget) {}
+
+  /// Consumes `units`; returns false (and consumes nothing) if the budget
+  /// would be exceeded — the mote is dead.
+  bool Consume(double units) {
+    CAQP_DCHECK(units >= 0);
+    if (budget_ >= 0 && spent_ + units > budget_) return false;
+    spent_ += units;
+    return true;
+  }
+
+  double spent() const { return spent_; }
+  double budget() const { return budget_; }
+  bool exhausted() const { return budget_ >= 0 && spent_ >= budget_; }
+  double remaining() const { return budget_ < 0 ? -1.0 : budget_ - spent_; }
+
+ private:
+  double budget_;
+  double spent_ = 0.0;
+};
+
+}  // namespace caqp
+
+#endif  // CAQP_NET_ENERGY_H_

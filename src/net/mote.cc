@@ -1,0 +1,37 @@
+#include "net/mote.h"
+
+namespace caqp {
+
+namespace {
+
+/// AcquisitionSource that reads from the mote's sampler for a fixed epoch.
+class EpochSource : public AcquisitionSource {
+ public:
+  EpochSource(const Mote::Sampler& sampler, size_t epoch)
+      : sampler_(sampler), epoch_(epoch) {}
+  Value Acquire(AttrId attr) override { return sampler_(epoch_, attr); }
+
+ private:
+  const Mote::Sampler& sampler_;
+  size_t epoch_;
+};
+
+}  // namespace
+
+Status Mote::ReceivePlanBytes(const std::vector<uint8_t>& bytes) {
+  Result<Plan> plan = DeserializePlan(bytes, schema_);
+  if (!plan.ok()) return plan.status();
+  plan_ = std::move(plan).value();
+  return Status::OK();
+}
+
+std::optional<ExecutionResult> Mote::RunEpoch(size_t epoch) {
+  if (!plan_.has_value()) return std::nullopt;
+  EpochSource source(sampler_, epoch);
+  const ExecutionResult res =
+      ExecutePlan(*plan_, schema_, cost_model_, source);
+  if (!energy_.Consume(res.cost)) return std::nullopt;
+  return res;
+}
+
+}  // namespace caqp

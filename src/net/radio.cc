@@ -1,0 +1,34 @@
+#include "net/radio.h"
+
+namespace caqp {
+
+Radio::Delivery Radio::Transmit(const std::vector<uint8_t>& bytes,
+                                EnergyMeter& sender, EnergyMeter& receiver) {
+  Delivery out;
+  const double cost = options_.cost_per_byte * static_cast<double>(bytes.size());
+  if (!sender.Consume(cost)) {
+    ++messages_dropped_;
+    return out;
+  }
+  if (!receiver.Consume(cost)) {
+    ++messages_dropped_;
+    return out;
+  }
+  bytes_sent_ += bytes.size();
+  if (rng_.Bernoulli(options_.drop_probability)) {
+    ++messages_dropped_;
+    return out;
+  }
+  out.payload = bytes;
+  if (options_.corruption_probability > 0) {
+    for (uint8_t& b : out.payload) {
+      if (rng_.Bernoulli(options_.corruption_probability)) {
+        b ^= static_cast<uint8_t>(1u << rng_.UniformInt(0, 7));
+      }
+    }
+  }
+  out.delivered = true;
+  return out;
+}
+
+}  // namespace caqp

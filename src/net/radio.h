@@ -1,0 +1,53 @@
+// Simulated radio link between the basestation and motes: charges both
+// endpoints per byte and can drop or corrupt messages to exercise the plan
+// deserializer's error handling.
+
+#ifndef CAQP_NET_RADIO_H_
+#define CAQP_NET_RADIO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/energy.h"
+
+namespace caqp {
+
+class Radio {
+ public:
+  struct Options {
+    /// Energy units per byte, charged to sender and receiver alike.
+    double cost_per_byte = 0.05;
+    /// Probability an entire message is lost.
+    double drop_probability = 0.0;
+    /// Per-byte bit-flip probability (corruption).
+    double corruption_probability = 0.0;
+    uint64_t seed = 42;
+  };
+
+  explicit Radio(Options options) : options_(options), rng_(options.seed) {}
+
+  struct Delivery {
+    bool delivered = false;
+    std::vector<uint8_t> payload;  // possibly corrupted
+  };
+
+  /// Transmits `bytes` from `sender` to `receiver`, charging both meters.
+  /// If either meter cannot afford the transmission the message is lost
+  /// (sender still pays what it could not complete? no: nothing is sent).
+  Delivery Transmit(const std::vector<uint8_t>& bytes, EnergyMeter& sender,
+                    EnergyMeter& receiver);
+
+  size_t bytes_sent() const { return bytes_sent_; }
+  size_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  Options options_;
+  Rng rng_;
+  size_t bytes_sent_ = 0;
+  size_t messages_dropped_ = 0;
+};
+
+}  // namespace caqp
+
+#endif  // CAQP_NET_RADIO_H_

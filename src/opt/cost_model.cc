@@ -1,0 +1,34 @@
+#include "opt/cost_model.h"
+
+namespace caqp {
+
+SensorBoardCostModel::SensorBoardCostModel(const Schema& schema,
+                                           std::vector<int> board_of,
+                                           std::vector<double> board_powerup)
+    : schema_(schema),
+      board_of_(std::move(board_of)),
+      board_powerup_(std::move(board_powerup)) {
+  CAQP_CHECK_EQ(board_of_.size(), schema_.num_attributes());
+  for (int b : board_of_) {
+    CAQP_CHECK_LT(b, static_cast<int>(board_powerup_.size()));
+  }
+}
+
+double SensorBoardCostModel::Cost(AttrId attr, const AttrSet& acquired) const {
+  double cost = schema_.cost(attr);
+  const int board = board_of_[attr];
+  if (board >= 0) {
+    // Board already powered iff some already-acquired attribute shares it.
+    bool powered = false;
+    for (size_t a = 0; a < board_of_.size(); ++a) {
+      if (board_of_[a] == board && acquired.Contains(static_cast<AttrId>(a))) {
+        powered = true;
+        break;
+      }
+    }
+    if (!powered) cost += board_powerup_[board];
+  }
+  return cost;
+}
+
+}  // namespace caqp

@@ -1,0 +1,205 @@
+#include "opt/exhaustive.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "opt/greedyseq.h"
+
+namespace caqp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// True iff every attribute referenced by the query has been acquired
+/// (range narrowed) -- the second base case of Figure 5: all remaining tests
+/// are free, so the completion cost is 0.
+bool AllQueryAttrsAcquired(const Query& query, const Schema& schema,
+                           const RangeVec& ranges) {
+  for (AttrId a : query.ReferencedAttributes()) {
+    if (IsFullRange(schema, ranges, a)) return false;
+  }
+  return true;
+}
+
+/// Acquisition order for generic (DNF) completion leaves: referenced
+/// attributes, cheapest first, so early exits spend little.
+std::vector<AttrId> GenericAcquireOrder(const Query& query,
+                                        const Schema& schema) {
+  std::vector<AttrId> order = query.ReferencedAttributes();
+  std::stable_sort(order.begin(), order.end(), [&](AttrId a, AttrId b) {
+    return schema.cost(a) < schema.cost(b);
+  });
+  return order;
+}
+
+/// A leaf that decides the query correctly from `ranges` onward, regardless
+/// of any probability estimates. Used for branches with zero training mass:
+/// they may still be reached by unseen test tuples and must not err.
+std::unique_ptr<PlanNode> CorrectLeaf(const Query& query, const Schema& schema,
+                                      const RangeVec& ranges) {
+  const Truth t = query.EvaluateOnRanges(ranges);
+  if (t != Truth::kUnknown) return PlanNode::Verdict(t == Truth::kTrue);
+  if (query.IsConjunctive()) {
+    return PlanNode::Sequential(
+        UndeterminedPredicates(query.predicates(), ranges));
+  }
+  return PlanNode::Generic(query, GenericAcquireOrder(query, schema));
+}
+
+/// Expected cost of a generic acquire-and-test leaf under the estimator:
+/// acquire attributes in order, charging marginal costs, stopping when
+/// three-valued evaluation resolves the query.
+double GenericLeafCost(const Query& query, const std::vector<AttrId>& order,
+                       size_t k, const RangeVec& ranges,
+                       CondProbEstimator& est,
+                       const AcquisitionCostModel& cm) {
+  if (query.EvaluateOnRanges(ranges) != Truth::kUnknown) return 0.0;
+  if (k >= order.size()) return 0.0;
+  const AttrId attr = order[k];
+  const AttrSet acquired = AcquiredAttrs(est.schema(), ranges);
+  double cost = acquired.Contains(attr) ? 0.0 : cm.Cost(attr, acquired);
+  const Histogram h = est.Marginal(ranges, attr);
+  if (h.total() <= 0) return 0.0;
+  for (Value v = ranges[attr].lo; v <= ranges[attr].hi; ++v) {
+    const double p = h.Count(v) / h.total();
+    if (p > 0) {
+      cost += p * GenericLeafCost(query, order, k + 1,
+                                  Refined(ranges, attr, ValueRange{v, v}),
+                                  est, cm);
+    }
+  }
+  return cost;
+}
+
+}  // namespace
+
+std::pair<double, std::unique_ptr<PlanNode>> ExhaustivePlanner::CompletionLeaf(
+    const Query& query, const RangeVec& ranges) {
+  if (query.IsConjunctive()) {
+    const size_t m =
+        UndeterminedPredicates(query.predicates(), ranges).size();
+    if (m <= 14) {
+      SequentialLeaf leaf = SolveSequentialLeaf(query, ranges, estimator_,
+                                                cost_model_, optseq_);
+      return {leaf.expected_cost, std::move(leaf.leaf)};
+    }
+    GreedySeqSolver greedy;
+    SequentialLeaf leaf =
+        SolveSequentialLeaf(query, ranges, estimator_, cost_model_, greedy);
+    return {leaf.expected_cost, std::move(leaf.leaf)};
+  }
+  std::vector<AttrId> order = GenericAcquireOrder(query, estimator_.schema());
+  const double cost = GenericLeafCost(query, order, 0, ranges, estimator_,
+                                      cost_model_);
+  return {cost, PlanNode::Generic(query, std::move(order))};
+}
+
+std::pair<double, std::unique_ptr<PlanNode>> ExhaustivePlanner::Solve(
+    const Query& query, const RangeVec& ranges) {
+  const Schema& schema = estimator_.schema();
+
+  // Base case 1: ranges determine the truth of the WHERE clause.
+  const Truth truth = query.EvaluateOnRanges(ranges);
+  if (truth != Truth::kUnknown) {
+    return {0.0, PlanNode::Verdict(truth == Truth::kTrue)};
+  }
+  // Base case 2: every query attribute acquired; residual tests are free.
+  if (AllQueryAttrsAcquired(query, schema, ranges)) {
+    return {0.0, CorrectLeaf(query, schema, ranges)};
+  }
+
+  if (auto it = cache_.find(ranges); it != cache_.end()) {
+    ++stats_.cache_hits;
+    return {it->second.cost, it->second.node->Clone()};
+  }
+  ++stats_.subproblems_solved;
+  CAQP_CHECK_LE(stats_.subproblems_solved, options_.max_subproblems);
+
+  double cmin = kInf;
+  std::unique_ptr<PlanNode> best;
+
+  // Candidate 0: finish with the optimal sequential completion (see header).
+  {
+    auto [cost, node] = CompletionLeaf(query, ranges);
+    if (cost < cmin) {
+      cmin = cost;
+      best = std::move(node);
+    }
+  }
+
+  const AttrSet acquired = AcquiredAttrs(schema, ranges);
+  const size_t n = schema.num_attributes();
+  for (size_t ai = 0; ai < n; ++ai) {
+    const AttrId attr = static_cast<AttrId>(ai);
+    const ValueRange r = ranges[attr];
+    if (r.Width() <= 1) continue;  // Nothing left to split.
+
+    const double observe =
+        acquired.Contains(attr) ? 0.0 : cost_model_.Cost(attr, acquired);
+    if (observe >= cmin) continue;
+
+    const Histogram h = estimator_.Marginal(ranges, attr);
+    if (h.total() <= 0) continue;  // Unreachable; completion leaf covers it.
+
+    for (Value x : options_.split_points->PointsFor(attr)) {
+      if (x <= r.lo || x > r.hi) continue;
+      ++stats_.candidates_tried;
+
+      const ValueRange lt_r{r.lo, static_cast<Value>(x - 1)};
+      const ValueRange ge_r{x, r.hi};
+      const double p_lt = h.RangeCount(lt_r) / h.total();
+      const double p_ge = 1.0 - p_lt;
+
+      double acc = observe;
+      std::unique_ptr<PlanNode> lt_node, ge_node;
+
+      const RangeVec lt_ranges = Refined(ranges, attr, lt_r);
+      if (p_lt > 0) {
+        ScopedEstimatorScope scope(estimator_, lt_ranges);
+        auto [cost, node] = Solve(query, lt_ranges);
+        acc += p_lt * cost;
+        lt_node = std::move(node);
+      } else {
+        lt_node = CorrectLeaf(query, schema, lt_ranges);
+      }
+      // Exact child costs make abandoning a partially-costed candidate safe.
+      if (acc >= cmin) continue;
+
+      const RangeVec ge_ranges = Refined(ranges, attr, ge_r);
+      if (p_ge > 0) {
+        ScopedEstimatorScope scope(estimator_, ge_ranges);
+        auto [cost, node] = Solve(query, ge_ranges);
+        acc += p_ge * cost;
+        ge_node = std::move(node);
+      } else {
+        ge_node = CorrectLeaf(query, schema, ge_ranges);
+      }
+
+      if (acc < cmin) {
+        cmin = acc;
+        best = PlanNode::Split(attr, x, std::move(lt_node),
+                               std::move(ge_node));
+      }
+    }
+  }
+
+  // The completion leaf always yields a finite candidate, so `best` exists.
+  CAQP_CHECK(best != nullptr);
+  CacheEntry& entry = cache_[ranges];
+  entry.cost = cmin;
+  entry.node = best->Clone();
+  return {cmin, std::move(best)};
+}
+
+Plan ExhaustivePlanner::BuildPlan(const Query& query) {
+  CAQP_CHECK(query.ValidFor(estimator_.schema()));
+  cache_.clear();
+  stats_ = Stats{};
+  auto [cost, node] = Solve(query, estimator_.schema().FullRanges());
+  CAQP_CHECK(node != nullptr);
+  last_cost_ = cost;
+  return Plan(std::move(node));
+}
+
+}  // namespace caqp

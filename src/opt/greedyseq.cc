@@ -1,0 +1,67 @@
+#include "opt/greedyseq.h"
+
+#include <limits>
+
+namespace caqp {
+
+SeqSolution GreedySeqSolver::Solve(const SeqProblem& problem) const {
+  const size_t m = problem.preds.size();
+  CAQP_CHECK(problem.masks != nullptr);
+  CAQP_CHECK_LE(m, 64u);
+  SeqSolution sol;
+  if (m == 0) return sol;
+
+  // Conditioned distribution: entries surviving "all chosen predicates
+  // true". Shrinks as predicates are chosen, keeping each step cheap.
+  MaskDistribution dist = *problem.masks;
+  uint64_t evaluated = 0;
+  double p_reach = 1.0;
+
+  for (size_t step = 0; step < m; ++step) {
+    // Per-candidate pass probability, one sweep over surviving entries.
+    std::vector<double> true_mass(m, 0.0);
+    for (const auto& [mask, w] : dist.entries()) {
+      for (size_t j = 0; j < m; ++j) {
+        if ((evaluated >> j) & 1) continue;
+        if ((mask >> j) & 1) true_mass[j] += w;
+      }
+    }
+    const double total = dist.total();
+
+    size_t best = m;
+    double best_rank = std::numeric_limits<double>::infinity();
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (size_t j = 0; j < m; ++j) {
+      if ((evaluated >> j) & 1) continue;
+      const double c = problem.cost(j, evaluated);
+      // p_j = P(phi_j | chosen satisfied); with no surviving data fall back
+      // to 1/2 (uninformative prior).
+      const double p = total > 0 ? true_mass[j] / total : 0.5;
+      double rank;
+      if (p >= 1.0) {
+        // Never filters: rank infinite; among such predicates prefer cheap.
+        rank = std::numeric_limits<double>::infinity();
+      } else {
+        rank = c / (1.0 - p);
+      }
+      if (rank < best_rank ||
+          (rank == best_rank && c < best_cost)) {
+        best_rank = rank;
+        best_cost = c;
+        best = j;
+      }
+    }
+    CAQP_CHECK_LT(best, m);
+
+    sol.expected_cost += p_reach * problem.cost(best, evaluated);
+    const double p_best =
+        total > 0 ? true_mass[best] / total : 0.5;
+    p_reach *= p_best;
+    evaluated |= uint64_t{1} << best;
+    sol.order.push_back(best);
+    dist = dist.ConditionTrue(static_cast<int>(best));
+  }
+  return sol;
+}
+
+}  // namespace caqp

@@ -1,0 +1,23 @@
+// GreedySeq (paper Section 4.1.3): the greedy sequential heuristic of
+// Munagala et al. [20]. Repeatedly picks the unevaluated predicate phi_j
+// minimizing C_j / (1 - p_j), where p_j is the probability phi_j is
+// satisfied *given that every already-chosen predicate is satisfied* -- so
+// unlike Naive it exploits correlations. 4-approximate; polynomial, so it is
+// the base-plan solver for queries too large for OptSeq (Garden, Synthetic).
+
+#ifndef CAQP_OPT_GREEDYSEQ_H_
+#define CAQP_OPT_GREEDYSEQ_H_
+
+#include "opt/sequential.h"
+
+namespace caqp {
+
+class GreedySeqSolver : public SequentialSolver {
+ public:
+  std::string Name() const override { return "GreedySeq"; }
+  SeqSolution Solve(const SeqProblem& problem) const override;
+};
+
+}  // namespace caqp
+
+#endif  // CAQP_OPT_GREEDYSEQ_H_

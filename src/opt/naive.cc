@@ -1,0 +1,46 @@
+#include "opt/naive.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace caqp {
+
+Plan NaivePlanner::BuildPlan(const Query& query) {
+  CAQP_CHECK(query.ValidFor(estimator_.schema()));
+  CAQP_CHECK(query.IsConjunctive());
+  const Conjunct& preds = query.predicates();
+  const RangeVec root = estimator_.schema().FullRanges();
+
+  // Rank each predicate by cost / (1 - p) with the *marginal* pass
+  // probability p: the classic expensive-predicate ordering, blind to
+  // correlations. Ties and never-filtering predicates (p == 1) order by
+  // cost, cheapest first.
+  struct Ranked {
+    double rank;
+    double cost;
+    size_t idx;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(preds.size());
+  for (size_t i = 0; i < preds.size(); ++i) {
+    const double p = estimator_.PredicateProbability(root, preds[i]);
+    // Costs are marginal w.r.t. nothing acquired; Naive ignores cost
+    // interactions (a traditional optimizer has a flat per-predicate cost).
+    const double c = cost_model_.Cost(preds[i].attr, AttrSet::None());
+    const double rank = (p >= 1.0) ? std::numeric_limits<double>::infinity()
+                                   : c / (1.0 - p);
+    ranked.push_back({rank, c, i});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+    if (a.rank != b.rank) return a.rank < b.rank;
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.idx < b.idx;
+  });
+
+  std::vector<Predicate> order;
+  order.reserve(preds.size());
+  for (const Ranked& r : ranked) order.push_back(preds[r.idx]);
+  return Plan(PlanNode::Sequential(std::move(order)));
+}
+
+}  // namespace caqp

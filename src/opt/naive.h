@@ -1,0 +1,29 @@
+// Naive (paper Section 4.1.1): the traditional optimizer baseline. Orders
+// the query predicates by rank cost / (1 - selectivity), where selectivity
+// is the *marginal* pass probability estimated from historical data, with no
+// regard for correlations; produces a single sequential plan.
+
+#ifndef CAQP_OPT_NAIVE_H_
+#define CAQP_OPT_NAIVE_H_
+
+#include "opt/planner.h"
+
+namespace caqp {
+
+class NaivePlanner : public Planner {
+ public:
+  NaivePlanner(CondProbEstimator& estimator,
+               const AcquisitionCostModel& cost_model)
+      : estimator_(estimator), cost_model_(cost_model) {}
+
+  std::string Name() const override { return "Naive"; }
+  Plan BuildPlan(const Query& query) override;
+
+ private:
+  CondProbEstimator& estimator_;
+  const AcquisitionCostModel& cost_model_;
+};
+
+}  // namespace caqp
+
+#endif  // CAQP_OPT_NAIVE_H_

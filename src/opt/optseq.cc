@@ -1,0 +1,104 @@
+#include "opt/optseq.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace caqp {
+
+double SequentialOrderCost(const SeqProblem& problem,
+                           const std::vector<size_t>& order) {
+  const MaskDistribution& masks = *problem.masks;
+  if (masks.total() <= 0) return 0.0;
+  double cost = 0.0;
+  uint64_t evaluated = 0;
+  for (size_t i : order) {
+    const double p_reach = masks.MassAllTrue(evaluated) / masks.total();
+    if (p_reach <= 0) break;
+    cost += p_reach * problem.cost(i, evaluated);
+    evaluated |= uint64_t{1} << i;
+  }
+  return cost;
+}
+
+SeqSolution OptSeqSolver::Solve(const SeqProblem& problem) const {
+  const size_t m = problem.preds.size();
+  CAQP_CHECK(problem.masks != nullptr);
+  SeqSolution sol;
+  if (m == 0) return sol;
+  CAQP_CHECK_LE(m, 20u);  // O(m 2^m) DP.
+
+  const uint64_t full = (uint64_t{1} << m) - 1;
+
+  // A[S] = total mass of outcomes where every predicate in S is true.
+  // Built by a superset-sum (SOS) transform over the sparse mask entries.
+  std::vector<double> all_true(uint64_t{1} << m, 0.0);
+  for (const auto& [mask, w] : problem.masks->entries()) {
+    all_true[mask & full] += w;
+  }
+  for (size_t j = 0; j < m; ++j) {
+    const uint64_t bit = uint64_t{1} << j;
+    for (uint64_t s = 0; s <= full; ++s) {
+      if (!(s & bit)) all_true[s] += all_true[s | bit];
+    }
+  }
+  const double total = all_true[0];
+
+  // J[S] = optimal expected completion cost given predicates in S observed
+  // true. Processed by decreasing popcount (J[full] = 0).
+  std::vector<double> j_cost(uint64_t{1} << m, 0.0);
+  std::vector<int> choice(uint64_t{1} << m, -1);
+  std::vector<uint64_t> by_popcount;
+  by_popcount.reserve(uint64_t{1} << m);
+  for (uint64_t s = 0; s <= full; ++s) by_popcount.push_back(s);
+  std::sort(by_popcount.begin(), by_popcount.end(),
+            [](uint64_t a, uint64_t b) {
+              return __builtin_popcountll(a) > __builtin_popcountll(b);
+            });
+
+  for (uint64_t s : by_popcount) {
+    if (s == full) continue;
+    if (all_true[s] <= 0) {
+      // Unreachable conditioning event: expected completion cost 0 (no
+      // tuple ever gets here); order choice is arbitrary.
+      j_cost[s] = 0.0;
+      continue;
+    }
+    double best = std::numeric_limits<double>::infinity();
+    int best_i = -1;
+    for (size_t i = 0; i < m; ++i) {
+      const uint64_t bit = uint64_t{1} << i;
+      if (s & bit) continue;
+      const double p_true = all_true[s | bit] / all_true[s];
+      const double c = problem.cost(i, s) + p_true * j_cost[s | bit];
+      if (c < best) {
+        best = c;
+        best_i = static_cast<int>(i);
+      }
+    }
+    j_cost[s] = best;
+    choice[s] = best_i;
+  }
+
+  sol.expected_cost = (total > 0) ? j_cost[0] : 0.0;
+
+  // Reconstruct the order along the all-true path; fill unreachable tail in
+  // index order (cost-irrelevant but the plan must evaluate every
+  // predicate to be correct on unseen data).
+  uint64_t s = 0;
+  while (s != full) {
+    int i = choice[s];
+    if (i < 0) {
+      for (size_t k = 0; k < m; ++k) {
+        if (!(s & (uint64_t{1} << k))) {
+          i = static_cast<int>(k);
+          break;
+        }
+      }
+    }
+    sol.order.push_back(static_cast<size_t>(i));
+    s |= uint64_t{1} << i;
+  }
+  return sol;
+}
+
+}  // namespace caqp

@@ -1,0 +1,23 @@
+// OptSeq (paper Section 4.1.2): the optimal sequential plan for a
+// conjunctive query, via dynamic programming over subsets of evaluated
+// predicates. The paper observes that the exhaustive planner, restricted to
+// conditioning only on the query predicates themselves (re-discretizing each
+// query attribute to the binary "predicate satisfied?" variable), reduces to
+// exactly this DP. Complexity O(m 2^m); the solver refuses m > 20.
+
+#ifndef CAQP_OPT_OPTSEQ_H_
+#define CAQP_OPT_OPTSEQ_H_
+
+#include "opt/sequential.h"
+
+namespace caqp {
+
+class OptSeqSolver : public SequentialSolver {
+ public:
+  std::string Name() const override { return "OptSeq"; }
+  SeqSolution Solve(const SeqProblem& problem) const override;
+};
+
+}  // namespace caqp
+
+#endif  // CAQP_OPT_OPTSEQ_H_

@@ -1,0 +1,53 @@
+#include "opt/planner.h"
+
+namespace caqp {
+
+std::function<double(size_t, uint64_t)> MakeSeqCostFn(
+    const Schema& schema, const AcquisitionCostModel& cost_model,
+    const RangeVec& ranges, const std::vector<Predicate>& preds) {
+  const AttrSet base = AcquiredAttrs(schema, ranges);
+  return [&cost_model, base, preds](size_t i, uint64_t evaluated) {
+    AttrSet acquired = base;
+    for (size_t j = 0; j < preds.size(); ++j) {
+      if ((evaluated >> j) & 1) acquired.Insert(preds[j].attr);
+    }
+    const AttrId a = preds[i].attr;
+    return acquired.Contains(a) ? 0.0 : cost_model.Cost(a, acquired);
+  };
+}
+
+SequentialLeaf SolveSequentialLeaf(const Query& query, const RangeVec& ranges,
+                                   CondProbEstimator& estimator,
+                                   const AcquisitionCostModel& cost_model,
+                                   const SequentialSolver& solver) {
+  CAQP_CHECK(query.IsConjunctive());
+  SequentialLeaf out;
+
+  const Truth truth = query.EvaluateOnRanges(ranges);
+  if (truth != Truth::kUnknown) {
+    out.leaf = PlanNode::Verdict(truth == Truth::kTrue);
+    return out;
+  }
+
+  SeqProblem prob;
+  prob.preds = UndeterminedPredicates(query.predicates(), ranges);
+  CAQP_CHECK(!prob.preds.empty());  // Unknown truth implies undetermined preds.
+  const MaskDistribution masks = estimator.PredicateMasks(ranges, prob.preds);
+  prob.masks = &masks;
+  prob.cost = MakeSeqCostFn(estimator.schema(), cost_model, ranges,
+                            prob.preds);
+  const SeqSolution sol = solver.Solve(prob);
+  out.expected_cost = sol.expected_cost;
+  out.leaf = PlanNode::Sequential(sol.OrderedPredicates(prob));
+  return out;
+}
+
+Plan SequentialPlanner::BuildPlan(const Query& query) {
+  CAQP_CHECK(query.ValidFor(estimator_.schema()));
+  SequentialLeaf leaf =
+      SolveSequentialLeaf(query, estimator_.schema().FullRanges(), estimator_,
+                          cost_model_, solver_);
+  return Plan(std::move(leaf.leaf));
+}
+
+}  // namespace caqp

@@ -1,0 +1,74 @@
+// Planner interface and shared helpers: every optimizer (Naive, CorrSeq,
+// Exhaustive, GreedyPlan) turns a Query into an executable Plan using a
+// probability estimator, an acquisition cost model, and (for conditional
+// planners) a candidate split-point set.
+
+#ifndef CAQP_OPT_PLANNER_H_
+#define CAQP_OPT_PLANNER_H_
+
+#include <functional>
+#include <string>
+
+#include "core/query.h"
+#include "opt/cost_model.h"
+#include "opt/sequential.h"
+#include "plan/plan.h"
+#include "prob/estimator.h"
+
+namespace caqp {
+
+class Planner {
+ public:
+  virtual ~Planner() = default;
+  virtual std::string Name() const = 0;
+  /// Builds a plan for `query`. The query must be valid for the estimator's
+  /// schema; sequential planners additionally require a conjunctive query.
+  virtual Plan BuildPlan(const Query& query) = 0;
+};
+
+/// Builds the SeqProblem cost callback for predicates evaluated at a
+/// subproblem: marginal cost of preds[i]'s attribute given the attributes
+/// acquired by the subproblem ranges plus those of already-evaluated
+/// predicates.
+std::function<double(size_t, uint64_t)> MakeSeqCostFn(
+    const Schema& schema, const AcquisitionCostModel& cost_model,
+    const RangeVec& ranges, const std::vector<Predicate>& preds);
+
+/// Solves the sequential problem for the undetermined predicates of a
+/// conjunctive query at `ranges`, returning the solution plus the leaf node
+/// realizing it. If the ranges already determine the conjunct, the leaf is a
+/// Verdict and the cost is 0.
+struct SequentialLeaf {
+  double expected_cost = 0.0;
+  std::unique_ptr<PlanNode> leaf;
+};
+SequentialLeaf SolveSequentialLeaf(const Query& query, const RangeVec& ranges,
+                                   CondProbEstimator& estimator,
+                                   const AcquisitionCostModel& cost_model,
+                                   const SequentialSolver& solver);
+
+/// Wraps a sequential solver as a full planner ("CorrSeq" in the paper's
+/// evaluation: OptSeq for small queries, GreedySeq for large ones).
+class SequentialPlanner : public Planner {
+ public:
+  SequentialPlanner(CondProbEstimator& estimator,
+                    const AcquisitionCostModel& cost_model,
+                    const SequentialSolver& solver, std::string name)
+      : estimator_(estimator),
+        cost_model_(cost_model),
+        solver_(solver),
+        name_(std::move(name)) {}
+
+  std::string Name() const override { return name_; }
+  Plan BuildPlan(const Query& query) override;
+
+ private:
+  CondProbEstimator& estimator_;
+  const AcquisitionCostModel& cost_model_;
+  const SequentialSolver& solver_;
+  std::string name_;
+};
+
+}  // namespace caqp
+
+#endif  // CAQP_OPT_PLANNER_H_

@@ -1,0 +1,66 @@
+// Sequential-plan solvers (paper Section 4.1).
+//
+// A sequential plan evaluates the (still undetermined) query predicates in a
+// fixed order, stopping at the first false predicate. The two solvers --
+// OptSeq (optimal, O(m 2^m) subset DP) and GreedySeq (Munagala et al.'s
+// 4-approximation) -- both consume a SeqProblem: the predicates, their joint
+// truth distribution conditioned on the current subproblem, and a marginal
+// acquisition cost callback (set-dependent, so Section 7's sensor-board cost
+// model composes with every solver).
+
+#ifndef CAQP_OPT_SEQUENTIAL_H_
+#define CAQP_OPT_SEQUENTIAL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/predicate.h"
+#include "prob/histogram.h"
+
+namespace caqp {
+
+struct SeqProblem {
+  /// Predicates to order; all are undetermined at the subproblem. size<=64.
+  std::vector<Predicate> preds;
+  /// Joint truth distribution of `preds` (bit j == preds[j]) conditioned on
+  /// the subproblem ranges.
+  const MaskDistribution* masks = nullptr;
+  /// cost(i, evaluated) = marginal acquisition cost of preds[i]'s attribute
+  /// after the predicates in the bitmask `evaluated` have been evaluated
+  /// (their attributes acquired). Returns 0 for attributes acquired earlier
+  /// on the plan path.
+  std::function<double(size_t, uint64_t)> cost;
+};
+
+struct SeqSolution {
+  /// Expected acquisition cost of the ordered plan under the problem's
+  /// distribution (Equation (3) restricted to a chain).
+  double expected_cost = 0.0;
+  /// Evaluation order as indices into SeqProblem::preds.
+  std::vector<size_t> order;
+
+  /// The order as predicates, for building a Sequential plan leaf.
+  std::vector<Predicate> OrderedPredicates(const SeqProblem& p) const {
+    std::vector<Predicate> out;
+    out.reserve(order.size());
+    for (size_t i : order) out.push_back(p.preds[i]);
+    return out;
+  }
+};
+
+class SequentialSolver {
+ public:
+  virtual ~SequentialSolver() = default;
+  virtual std::string Name() const = 0;
+  virtual SeqSolution Solve(const SeqProblem& problem) const = 0;
+};
+
+/// Expected cost of a *given* order under a SeqProblem: shared by solvers
+/// and tests (e.g., to brute-force all m! orders against OptSeq).
+double SequentialOrderCost(const SeqProblem& problem,
+                           const std::vector<size_t>& order);
+
+}  // namespace caqp
+
+#endif  // CAQP_OPT_SEQUENTIAL_H_

@@ -1,0 +1,63 @@
+#include "opt/split_points.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace caqp {
+
+SplitPointSet SplitPointSet::AllPoints(const Schema& schema) {
+  SplitPointSet s;
+  s.points_.resize(schema.num_attributes());
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    const uint32_t k = schema.domain_size(static_cast<AttrId>(a));
+    s.points_[a].reserve(k - 1);
+    for (uint32_t x = 1; x < k; ++x) {
+      s.points_[a].push_back(static_cast<Value>(x));
+    }
+  }
+  return s;
+}
+
+SplitPointSet SplitPointSet::EquiSpaced(
+    const Schema& schema, const std::vector<uint32_t>& points_per_attr) {
+  CAQP_CHECK_EQ(points_per_attr.size(), schema.num_attributes());
+  SplitPointSet s;
+  s.points_.resize(schema.num_attributes());
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    const uint32_t k = schema.domain_size(static_cast<AttrId>(a));
+    const uint32_t r = std::min(points_per_attr[a], k - 1);
+    std::vector<Value>& pts = s.points_[a];
+    for (uint32_t j = 1; j <= r; ++j) {
+      // End-points of r+1 equal-sized ranges over [0, k).
+      auto x = static_cast<uint32_t>(
+          std::lround(static_cast<double>(k) * j / (r + 1)));
+      x = std::max(1u, std::min(x, k - 1));
+      pts.push_back(static_cast<Value>(x));
+    }
+    std::sort(pts.begin(), pts.end());
+    pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  }
+  return s;
+}
+
+SplitPointSet SplitPointSet::FromLog10Spsf(const Schema& schema,
+                                           double log10_spsf) {
+  CAQP_CHECK_GE(log10_spsf, 0.0);
+  const double n = static_cast<double>(schema.num_attributes());
+  const double per_attr = std::pow(10.0, log10_spsf / n);
+  std::vector<uint32_t> r(schema.num_attributes());
+  for (size_t a = 0; a < r.size(); ++a) {
+    r[a] = std::max(1u, static_cast<uint32_t>(std::lround(per_attr)));
+  }
+  return EquiSpaced(schema, r);
+}
+
+double SplitPointSet::Log10Spsf() const {
+  double log_spsf = 0.0;
+  for (const auto& pts : points_) {
+    if (!pts.empty()) log_spsf += std::log10(static_cast<double>(pts.size()));
+  }
+  return log_spsf;
+}
+
+}  // namespace caqp

@@ -1,0 +1,54 @@
+// Candidate split points and the Split Point Selection Factor (SPSF),
+// paper Section 4.3.
+//
+// A split point x for attribute X_i produces the conditioning predicate
+// T(X_i >= x); valid split values are 1..K_i-1. To bound planning time the
+// paper restricts each attribute to r_i equi-spaced candidate points and
+// defines SPSF = prod_i r_i; Figure 8(b) studies how shrinking the SPSF
+// degrades the exhaustive planner.
+
+#ifndef CAQP_OPT_SPLIT_POINTS_H_
+#define CAQP_OPT_SPLIT_POINTS_H_
+
+#include <vector>
+
+#include "core/schema.h"
+#include "core/types.h"
+
+namespace caqp {
+
+class SplitPointSet {
+ public:
+  /// Every split point of every attribute (SPSF == prod (K_i - 1)).
+  static SplitPointSet AllPoints(const Schema& schema);
+
+  /// r_i equi-spaced points per attribute: the end-points of r_i + 1 equal
+  /// ranges. Values are clamped to [1, K_i - 1] and deduplicated, so the
+  /// effective r_i never exceeds K_i - 1.
+  static SplitPointSet EquiSpaced(const Schema& schema,
+                                  const std::vector<uint32_t>& points_per_attr);
+
+  /// Distributes a log10(SPSF) budget uniformly over attributes:
+  /// r_i ~= spsf^(1/n), capped at K_i - 1. This mirrors the paper's
+  /// "SPSF of 10^8 / 10^14 / 10^n" experiment settings.
+  static SplitPointSet FromLog10Spsf(const Schema& schema, double log10_spsf);
+
+  /// Sorted ascending candidate split values for `attr`.
+  const std::vector<Value>& PointsFor(AttrId attr) const {
+    CAQP_DCHECK(attr < points_.size());
+    return points_[attr];
+  }
+
+  /// log10 of the realized SPSF (sum of log10 r_i). Attributes with zero
+  /// candidates contribute log10(1).
+  double Log10Spsf() const;
+
+  size_t num_attributes() const { return points_.size(); }
+
+ private:
+  std::vector<std::vector<Value>> points_;
+};
+
+}  // namespace caqp
+
+#endif  // CAQP_OPT_SPLIT_POINTS_H_

@@ -1,0 +1,202 @@
+#include "plan/plan_cost.h"
+
+namespace caqp {
+
+namespace {
+
+class ExpectedCoster {
+ public:
+  ExpectedCoster(CondProbEstimator& est, const AcquisitionCostModel& cm)
+      : est_(est), cm_(cm), schema_(est.schema()) {}
+
+  double Cost(const PlanNode& node, const RangeVec& ranges) {
+    switch (node.kind) {
+      case PlanNode::Kind::kVerdict:
+        return 0.0;
+      case PlanNode::Kind::kSequential:
+        return SequentialCost(node.sequence, ranges);
+      case PlanNode::Kind::kGeneric:
+        return GenericCost(node, 0, ranges);
+      case PlanNode::Kind::kSplit:
+        break;
+    }
+    const AttrSet acquired = AcquiredAttrs(schema_, ranges);
+    const double observe =
+        acquired.Contains(node.attr) ? 0.0 : cm_.Cost(node.attr, acquired);
+    const ValueRange r = ranges[node.attr];
+    // Degenerate splits (possible after deserializing a foreign plan): the
+    // whole mass goes to one side.
+    if (node.split_value <= r.lo) return observe + Cost(*node.ge, ranges);
+    if (node.split_value > r.hi) return observe + Cost(*node.lt, ranges);
+
+    const ValueRange lt_r{r.lo, static_cast<Value>(node.split_value - 1)};
+    const ValueRange ge_r{node.split_value, r.hi};
+    const double p_lt = est_.RangeProbability(ranges, node.attr, lt_r);
+    double cost = observe;
+    if (p_lt > 0) {
+      cost += p_lt * Cost(*node.lt, Refined(ranges, node.attr, lt_r));
+    }
+    if (p_lt < 1.0) {
+      cost += (1.0 - p_lt) * Cost(*node.ge, Refined(ranges, node.attr, ge_r));
+    }
+    return cost;
+  }
+
+ private:
+  double SequentialCost(const std::vector<Predicate>& seq,
+                        const RangeVec& ranges) {
+    if (seq.empty()) return 0.0;
+    const MaskDistribution masks = est_.PredicateMasks(ranges, seq);
+    if (masks.total() <= 0) return 0.0;
+    AttrSet acquired = AcquiredAttrs(schema_, ranges);
+    double cost = 0.0;
+    uint64_t prefix = 0;  // predicates already observed true
+    for (size_t i = 0; i < seq.size(); ++i) {
+      const double p_reach = masks.MassAllTrue(prefix) / masks.total();
+      if (p_reach <= 0) break;
+      const AttrId a = seq[i].attr;
+      if (!acquired.Contains(a)) {
+        cost += p_reach * cm_.Cost(a, acquired);
+        acquired.Insert(a);
+      }
+      prefix |= uint64_t{1} << i;
+    }
+    return cost;
+  }
+
+  double GenericCost(const PlanNode& node, size_t k, const RangeVec& ranges) {
+    if (node.residual_query.EvaluateOnRanges(ranges) != Truth::kUnknown) {
+      return 0.0;
+    }
+    if (k >= node.acquire_order.size()) return 0.0;
+    const AttrId attr = node.acquire_order[k];
+    const AttrSet acquired = AcquiredAttrs(schema_, ranges);
+    double cost =
+        acquired.Contains(attr) ? 0.0 : cm_.Cost(attr, acquired);
+    const Histogram h = est_.Marginal(ranges, attr);
+    if (h.total() <= 0) return 0.0;
+    for (Value v = ranges[attr].lo; v <= ranges[attr].hi; ++v) {
+      const double p = h.Count(v) / h.total();
+      if (p > 0) {
+        cost += p * GenericCost(node, k + 1,
+                                Refined(ranges, attr, ValueRange{v, v}));
+      }
+    }
+    return cost;
+  }
+
+  CondProbEstimator& est_;
+  const AcquisitionCostModel& cm_;
+  const Schema& schema_;
+};
+
+}  // namespace
+
+double ExpectedPlanCost(const Plan& plan, CondProbEstimator& estimator,
+                        const AcquisitionCostModel& cost_model) {
+  return ExpectedSubplanCost(plan.root(), estimator.schema().FullRanges(),
+                             estimator, cost_model);
+}
+
+double ExpectedSubplanCost(const PlanNode& node, const RangeVec& ranges,
+                           CondProbEstimator& estimator,
+                           const AcquisitionCostModel& cost_model) {
+  ExpectedCoster coster(estimator, cost_model);
+  return coster.Cost(node, ranges);
+}
+
+namespace {
+
+/// Per-tuple execution mirroring exec/executor.cc but reading values straight
+/// out of a dataset row (hot path for benches over large test sets).
+struct TupleRun {
+  double cost = 0.0;
+  int acquisitions = 0;
+  bool verdict = false;
+};
+
+TupleRun RunTuple(const PlanNode& root, const Schema& schema,
+                  const Dataset& data, RowId row,
+                  const AcquisitionCostModel& cm) {
+  TupleRun out;
+  AttrSet acquired;
+  auto acquire = [&](AttrId a) {
+    if (!acquired.Contains(a)) {
+      out.cost += cm.Cost(a, acquired);
+      acquired.Insert(a);
+      ++out.acquisitions;
+    }
+    return data.at(row, a);
+  };
+
+  const PlanNode* n = &root;
+  while (n->kind == PlanNode::Kind::kSplit) {
+    const Value v = acquire(n->attr);
+    n = (v >= n->split_value) ? n->ge.get() : n->lt.get();
+  }
+  switch (n->kind) {
+    case PlanNode::Kind::kVerdict:
+      out.verdict = n->verdict;
+      break;
+    case PlanNode::Kind::kSequential: {
+      out.verdict = true;
+      for (const Predicate& p : n->sequence) {
+        if (!p.Matches(acquire(p.attr))) {
+          out.verdict = false;
+          break;
+        }
+      }
+      break;
+    }
+    case PlanNode::Kind::kGeneric: {
+      RangeVec ranges = schema.FullRanges();
+      // Narrow ranges to the values acquired on the split path so the
+      // residual query can resolve without re-acquisition.
+      for (size_t a = 0; a < schema.num_attributes(); ++a) {
+        if (acquired.Contains(static_cast<AttrId>(a))) {
+          const Value v = data.at(row, static_cast<AttrId>(a));
+          ranges[a] = ValueRange{v, v};
+        }
+      }
+      Truth t = n->residual_query.EvaluateOnRanges(ranges);
+      for (size_t k = 0; t == Truth::kUnknown && k < n->acquire_order.size();
+           ++k) {
+        const AttrId a = n->acquire_order[k];
+        const Value v = acquire(a);
+        ranges[a] = ValueRange{v, v};
+        t = n->residual_query.EvaluateOnRanges(ranges);
+      }
+      CAQP_CHECK(t != Truth::kUnknown);
+      out.verdict = (t == Truth::kTrue);
+      break;
+    }
+    case PlanNode::Kind::kSplit:
+      CAQP_CHECK(false);
+  }
+  return out;
+}
+
+}  // namespace
+
+EmpiricalCostResult EmpiricalPlanCost(const Plan& plan, const Dataset& data,
+                                      const Query& query,
+                                      const AcquisitionCostModel& cost_model) {
+  EmpiricalCostResult res;
+  res.tuples = data.num_rows();
+  size_t total_acq = 0;
+  for (RowId r = 0; r < data.num_rows(); ++r) {
+    const TupleRun run =
+        RunTuple(plan.root(), data.schema(), data, r, cost_model);
+    res.total_cost += run.cost;
+    total_acq += run.acquisitions;
+    const bool truth = query.Matches(data.GetTuple(r));
+    if (truth != run.verdict) ++res.verdict_errors;
+  }
+  if (res.tuples > 0) {
+    res.mean_cost = res.total_cost / res.tuples;
+    res.mean_acquisitions = static_cast<double>(total_acq) / res.tuples;
+  }
+  return res;
+}
+
+}  // namespace caqp

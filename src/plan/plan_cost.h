@@ -1,0 +1,55 @@
+// Plan costing.
+//
+//  * ExpectedPlanCost: the analytic expected cost C(P) of Equation (3),
+//    evaluated against any CondProbEstimator. Under a DatasetEstimator this
+//    equals the empirical mean execution cost over the same dataset exactly
+//    (Equation (4)); tests enforce that identity.
+//  * EmpiricalPlanCost: mean realized acquisition cost of running the plan
+//    over a concrete dataset (the paper's test-set evaluation), plus verdict
+//    accuracy against the original query (always 1.0 for our planners; the
+//    paper stresses its plans never err, unlike approximate predicate work).
+
+#ifndef CAQP_PLAN_PLAN_COST_H_
+#define CAQP_PLAN_PLAN_COST_H_
+
+#include "core/dataset.h"
+#include "core/query.h"
+#include "opt/cost_model.h"
+#include "plan/plan.h"
+#include "prob/estimator.h"
+
+namespace caqp {
+
+/// Expected cost per Equation (3): recursive expectation over the branch
+/// probabilities supplied by `estimator`, with acquisition charges from
+/// `cost_model` (an attribute is charged the first time its range narrows on
+/// a root-to-leaf path; sequential leaves charge per-predicate with
+/// conditional pass probabilities).
+double ExpectedPlanCost(const Plan& plan, CondProbEstimator& estimator,
+                        const AcquisitionCostModel& cost_model);
+
+/// Expected completion cost of a subtree, conditioned on the plan having
+/// reached `node` with the attribute ranges implied by the splits above it.
+/// ExpectedPlanCost(plan, ...) == ExpectedSubplanCost(plan.root(),
+/// schema.FullRanges(), ...). Used by the EXPLAIN printer.
+double ExpectedSubplanCost(const PlanNode& node, const RangeVec& ranges,
+                           CondProbEstimator& estimator,
+                           const AcquisitionCostModel& cost_model);
+
+struct EmpiricalCostResult {
+  double mean_cost = 0.0;        ///< mean acquisition cost per tuple
+  double total_cost = 0.0;       ///< summed over all tuples
+  size_t tuples = 0;             ///< dataset size
+  size_t verdict_errors = 0;     ///< plan verdict != query truth
+  double mean_acquisitions = 0;  ///< mean #attributes acquired per tuple
+};
+
+/// Runs the plan over every tuple of `data`, charging `cost_model`, and
+/// checks each verdict against `query`.
+EmpiricalCostResult EmpiricalPlanCost(const Plan& plan, const Dataset& data,
+                                      const Query& query,
+                                      const AcquisitionCostModel& cost_model);
+
+}  // namespace caqp
+
+#endif  // CAQP_PLAN_PLAN_COST_H_

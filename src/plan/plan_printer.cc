@@ -1,0 +1,148 @@
+#include "plan/plan_printer.h"
+
+#include <cstdio>
+
+#include "plan/plan_cost.h"
+#include "plan/plan_serde.h"
+
+namespace caqp {
+
+namespace {
+
+void PrintNode(const PlanNode& n, const Schema& schema, int indent,
+               const char* label, std::string* out) {
+  for (int i = 0; i < indent; ++i) *out += "  ";
+  if (*label) {
+    *out += label;
+    *out += " ";
+  }
+  char buf[160];
+  switch (n.kind) {
+    case PlanNode::Kind::kSplit:
+      std::snprintf(buf, sizeof(buf), "if %s >= %u:",
+                    schema.name(n.attr).c_str(),
+                    static_cast<unsigned>(n.split_value));
+      *out += buf;
+      *out += "\n";
+      PrintNode(*n.ge, schema, indent + 1, "then", out);
+      PrintNode(*n.lt, schema, indent + 1, "else", out);
+      break;
+    case PlanNode::Kind::kVerdict:
+      *out += n.verdict ? "=> PASS" : "=> FAIL";
+      *out += "\n";
+      break;
+    case PlanNode::Kind::kSequential:
+      *out += "eval:";
+      if (n.sequence.empty()) {
+        *out += " (nothing) => PASS";
+      } else {
+        for (const Predicate& p : n.sequence) {
+          *out += " [" + p.ToString(schema) + "]";
+        }
+      }
+      *out += "\n";
+      break;
+    case PlanNode::Kind::kGeneric:
+      *out += "acquire {";
+      for (size_t i = 0; i < n.acquire_order.size(); ++i) {
+        if (i) *out += ", ";
+        *out += schema.name(n.acquire_order[i]);
+      }
+      *out += "} until " + n.residual_query.ToString(schema) + " resolves\n";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string PrintPlan(const Plan& plan, const Schema& schema) {
+  std::string out;
+  PrintNode(plan.root(), schema, 0, "", &out);
+  return out;
+}
+
+namespace {
+
+void ExplainNode(const PlanNode& n, const RangeVec& ranges, double reach,
+                 CondProbEstimator& est, const AcquisitionCostModel& cm,
+                 int indent, const char* label, std::string* out) {
+  for (int i = 0; i < indent; ++i) *out += "  ";
+  if (*label) {
+    *out += label;
+    *out += " ";
+  }
+  const Schema& schema = est.schema();
+  char buf[192];
+  const double cost = ExpectedSubplanCost(n, ranges, est, cm);
+  switch (n.kind) {
+    case PlanNode::Kind::kSplit: {
+      const ValueRange r = ranges[n.attr];
+      const ValueRange lt_r{r.lo, static_cast<Value>(n.split_value - 1)};
+      const ValueRange ge_r{n.split_value, r.hi};
+      const double p_lt =
+          (n.split_value > r.lo && n.split_value <= r.hi)
+              ? est.RangeProbability(ranges, n.attr, lt_r)
+              : (n.split_value > r.hi ? 1.0 : 0.0);
+      std::snprintf(buf, sizeof(buf),
+                    "if %s >= %u:  [reach=%.3f cost=%.2f]",
+                    schema.name(n.attr).c_str(),
+                    static_cast<unsigned>(n.split_value), reach, cost);
+      *out += buf;
+      *out += "\n";
+      const RangeVec ge_ranges =
+          (n.split_value <= r.hi && n.split_value > r.lo)
+              ? Refined(ranges, n.attr, ge_r)
+              : ranges;
+      const RangeVec lt_ranges =
+          (n.split_value > r.lo && n.split_value <= r.hi)
+              ? Refined(ranges, n.attr, lt_r)
+              : ranges;
+      ExplainNode(*n.ge, ge_ranges, reach * (1.0 - p_lt), est, cm, indent + 1,
+                  "then", out);
+      ExplainNode(*n.lt, lt_ranges, reach * p_lt, est, cm, indent + 1, "else",
+                  out);
+      break;
+    }
+    case PlanNode::Kind::kVerdict:
+      std::snprintf(buf, sizeof(buf), "=> %s  [reach=%.3f]",
+                    n.verdict ? "PASS" : "FAIL", reach);
+      *out += buf;
+      *out += "\n";
+      break;
+    case PlanNode::Kind::kSequential: {
+      std::snprintf(buf, sizeof(buf), "eval  [reach=%.3f cost=%.2f]:", reach,
+                    cost);
+      *out += buf;
+      for (const Predicate& p : n.sequence) {
+        *out += " [" + p.ToString(schema) + "]";
+      }
+      *out += "\n";
+      break;
+    }
+    case PlanNode::Kind::kGeneric:
+      std::snprintf(buf, sizeof(buf),
+                    "acquire-until-resolved  [reach=%.3f cost=%.2f]\n", reach,
+                    cost);
+      *out += buf;
+      break;
+  }
+}
+
+}  // namespace
+
+std::string ExplainPlan(const Plan& plan, CondProbEstimator& estimator,
+                        const AcquisitionCostModel& cost_model) {
+  std::string out;
+  ExplainNode(plan.root(), estimator.schema().FullRanges(), 1.0, estimator,
+              cost_model, 0, "", &out);
+  return out;
+}
+
+std::string PlanSummary(const Plan& plan) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "splits=%zu depth=%zu size=%zuB",
+                plan.NumSplits(), plan.Depth(), PlanSizeBytes(plan));
+  return buf;
+}
+
+}  // namespace caqp

@@ -1,0 +1,164 @@
+#include "plan/plan_serde.h"
+
+namespace caqp {
+
+namespace {
+
+void SerializePredicate(const Predicate& p, ByteWriter* w) {
+  w->PutVarint(p.attr);
+  w->PutVarint(p.lo);
+  w->PutVarint(p.hi);
+  w->PutU8(p.negated ? 1 : 0);
+}
+
+void SerializeNode(const PlanNode& n, ByteWriter* w) {
+  w->PutU8(static_cast<uint8_t>(n.kind));
+  switch (n.kind) {
+    case PlanNode::Kind::kSplit:
+      w->PutVarint(n.attr);
+      w->PutVarint(n.split_value);
+      SerializeNode(*n.lt, w);
+      SerializeNode(*n.ge, w);
+      break;
+    case PlanNode::Kind::kVerdict:
+      w->PutU8(n.verdict ? 1 : 0);
+      break;
+    case PlanNode::Kind::kSequential:
+      w->PutVarint(n.sequence.size());
+      for (const Predicate& p : n.sequence) SerializePredicate(p, w);
+      break;
+    case PlanNode::Kind::kGeneric: {
+      w->PutVarint(n.acquire_order.size());
+      for (AttrId a : n.acquire_order) w->PutVarint(a);
+      const auto& conjuncts = n.residual_query.conjuncts();
+      w->PutVarint(conjuncts.size());
+      for (const Conjunct& c : conjuncts) {
+        w->PutVarint(c.size());
+        for (const Predicate& p : c) SerializePredicate(p, w);
+      }
+      break;
+    }
+  }
+}
+
+Status ParsePredicate(ByteReader* r, const Schema& schema, Predicate* out) {
+  uint64_t attr, lo, hi;
+  uint8_t neg;
+  CAQP_RETURN_IF_ERROR(r->GetVarint(&attr));
+  CAQP_RETURN_IF_ERROR(r->GetVarint(&lo));
+  CAQP_RETURN_IF_ERROR(r->GetVarint(&hi));
+  CAQP_RETURN_IF_ERROR(r->GetU8(&neg));
+  if (attr >= schema.num_attributes()) {
+    return Status::DataLoss("predicate attribute out of schema");
+  }
+  if (lo > hi || hi >= schema.domain_size(static_cast<AttrId>(attr))) {
+    return Status::DataLoss("predicate range out of domain");
+  }
+  *out = Predicate(static_cast<AttrId>(attr), static_cast<Value>(lo),
+                   static_cast<Value>(hi), neg != 0);
+  return Status::OK();
+}
+
+Status ParseNode(ByteReader* r, const Schema& schema, int depth,
+                 std::unique_ptr<PlanNode>* out) {
+  if (depth > 512) return Status::DataLoss("plan nesting too deep");
+  uint8_t kind;
+  CAQP_RETURN_IF_ERROR(r->GetU8(&kind));
+  switch (static_cast<PlanNode::Kind>(kind)) {
+    case PlanNode::Kind::kSplit: {
+      uint64_t attr, x;
+      CAQP_RETURN_IF_ERROR(r->GetVarint(&attr));
+      CAQP_RETURN_IF_ERROR(r->GetVarint(&x));
+      if (attr >= schema.num_attributes()) {
+        return Status::DataLoss("split attribute out of schema");
+      }
+      if (x < 1 || x >= schema.domain_size(static_cast<AttrId>(attr))) {
+        return Status::DataLoss("split value out of domain");
+      }
+      std::unique_ptr<PlanNode> lt, ge;
+      CAQP_RETURN_IF_ERROR(ParseNode(r, schema, depth + 1, &lt));
+      CAQP_RETURN_IF_ERROR(ParseNode(r, schema, depth + 1, &ge));
+      *out = PlanNode::Split(static_cast<AttrId>(attr),
+                             static_cast<Value>(x), std::move(lt),
+                             std::move(ge));
+      return Status::OK();
+    }
+    case PlanNode::Kind::kVerdict: {
+      uint8_t v;
+      CAQP_RETURN_IF_ERROR(r->GetU8(&v));
+      *out = PlanNode::Verdict(v != 0);
+      return Status::OK();
+    }
+    case PlanNode::Kind::kSequential: {
+      uint64_t count;
+      CAQP_RETURN_IF_ERROR(r->GetVarint(&count));
+      if (count > schema.num_attributes()) {
+        return Status::DataLoss("sequential leaf longer than schema");
+      }
+      std::vector<Predicate> seq(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        CAQP_RETURN_IF_ERROR(ParsePredicate(r, schema, &seq[i]));
+      }
+      *out = PlanNode::Sequential(std::move(seq));
+      return Status::OK();
+    }
+    case PlanNode::Kind::kGeneric: {
+      uint64_t order_count;
+      CAQP_RETURN_IF_ERROR(r->GetVarint(&order_count));
+      if (order_count > schema.num_attributes()) {
+        return Status::DataLoss("acquire order longer than schema");
+      }
+      std::vector<AttrId> order(order_count);
+      for (uint64_t i = 0; i < order_count; ++i) {
+        uint64_t a;
+        CAQP_RETURN_IF_ERROR(r->GetVarint(&a));
+        if (a >= schema.num_attributes()) {
+          return Status::DataLoss("acquire order attr out of schema");
+        }
+        order[i] = static_cast<AttrId>(a);
+      }
+      uint64_t nconj;
+      CAQP_RETURN_IF_ERROR(r->GetVarint(&nconj));
+      if (nconj == 0 || nconj > 1024) {
+        return Status::DataLoss("bad conjunct count");
+      }
+      std::vector<Conjunct> conjuncts(nconj);
+      for (uint64_t ci = 0; ci < nconj; ++ci) {
+        uint64_t count;
+        CAQP_RETURN_IF_ERROR(r->GetVarint(&count));
+        if (count == 0 || count > schema.num_attributes()) {
+          return Status::DataLoss("bad conjunct size");
+        }
+        conjuncts[ci].resize(count);
+        for (uint64_t i = 0; i < count; ++i) {
+          CAQP_RETURN_IF_ERROR(ParsePredicate(r, schema, &conjuncts[ci][i]));
+        }
+      }
+      *out = PlanNode::Generic(Query::Disjunction(std::move(conjuncts)),
+                               std::move(order));
+      return Status::OK();
+    }
+  }
+  return Status::DataLoss("unknown plan node kind");
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializePlan(const Plan& plan) {
+  ByteWriter w;
+  SerializeNode(plan.root(), &w);
+  return w.bytes();
+}
+
+size_t PlanSizeBytes(const Plan& plan) { return SerializePlan(plan).size(); }
+
+Result<Plan> DeserializePlan(const std::vector<uint8_t>& bytes,
+                             const Schema& schema) {
+  ByteReader r(bytes);
+  std::unique_ptr<PlanNode> root;
+  CAQP_RETURN_IF_ERROR(ParseNode(&r, schema, 0, &root));
+  if (!r.AtEnd()) return Status::DataLoss("trailing bytes after plan");
+  return Plan(std::move(root));
+}
+
+}  // namespace caqp

@@ -1,0 +1,32 @@
+// Plan serialization: the byte encoding a basestation radios to the motes.
+// The encoded length is the paper's plan size zeta(P) (Section 2.4), used
+// both to bound plan sizes for device RAM and in the joint optimization
+// C(P) + alpha * zeta(P). Deserialization validates against a schema and
+// returns Status errors (plans arrive over a lossy medium).
+
+#ifndef CAQP_PLAN_PLAN_SERDE_H_
+#define CAQP_PLAN_PLAN_SERDE_H_
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "core/schema.h"
+#include "plan/plan.h"
+
+namespace caqp {
+
+/// Encodes a plan. Varint-based: a typical split costs 3-5 bytes.
+std::vector<uint8_t> SerializePlan(const Plan& plan);
+
+/// zeta(P): the serialized size in bytes.
+size_t PlanSizeBytes(const Plan& plan);
+
+/// Decodes and validates a plan against `schema`. Fails on truncated input,
+/// out-of-domain attributes or values, or trailing garbage.
+Result<Plan> DeserializePlan(const std::vector<uint8_t>& bytes,
+                             const Schema& schema);
+
+}  // namespace caqp
+
+#endif  // CAQP_PLAN_PLAN_SERDE_H_

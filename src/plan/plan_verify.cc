@@ -1,0 +1,112 @@
+#include "plan/plan_verify.h"
+
+#include "common/rng.h"
+#include "prob/subproblem.h"
+
+namespace caqp {
+
+namespace {
+
+uint64_t DomainProduct(const Schema& schema, uint64_t cap) {
+  uint64_t product = 1;
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    product *= schema.domain_size(static_cast<AttrId>(a));
+    if (product > cap) return cap + 1;
+  }
+  return product;
+}
+
+}  // namespace
+
+PlanVerificationResult VerifyPlanExhaustive(const Plan& plan,
+                                            const Query& query,
+                                            const Schema& schema,
+                                            uint64_t max_tuples) {
+  CAQP_CHECK(query.ValidFor(schema));
+  CAQP_CHECK_LE(DomainProduct(schema, max_tuples), max_tuples);
+  PlanVerificationResult res;
+  Tuple t(schema.num_attributes(), 0);
+  while (true) {
+    ++res.tuples_checked;
+    if (plan.VerdictFor(t) != query.Matches(t)) {
+      res.correct = false;
+      res.counterexample = t;
+      return res;
+    }
+    // Odometer increment over the domain product.
+    size_t a = 0;
+    for (; a < t.size(); ++a) {
+      if (++t[a] < schema.domain_size(static_cast<AttrId>(a))) break;
+      t[a] = 0;
+    }
+    if (a == t.size()) break;
+  }
+  return res;
+}
+
+PlanVerificationResult VerifyPlanSampled(const Plan& plan, const Query& query,
+                                         const Schema& schema,
+                                         uint64_t samples, uint64_t seed) {
+  CAQP_CHECK(query.ValidFor(schema));
+  PlanVerificationResult res;
+  Rng rng(seed);
+  Tuple t(schema.num_attributes());
+  for (uint64_t i = 0; i < samples; ++i) {
+    for (size_t a = 0; a < t.size(); ++a) {
+      t[a] = static_cast<Value>(
+          rng.UniformInt(0, schema.domain_size(static_cast<AttrId>(a)) - 1));
+    }
+    ++res.tuples_checked;
+    if (plan.VerdictFor(t) != query.Matches(t)) {
+      res.correct = false;
+      res.counterexample = t;
+      return res;
+    }
+  }
+  return res;
+}
+
+namespace {
+
+bool NodeWellFormed(const PlanNode& n, const Schema& schema) {
+  switch (n.kind) {
+    case PlanNode::Kind::kSplit:
+      if (n.attr >= schema.num_attributes()) return false;
+      if (n.split_value < 1 || n.split_value >= schema.domain_size(n.attr)) {
+        return false;
+      }
+      if (!n.lt || !n.ge) return false;
+      return NodeWellFormed(*n.lt, schema) && NodeWellFormed(*n.ge, schema);
+    case PlanNode::Kind::kVerdict:
+      return true;
+    case PlanNode::Kind::kSequential:
+      for (const Predicate& p : n.sequence) {
+        if (p.attr >= schema.num_attributes()) return false;
+        if (p.lo > p.hi || p.hi >= schema.domain_size(p.attr)) return false;
+      }
+      return true;
+    case PlanNode::Kind::kGeneric: {
+      if (!n.residual_query.ValidFor(schema)) return false;
+      AttrSet in_order;
+      for (AttrId a : n.acquire_order) {
+        if (a >= schema.num_attributes()) return false;
+        in_order.Insert(a);
+      }
+      // Every referenced attribute must be acquirable, or the executor
+      // could stall with an unresolved query.
+      for (AttrId a : n.residual_query.ReferencedAttributes()) {
+        if (!in_order.Contains(a)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool PlanIsWellFormed(const Plan& plan, const Schema& schema) {
+  return NodeWellFormed(plan.root(), schema);
+}
+
+}  // namespace caqp

@@ -1,0 +1,144 @@
+#include "prob/dataset_estimator.h"
+
+#include <numeric>
+
+namespace caqp {
+
+DatasetEstimator::DatasetEstimator(const Dataset& data) : data_(data) {
+  Scope root;
+  root.ranges = data_.schema().FullRanges();
+  root.rows.resize(data_.num_rows());
+  std::iota(root.rows.begin(), root.rows.end(), RowId{0});
+  stack_.push_back(std::move(root));
+}
+
+bool DatasetEstimator::Covers(const RangeVec& outer, const RangeVec& inner) {
+  CAQP_DCHECK(outer.size() == inner.size());
+  for (size_t i = 0; i < outer.size(); ++i) {
+    if (inner[i].lo < outer[i].lo || inner[i].hi > outer[i].hi) return false;
+  }
+  return true;
+}
+
+std::vector<RowId> DatasetEstimator::FilterRows(const std::vector<RowId>& rows,
+                                                const RangeVec& from,
+                                                const RangeVec& target) const {
+  // Only test the attributes actually narrowed relative to `from`.
+  std::vector<AttrId> changed;
+  for (size_t a = 0; a < target.size(); ++a) {
+    if (target[a].lo != from[a].lo || target[a].hi != from[a].hi) {
+      changed.push_back(static_cast<AttrId>(a));
+    }
+  }
+  if (changed.empty()) return rows;
+  std::vector<RowId> out;
+  out.reserve(rows.size());
+  for (RowId r : rows) {
+    bool ok = true;
+    for (AttrId a : changed) {
+      const Value v = data_.at(r, a);
+      if (v < target[a].lo || v > target[a].hi) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(r);
+  }
+  return out;
+}
+
+const std::vector<RowId>& DatasetEstimator::ResolveRows(const RangeVec& given) {
+  CAQP_CHECK(data_.schema().ValidRanges(given));
+  // Deepest-first: scopes narrow toward the top of the stack, so the first
+  // covering scope from the top needs the least filtering.
+  for (size_t i = stack_.size(); i-- > 0;) {
+    const Scope& s = stack_[i];
+    if (s.ranges == given) return s.rows;
+    if (Covers(s.ranges, given)) {
+      scratch_rows_ = FilterRows(s.rows, s.ranges, given);
+      return scratch_rows_;
+    }
+  }
+  CAQP_CHECK(false);  // Root covers everything; unreachable.
+}
+
+void DatasetEstimator::PushScope(const RangeVec& ranges) {
+  CAQP_CHECK(data_.schema().ValidRanges(ranges));
+  // Find the deepest covering scope and filter from it.
+  for (size_t i = stack_.size(); i-- > 0;) {
+    if (Covers(stack_[i].ranges, ranges)) {
+      Scope s;
+      s.rows = FilterRows(stack_[i].rows, stack_[i].ranges, ranges);
+      s.ranges = ranges;
+      stack_.push_back(std::move(s));
+      return;
+    }
+  }
+  CAQP_CHECK(false);  // Root covers everything.
+}
+
+void DatasetEstimator::PopScope() {
+  CAQP_CHECK_GT(stack_.size(), 1u);  // The root scope is permanent.
+  stack_.pop_back();
+}
+
+std::vector<RowId> DatasetEstimator::RowsMatching(const RangeVec& given) {
+  return ResolveRows(given);
+}
+
+Histogram DatasetEstimator::Marginal(const RangeVec& given, AttrId attr) {
+  const std::vector<RowId>& rows = ResolveRows(given);
+  Histogram h(data_.schema().domain_size(attr));
+  const std::vector<Value>& col = data_.column(attr);
+  for (RowId r : rows) h.Add(col[r]);
+  return h;
+}
+
+double DatasetEstimator::ReachProbability(const RangeVec& given) {
+  if (data_.num_rows() == 0) return 0.0;
+  const std::vector<RowId>& rows = ResolveRows(given);
+  return static_cast<double>(rows.size()) /
+         static_cast<double>(data_.num_rows());
+}
+
+MaskDistribution DatasetEstimator::PredicateMasks(
+    const RangeVec& given, const std::vector<Predicate>& preds) {
+  CAQP_CHECK_LE(preds.size(), 64u);
+  const std::vector<RowId>& rows = ResolveRows(given);
+  MaskDistribution dist;
+  for (RowId r : rows) {
+    uint64_t mask = 0;
+    for (size_t j = 0; j < preds.size(); ++j) {
+      if (preds[j].Matches(data_.at(r, preds[j].attr))) {
+        mask |= uint64_t{1} << j;
+      }
+    }
+    dist.Add(mask, 1.0);
+  }
+  dist.Aggregate();
+  return dist;
+}
+
+std::vector<MaskDistribution> DatasetEstimator::PerValuePredicateMasks(
+    const RangeVec& given, AttrId attr, const std::vector<Predicate>& preds) {
+  CAQP_CHECK_LE(preds.size(), 64u);
+  const ValueRange range = given[attr];
+  const std::vector<RowId>& rows = ResolveRows(given);
+  std::vector<MaskDistribution> out(range.Width());
+  const std::vector<Value>& col = data_.column(attr);
+  for (RowId r : rows) {
+    const Value v = col[r];
+    CAQP_DCHECK(range.Contains(v));
+    uint64_t mask = 0;
+    for (size_t j = 0; j < preds.size(); ++j) {
+      if (preds[j].Matches(data_.at(r, preds[j].attr))) {
+        mask |= uint64_t{1} << j;
+      }
+    }
+    out[v - range.lo].Add(mask, 1.0);
+  }
+  for (MaskDistribution& d : out) d.Aggregate();
+  return out;
+}
+
+}  // namespace caqp

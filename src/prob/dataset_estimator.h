@@ -1,0 +1,72 @@
+// DatasetEstimator: exact conditional probabilities by counting over a
+// historical dataset (paper Sections 2.3 and 5).
+//
+// The planners explore subproblems depth-first, each refining its parent's
+// ranges on a single attribute. The estimator exploits this with a *scope
+// stack* of row selections: PushScope filters the parent's rows once, and
+// every probability asked at that subproblem is O(rows_in_scope). Queries
+// for ranges that are not on the stack (e.g., GreedySplit probing candidate
+// children) are answered by filtering down from the nearest enclosing scope.
+
+#ifndef CAQP_PROB_DATASET_ESTIMATOR_H_
+#define CAQP_PROB_DATASET_ESTIMATOR_H_
+
+#include <vector>
+
+#include "core/dataset.h"
+#include "prob/estimator.h"
+
+namespace caqp {
+
+class DatasetEstimator : public CondProbEstimator {
+ public:
+  /// The dataset must outlive the estimator.
+  explicit DatasetEstimator(const Dataset& data);
+
+  const Schema& schema() const override { return data_.schema(); }
+
+  Histogram Marginal(const RangeVec& given, AttrId attr) override;
+  double ReachProbability(const RangeVec& given) override;
+  MaskDistribution PredicateMasks(const RangeVec& given,
+                                  const std::vector<Predicate>& preds) override;
+  std::vector<MaskDistribution> PerValuePredicateMasks(
+      const RangeVec& given, AttrId attr,
+      const std::vector<Predicate>& preds) override;
+
+  void PushScope(const RangeVec& ranges) override;
+  void PopScope() override;
+
+  /// Rows matching the ranges, resolved via the scope stack. Exposed for
+  /// tests and for metrics.
+  std::vector<RowId> RowsMatching(const RangeVec& given);
+
+  const Dataset& dataset() const { return data_; }
+
+ private:
+  struct Scope {
+    RangeVec ranges;
+    std::vector<RowId> rows;
+  };
+
+  /// True iff `outer` contains `inner` attribute-wise.
+  static bool Covers(const RangeVec& outer, const RangeVec& inner);
+
+  /// Filters `rows` down to those matching `target`, testing only attributes
+  /// whose range differs from `from`.
+  std::vector<RowId> FilterRows(const std::vector<RowId>& rows,
+                                const RangeVec& from,
+                                const RangeVec& target) const;
+
+  /// Returns the rows for `given`: exact stack hit, or filter from the
+  /// deepest stack entry covering `given`.
+  const std::vector<RowId>& ResolveRows(const RangeVec& given);
+
+  const Dataset& data_;
+  std::vector<Scope> stack_;  // stack_[0] is the root (all rows).
+  /// Scratch result for off-stack queries (valid until the next call).
+  std::vector<RowId> scratch_rows_;
+};
+
+}  // namespace caqp
+
+#endif  // CAQP_PROB_DATASET_ESTIMATOR_H_

@@ -1,0 +1,91 @@
+#include "prob/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace caqp {
+
+double Histogram::RangeCount(const ValueRange& r) const {
+  CAQP_DCHECK(r.hi < counts_.size());
+  double sum = 0.0;
+  for (Value v = r.lo; v <= r.hi; ++v) sum += counts_[v];
+  return sum;
+}
+
+double Histogram::Probability(const ValueRange& r) const {
+  return total_ > 0 ? RangeCount(r) / total_ : 0.0;
+}
+
+double Histogram::Mean() const {
+  if (total_ <= 0) return 0.0;
+  double m = 0.0;
+  for (size_t v = 0; v < counts_.size(); ++v) m += v * counts_[v];
+  return m / total_;
+}
+
+double Histogram::StdDev() const {
+  if (total_ <= 0) return 0.0;
+  const double mean = Mean();
+  double ss = 0.0;
+  for (size_t v = 0; v < counts_.size(); ++v) {
+    const double d = static_cast<double>(v) - mean;
+    ss += d * d * counts_[v];
+  }
+  return std::sqrt(ss / total_);
+}
+
+void MaskDistribution::Aggregate() {
+  if (entries_.size() <= 1) return;
+  std::unordered_map<uint64_t, double> agg;
+  agg.reserve(entries_.size());
+  for (const auto& [mask, w] : entries_) agg[mask] += w;
+  entries_.assign(agg.begin(), agg.end());
+  std::sort(entries_.begin(), entries_.end());
+}
+
+double MaskDistribution::MassAllTrue(uint64_t subset) const {
+  double sum = 0.0;
+  for (const auto& [mask, w] : entries_) {
+    if ((mask & subset) == subset) sum += w;
+  }
+  return sum;
+}
+
+double MaskDistribution::ProbTrueGiven(int bit, uint64_t given_true,
+                                       double fallback) const {
+  const double denom = MassAllTrue(given_true);
+  if (denom <= 0) return fallback;
+  return MassAllTrue(given_true | (uint64_t{1} << bit)) / denom;
+}
+
+MaskDistribution MaskDistribution::ConditionTrue(int bit) const {
+  MaskDistribution out;
+  const uint64_t b = uint64_t{1} << bit;
+  for (const auto& [mask, w] : entries_) {
+    if (mask & b) out.Add(mask, w);
+  }
+  out.Aggregate();
+  return out;
+}
+
+MaskDistribution MaskDistribution::Subtract(const MaskDistribution& other) const {
+  std::unordered_map<uint64_t, double> agg;
+  agg.reserve(entries_.size());
+  for (const auto& [mask, w] : entries_) agg[mask] += w;
+  for (const auto& [mask, w] : other.entries_) agg[mask] -= w;
+  MaskDistribution out;
+  for (const auto& [mask, w] : agg) {
+    // Clamp tiny negative residue from floating-point cancellation.
+    if (w > 1e-12) out.Add(mask, w);
+  }
+  out.Aggregate();
+  return out;
+}
+
+void MaskDistribution::Merge(const MaskDistribution& other) {
+  for (const auto& [mask, w] : other.entries_) Add(mask, w);
+  Aggregate();
+}
+
+}  // namespace caqp

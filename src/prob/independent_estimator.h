@@ -1,0 +1,45 @@
+// IndependentEstimator: conditional probabilities under the attribute-
+// independence assumption of a traditional optimizer. Marginals are learned
+// from a dataset once; all conditioning is ignored except for renormalizing
+// within the conditioned range of the queried attribute itself.
+//
+// This is the statistical model the paper's Naive baseline lives in, and it
+// doubles as an ablation: running GreedyPlan with this estimator shows that
+// the benefit of conditional plans comes from *correlations*, not from the
+// plan shape alone (an independence model never makes a split look useful).
+
+#ifndef CAQP_PROB_INDEPENDENT_ESTIMATOR_H_
+#define CAQP_PROB_INDEPENDENT_ESTIMATOR_H_
+
+#include <vector>
+
+#include "core/dataset.h"
+#include "prob/estimator.h"
+
+namespace caqp {
+
+class IndependentEstimator : public CondProbEstimator {
+ public:
+  explicit IndependentEstimator(const Dataset& data);
+
+  const Schema& schema() const override { return schema_; }
+
+  Histogram Marginal(const RangeVec& given, AttrId attr) override;
+  double ReachProbability(const RangeVec& given) override;
+  MaskDistribution PredicateMasks(const RangeVec& given,
+                                  const std::vector<Predicate>& preds) override;
+  std::vector<MaskDistribution> PerValuePredicateMasks(
+      const RangeVec& given, AttrId attr,
+      const std::vector<Predicate>& preds) override;
+
+ private:
+  /// P(pred | given) under independence: marginal restricted to given[attr].
+  double IndepPredProb(const RangeVec& given, const Predicate& p);
+
+  Schema schema_;
+  std::vector<Histogram> marginals_;  // one per attribute
+};
+
+}  // namespace caqp
+
+#endif  // CAQP_PROB_INDEPENDENT_ESTIMATOR_H_

@@ -1,0 +1,45 @@
+#include "prob/subproblem.h"
+
+namespace caqp {
+
+AttrSet AcquiredAttrs(const Schema& schema, const RangeVec& ranges) {
+  CAQP_DCHECK(ranges.size() == schema.num_attributes());
+  AttrSet set;
+  for (size_t a = 0; a < ranges.size(); ++a) {
+    if (!IsFullRange(schema, ranges, static_cast<AttrId>(a))) {
+      set.Insert(static_cast<AttrId>(a));
+    }
+  }
+  return set;
+}
+
+RangeVec Refined(const RangeVec& ranges, AttrId attr, ValueRange r) {
+  CAQP_DCHECK(attr < ranges.size());
+  CAQP_DCHECK(ranges[attr].lo <= r.lo && r.hi <= ranges[attr].hi);
+  CAQP_DCHECK(r.lo <= r.hi);
+  RangeVec out = ranges;
+  out[attr] = r;
+  return out;
+}
+
+std::vector<Predicate> UndeterminedPredicates(const Conjunct& conjunct,
+                                              const RangeVec& ranges) {
+  std::vector<Predicate> out;
+  for (const Predicate& p : conjunct) {
+    if (p.EvaluateOnRange(ranges[p.attr]) == Truth::kUnknown) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+uint64_t PredicateMask(const std::vector<Predicate>& preds, const Tuple& t) {
+  CAQP_DCHECK(preds.size() <= 64);
+  uint64_t mask = 0;
+  for (size_t j = 0; j < preds.size(); ++j) {
+    if (preds[j].Matches(t)) mask |= uint64_t{1} << j;
+  }
+  return mask;
+}
+
+}  // namespace caqp

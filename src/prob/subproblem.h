@@ -1,0 +1,64 @@
+// Subproblem bookkeeping for the planners.
+//
+// A planner subproblem (paper Section 3.2) is the vector of per-attribute
+// value ranges implied by the conditioning predicates applied so far:
+// Subproblem(phi, R_1=[a_1,b_1], ..., R_n=[a_n,b_n]). An attribute has been
+// *acquired* on a plan path iff its range has been narrowed from the full
+// domain (the first split on an attribute pays its acquisition cost; later
+// splits are free).
+
+#ifndef CAQP_PROB_SUBPROBLEM_H_
+#define CAQP_PROB_SUBPROBLEM_H_
+
+#include <vector>
+
+#include "core/predicate.h"
+#include "core/query.h"
+#include "core/schema.h"
+#include "core/types.h"
+
+namespace caqp {
+
+/// One range per schema attribute.
+using RangeVec = std::vector<ValueRange>;
+
+/// Bitset over attribute ids. The library supports schemas with up to 64
+/// attributes (the paper's largest dataset, Garden-11, has 34).
+struct AttrSet {
+  uint64_t bits = 0;
+
+  static AttrSet None() { return AttrSet{0}; }
+  bool Contains(AttrId a) const { return (bits >> a) & 1; }
+  void Insert(AttrId a) { bits |= uint64_t{1} << a; }
+  void Remove(AttrId a) { bits &= ~(uint64_t{1} << a); }
+  AttrSet Union(AttrSet o) const { return AttrSet{bits | o.bits}; }
+  int Count() const { return __builtin_popcountll(bits); }
+  bool operator==(const AttrSet& o) const = default;
+};
+
+/// True iff `ranges[attr]` spans the attribute's whole domain.
+inline bool IsFullRange(const Schema& schema, const RangeVec& ranges,
+                        AttrId attr) {
+  return ranges[attr].lo == 0 &&
+         ranges[attr].hi == schema.domain_size(attr) - 1;
+}
+
+/// Attributes whose range has been narrowed, i.e., acquired on this path.
+AttrSet AcquiredAttrs(const Schema& schema, const RangeVec& ranges);
+
+/// Copy of `ranges` with attribute `attr` narrowed to `r`. The new range
+/// must be a sub-range of the old one.
+RangeVec Refined(const RangeVec& ranges, AttrId attr, ValueRange r);
+
+/// Predicates of `conjunct` still undetermined by `ranges` (three-valued
+/// evaluation returns kUnknown).
+std::vector<Predicate> UndeterminedPredicates(const Conjunct& conjunct,
+                                              const RangeVec& ranges);
+
+/// Truth bitmask of `preds` on a concrete value vector: bit j set iff
+/// preds[j] matches. Used to build MaskDistributions from data.
+uint64_t PredicateMask(const std::vector<Predicate>& preds, const Tuple& t);
+
+}  // namespace caqp
+
+#endif  // CAQP_PROB_SUBPROBLEM_H_

@@ -1,0 +1,242 @@
+// ChowLiuEstimator tests: structure recovery, exact evidence inference
+// against brute force on the fitted model, and sampling consistency.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prob/chow_liu.h"
+#include "prob/dataset_estimator.h"
+#include "test_util.h"
+
+namespace caqp {
+namespace {
+
+using testing_util::CorrelatedDataset;
+using testing_util::SmallSchema;
+using testing_util::UniformDataset;
+
+/// Generates a dataset from an explicit chain X0 -> X1 -> X2 of binary
+/// attributes with strong links, so Chow-Liu must recover the chain.
+Dataset ChainDataset(size_t rows, uint64_t seed) {
+  Schema s;
+  s.AddAttribute("x0", 2, 1.0);
+  s.AddAttribute("x1", 2, 1.0);
+  s.AddAttribute("x2", 2, 1.0);
+  Rng rng(seed);
+  Dataset ds(s);
+  for (size_t r = 0; r < rows; ++r) {
+    const bool x0 = rng.Bernoulli(0.5);
+    const bool x1 = rng.Bernoulli(0.9) ? x0 : !x0;
+    const bool x2 = rng.Bernoulli(0.9) ? x1 : !x1;
+    ds.Append({static_cast<Value>(x0), static_cast<Value>(x1),
+               static_cast<Value>(x2)});
+  }
+  return ds;
+}
+
+/// Brute-force joint probability of a full assignment under the fitted tree.
+double ModelJoint(const ChowLiuEstimator& est, const Tuple& t) {
+  return std::exp(est.LogLikelihood(t));
+}
+
+TEST(ChowLiuTest, RecoversChainStructure) {
+  const Dataset ds = ChainDataset(5000, 1);
+  ChowLiuEstimator est(ds);
+  // The maximum-spanning tree on MI must use edges {0,1} and {1,2}, never
+  // the weak transitive edge {0,2}.
+  const AttrId p1 = est.ParentOf(1);
+  const AttrId p2 = est.ParentOf(2);
+  // Rooted at 0: parent(1) == 0 and parent(2) == 1.
+  EXPECT_EQ(est.ParentOf(0), kInvalidAttr);
+  EXPECT_EQ(p1, 0);
+  EXPECT_EQ(p2, 1);
+  EXPECT_GT(est.EdgeMutualInformation(1), 0.2);
+  EXPECT_GT(est.EdgeMutualInformation(2), 0.2);
+}
+
+TEST(ChowLiuTest, JointSumsToOne) {
+  const Dataset ds = ChainDataset(2000, 2);
+  ChowLiuEstimator est(ds);
+  double total = 0;
+  for (Value a = 0; a < 2; ++a) {
+    for (Value b = 0; b < 2; ++b) {
+      for (Value c = 0; c < 2; ++c) {
+        total += ModelJoint(est, {a, b, c});
+      }
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ChowLiuTest, ReachProbabilityMatchesBruteForceOverModel) {
+  const Dataset ds = ChainDataset(3000, 3);
+  ChowLiuEstimator est(ds);
+  Rng rng(4);
+  for (int iter = 0; iter < 30; ++iter) {
+    const RangeVec ranges = testing_util::RandomRanges(ds.schema(), rng);
+    double expected = 0;
+    for (Value a = ranges[0].lo; a <= ranges[0].hi; ++a) {
+      for (Value b = ranges[1].lo; b <= ranges[1].hi; ++b) {
+        for (Value c = ranges[2].lo; c <= ranges[2].hi; ++c) {
+          expected += ModelJoint(est, {a, b, c});
+        }
+      }
+    }
+    EXPECT_NEAR(est.ReachProbability(ranges), expected, 1e-9);
+  }
+}
+
+TEST(ChowLiuTest, MarginalMatchesBruteForceOverModel) {
+  const Dataset ds = ChainDataset(3000, 5);
+  ChowLiuEstimator est(ds);
+  Rng rng(6);
+  for (int iter = 0; iter < 30; ++iter) {
+    const RangeVec ranges = testing_util::RandomRanges(ds.schema(), rng);
+    for (AttrId attr = 0; attr < 3; ++attr) {
+      const Histogram h = est.Marginal(ranges, attr);
+      for (Value v = ranges[attr].lo; v <= ranges[attr].hi; ++v) {
+        // Brute-force P(X_attr = v AND evidence) under the model.
+        double expected = 0;
+        RangeVec point = ranges;
+        point[attr] = ValueRange{v, v};
+        for (Value a = point[0].lo; a <= point[0].hi; ++a) {
+          for (Value b = point[1].lo; b <= point[1].hi; ++b) {
+            for (Value c = point[2].lo; c <= point[2].hi; ++c) {
+              expected += ModelJoint(est, {a, b, c});
+            }
+          }
+        }
+        ASSERT_NEAR(h.Count(v), expected, 1e-9)
+            << "attr " << attr << " value " << v;
+      }
+    }
+  }
+}
+
+TEST(ChowLiuTest, MarginalOnLargerMixedSchema) {
+  // Cross-check marginal normalization on the 4-attribute mixed-domain
+  // schema (exercises the rerooting path walk through interior nodes).
+  const Dataset ds = CorrelatedDataset(SmallSchema(), 4000, 7, 0.2);
+  ChowLiuEstimator est(ds);
+  Rng rng(8);
+  for (int iter = 0; iter < 20; ++iter) {
+    const RangeVec ranges = testing_util::RandomRanges(ds.schema(), rng);
+    const double reach = est.ReachProbability(ranges);
+    for (size_t a = 0; a < 4; ++a) {
+      const Histogram h = est.Marginal(ranges, static_cast<AttrId>(a));
+      ASSERT_NEAR(h.total(), reach, 1e-9) << "attr " << a;
+    }
+  }
+}
+
+TEST(ChowLiuTest, CapturesCorrelationsUnlikeIndependence) {
+  const Dataset ds = CorrelatedDataset(SmallSchema(), 5000, 9, 0.1);
+  ChowLiuEstimator est(ds);
+  RangeVec cond = ds.schema().FullRanges();
+  cond[0] = ValueRange{3, 3};
+  const Predicate high_exp(2, 3, 3);
+  const double p_cond = est.PredicateProbability(cond, high_exp);
+  const double p_marg =
+      est.PredicateProbability(ds.schema().FullRanges(), high_exp);
+  EXPECT_GT(p_cond, p_marg + 0.3);
+}
+
+TEST(ChowLiuTest, SamplingApproximatesInference) {
+  const Dataset ds = ChainDataset(4000, 10);
+  ChowLiuEstimator::Options opts;
+  opts.sample_count = 20000;
+  ChowLiuEstimator est(ds, opts);
+  RangeVec cond = ds.schema().FullRanges();
+  cond[0] = ValueRange{1, 1};
+  std::vector<Predicate> preds = {Predicate(2, 1, 1)};
+  const MaskDistribution dist = est.PredicateMasks(cond, preds);
+  const double sampled = dist.MassAllTrue(0b1) / dist.total();
+  // Exact value from marginal inference.
+  const Histogram h = est.Marginal(cond, 2);
+  const double exact = h.Count(1) / h.total();
+  EXPECT_NEAR(sampled, exact, 0.02);
+}
+
+TEST(ChowLiuTest, SamplingIsDeterministicPerEvidence) {
+  const Dataset ds = ChainDataset(1000, 11);
+  ChowLiuEstimator est(ds);
+  const RangeVec root = ds.schema().FullRanges();
+  std::vector<Predicate> preds = {Predicate(1, 1, 1)};
+  const MaskDistribution a = est.PredicateMasks(root, preds);
+  const MaskDistribution b = est.PredicateMasks(root, preds);
+  ASSERT_EQ(a.entries().size(), b.entries().size());
+  for (size_t i = 0; i < a.entries().size(); ++i) {
+    EXPECT_EQ(a.entries()[i], b.entries()[i]);
+  }
+}
+
+TEST(ChowLiuTest, PerValueMasksSumToParent) {
+  const Dataset ds = ChainDataset(2000, 12);
+  ChowLiuEstimator est(ds);
+  const RangeVec root = ds.schema().FullRanges();
+  std::vector<Predicate> preds = {Predicate(2, 1, 1)};
+  const auto per_value = est.PerValuePredicateMasks(root, 0, preds);
+  ASSERT_EQ(per_value.size(), 2u);
+  double total = 0;
+  for (const auto& d : per_value) total += d.total();
+  EXPECT_DOUBLE_EQ(total, 8192.0);  // default sample_count
+}
+
+TEST(ChowLiuTest, PerValueMasksMatchConditionalInference) {
+  // Bucketed samples of P(pred, X0 = v | evidence) must agree with exact
+  // inference: the per-value totals approximate the X0 marginal, and the
+  // per-bucket conditional pass rate approximates P(pred | X0 = v).
+  const Dataset ds = ChainDataset(4000, 14);
+  ChowLiuEstimator::Options opts;
+  opts.sample_count = 40000;
+  ChowLiuEstimator est(ds, opts);
+  const RangeVec root = ds.schema().FullRanges();
+  std::vector<Predicate> preds = {Predicate(2, 1, 1)};
+  const auto per_value = est.PerValuePredicateMasks(root, 0, preds);
+  const Histogram marginal0 = est.Marginal(root, 0);
+  ASSERT_EQ(per_value.size(), 2u);
+  double grand_total = 0;
+  for (const auto& d : per_value) grand_total += d.total();
+  for (Value v = 0; v < 2; ++v) {
+    // Bucket mass ~ P(X0 = v).
+    EXPECT_NEAR(per_value[v].total() / grand_total,
+                marginal0.ValueProbability(v), 0.02);
+    // Conditional pass rate ~ P(X2 = 1 | X0 = v), from exact inference.
+    RangeVec cond = root;
+    cond[0] = ValueRange{v, v};
+    const Histogram h2 = est.Marginal(cond, 2);
+    const double exact = h2.Count(1) / h2.total();
+    const double sampled =
+        per_value[v].MassAllTrue(0b1) / per_value[v].total();
+    EXPECT_NEAR(sampled, exact, 0.03) << "v=" << static_cast<int>(v);
+  }
+}
+
+TEST(ChowLiuTest, SmoothedEstimatesOnTinyData) {
+  // Three rows only: direct counting would give extreme probabilities; the
+  // smoothed model must stay strictly inside (0, 1).
+  Schema s;
+  s.AddAttribute("a", 2, 1.0);
+  s.AddAttribute("b", 2, 1.0);
+  Dataset ds(s);
+  ds.Append({0, 0});
+  ds.Append({0, 0});
+  ds.Append({1, 1});
+  ChowLiuEstimator est(ds);
+  const RangeVec root = s.FullRanges();
+  const double p = est.PredicateProbability(root, Predicate(1, 1, 1));
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+}
+
+TEST(ChowLiuTest, LogLikelihoodHigherForTypicalTuples) {
+  const Dataset ds = ChainDataset(3000, 13);
+  ChowLiuEstimator est(ds);
+  // All-agree tuples are typical; alternating tuples are not.
+  EXPECT_GT(est.LogLikelihood({0, 0, 0}), est.LogLikelihood({0, 1, 0}));
+  EXPECT_GT(est.LogLikelihood({1, 1, 1}), est.LogLikelihood({1, 0, 1}));
+}
+
+}  // namespace
+}  // namespace caqp

@@ -1,0 +1,396 @@
+// Tests for the core data model: schema, discretizers, dataset, predicates,
+// three-valued query evaluation, CSV ingestion.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/csv.h"
+#include "core/dataset.h"
+#include "core/discretizer.h"
+#include "core/predicate.h"
+#include "core/query.h"
+#include "core/schema.h"
+
+namespace caqp {
+namespace {
+
+Schema TestSchema() {
+  Schema s;
+  s.AddAttribute("a", 4, 1.0);
+  s.AddAttribute("b", 8, 100.0);
+  s.AddAttribute("c", 2, 10.0);
+  return s;
+}
+
+TEST(SchemaTest, BasicAccessors) {
+  const Schema s = TestSchema();
+  EXPECT_EQ(s.num_attributes(), 3u);
+  EXPECT_EQ(s.name(1), "b");
+  EXPECT_EQ(s.domain_size(1), 8u);
+  EXPECT_EQ(s.cost(1), 100.0);
+  EXPECT_EQ(s.FindAttribute("c"), 2);
+  EXPECT_EQ(s.FindAttribute("zzz"), kInvalidAttr);
+}
+
+TEST(SchemaTest, FullRanges) {
+  const Schema s = TestSchema();
+  const auto ranges = s.FullRanges();
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[0], (ValueRange{0, 3}));
+  EXPECT_EQ(ranges[1], (ValueRange{0, 7}));
+  EXPECT_EQ(ranges[2], (ValueRange{0, 1}));
+}
+
+TEST(SchemaTest, ValidRangesRejectsBadShapes) {
+  const Schema s = TestSchema();
+  EXPECT_TRUE(s.ValidRanges(s.FullRanges()));
+  auto r = s.FullRanges();
+  r[1] = ValueRange{3, 9};  // hi out of domain
+  EXPECT_FALSE(s.ValidRanges(r));
+  r = s.FullRanges();
+  r.pop_back();
+  EXPECT_FALSE(s.ValidRanges(r));
+}
+
+TEST(SchemaTest, ValidTuple) {
+  const Schema s = TestSchema();
+  EXPECT_TRUE(s.ValidTuple({1, 7, 0}));
+  EXPECT_FALSE(s.ValidTuple({1, 8, 0}));
+  EXPECT_FALSE(s.ValidTuple({1, 7}));
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_TRUE(TestSchema() == TestSchema());
+  Schema other = TestSchema();
+  other.AddAttribute("d", 2, 1.0);
+  EXPECT_FALSE(TestSchema() == other);
+}
+
+TEST(UniformDiscretizerTest, BinsAndEdges) {
+  UniformDiscretizer d(0.0, 100.0, 10);
+  EXPECT_EQ(d.ToBin(-5.0), 0);
+  EXPECT_EQ(d.ToBin(0.0), 0);
+  EXPECT_EQ(d.ToBin(5.0), 0);
+  EXPECT_EQ(d.ToBin(15.0), 1);
+  EXPECT_EQ(d.ToBin(99.99), 9);
+  EXPECT_EQ(d.ToBin(100.0), 9);
+  EXPECT_EQ(d.ToBin(1e9), 9);
+  EXPECT_DOUBLE_EQ(d.BinLower(3), 30.0);
+  EXPECT_DOUBLE_EQ(d.BinUpper(3), 40.0);
+  EXPECT_DOUBLE_EQ(d.BinCenter(3), 35.0);
+}
+
+TEST(UniformDiscretizerTest, MonotoneOverSweep) {
+  UniformDiscretizer d(-3.0, 7.0, 13);
+  Value prev = 0;
+  for (double x = -4.0; x <= 8.0; x += 0.01) {
+    const Value b = d.ToBin(x);
+    EXPECT_GE(b, prev);
+    EXPECT_LT(b, 13u);
+    prev = b;
+  }
+}
+
+TEST(QuantileDiscretizerTest, EquiDepthOnUniformSample) {
+  Rng rng(3);
+  std::vector<double> sample;
+  for (int i = 0; i < 10000; ++i) sample.push_back(rng.Uniform(0, 1));
+  QuantileDiscretizer d(sample, 4);
+  int counts[4] = {0, 0, 0, 0};
+  for (double v : sample) counts[d.ToBin(v)]++;
+  for (int c : counts) EXPECT_NEAR(c, 2500, 150);
+}
+
+TEST(QuantileDiscretizerTest, HandlesDuplicateHeavySample) {
+  std::vector<double> sample(1000, 5.0);
+  sample.push_back(6.0);
+  QuantileDiscretizer d(sample, 4);
+  EXPECT_LT(d.ToBin(5.0), 4u);
+  EXPECT_LT(d.ToBin(6.0), 4u);
+  EXPECT_LE(d.ToBin(5.0), d.ToBin(6.0));
+}
+
+TEST(DatasetTest, AppendAndAccess) {
+  Dataset ds(TestSchema());
+  ds.Append({1, 2, 0});
+  ds.Append({3, 7, 1});
+  EXPECT_EQ(ds.num_rows(), 2u);
+  EXPECT_EQ(ds.at(0, 1), 2);
+  EXPECT_EQ(ds.at(1, 2), 1);
+  EXPECT_EQ(ds.GetTuple(1), (Tuple{3, 7, 1}));
+  EXPECT_EQ(ds.column(0), (std::vector<Value>{1, 3}));
+}
+
+TEST(DatasetTest, AppendColumns) {
+  Dataset ds(TestSchema());
+  ds.AppendColumns({{0, 1, 2}, {5, 6, 7}, {1, 0, 1}});
+  EXPECT_EQ(ds.num_rows(), 3u);
+  EXPECT_EQ(ds.GetTuple(2), (Tuple{2, 7, 1}));
+}
+
+TEST(DatasetTest, SplitAtPreservesOrderAndContent) {
+  Dataset ds(TestSchema());
+  for (Value v = 0; v < 4; ++v) ds.Append({v, v, static_cast<Value>(v % 2)});
+  auto [head, tail] = ds.SplitAt(3);
+  EXPECT_EQ(head.num_rows(), 3u);
+  EXPECT_EQ(tail.num_rows(), 1u);
+  EXPECT_EQ(tail.GetTuple(0), (Tuple{3, 3, 1}));
+}
+
+TEST(DatasetTest, SplitFraction) {
+  Dataset ds(TestSchema());
+  for (int i = 0; i < 10; ++i) ds.Append({0, 0, 0});
+  auto [train, test] = ds.SplitFraction(0.7);
+  EXPECT_EQ(train.num_rows(), 7u);
+  EXPECT_EQ(test.num_rows(), 3u);
+}
+
+TEST(DatasetTest, Select) {
+  Dataset ds(TestSchema());
+  for (Value v = 0; v < 4; ++v) ds.Append({v, v, 0});
+  Dataset sel = ds.Select({3, 1});
+  EXPECT_EQ(sel.num_rows(), 2u);
+  EXPECT_EQ(sel.at(0, 0), 3);
+  EXPECT_EQ(sel.at(1, 0), 1);
+}
+
+TEST(PredicateTest, MatchesValuesAndNegation) {
+  Predicate p(0, 2, 5);
+  EXPECT_FALSE(p.Matches(Value{1}));
+  EXPECT_TRUE(p.Matches(Value{2}));
+  EXPECT_TRUE(p.Matches(Value{5}));
+  EXPECT_FALSE(p.Matches(Value{6}));
+  Predicate np(0, 2, 5, /*neg=*/true);
+  EXPECT_TRUE(np.Matches(Value{1}));
+  EXPECT_FALSE(np.Matches(Value{3}));
+}
+
+TEST(PredicateTest, ThreeValuedRangeEvaluation) {
+  Predicate p(0, 2, 5);
+  EXPECT_EQ(p.EvaluateOnRange({3, 4}), Truth::kTrue);
+  EXPECT_EQ(p.EvaluateOnRange({2, 5}), Truth::kTrue);
+  EXPECT_EQ(p.EvaluateOnRange({6, 9}), Truth::kFalse);
+  EXPECT_EQ(p.EvaluateOnRange({0, 1}), Truth::kFalse);
+  EXPECT_EQ(p.EvaluateOnRange({0, 2}), Truth::kUnknown);
+  EXPECT_EQ(p.EvaluateOnRange({5, 9}), Truth::kUnknown);
+  EXPECT_EQ(p.EvaluateOnRange({0, 9}), Truth::kUnknown);
+}
+
+TEST(PredicateTest, ThreeValuedNegated) {
+  Predicate p(0, 2, 5, /*neg=*/true);
+  EXPECT_EQ(p.EvaluateOnRange({3, 4}), Truth::kFalse);
+  EXPECT_EQ(p.EvaluateOnRange({6, 9}), Truth::kTrue);
+  EXPECT_EQ(p.EvaluateOnRange({0, 9}), Truth::kUnknown);
+}
+
+TEST(PredicateTest, RangeEvalConsistentWithPointEval) {
+  // Property: EvaluateOnRange == kTrue iff all points match, kFalse iff none.
+  Rng rng(11);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Value lo = static_cast<Value>(rng.UniformInt(0, 9));
+    const Value hi = static_cast<Value>(rng.UniformInt(lo, 9));
+    Predicate p(0, lo, hi, rng.Bernoulli(0.5));
+    const Value rlo = static_cast<Value>(rng.UniformInt(0, 9));
+    const Value rhi = static_cast<Value>(rng.UniformInt(rlo, 9));
+    int matches = 0;
+    for (Value v = rlo; v <= rhi; ++v) matches += p.Matches(v) ? 1 : 0;
+    const int total = rhi - rlo + 1;
+    const Truth t = p.EvaluateOnRange({rlo, rhi});
+    if (matches == total) {
+      EXPECT_EQ(t, Truth::kTrue);
+    } else if (matches == 0) {
+      EXPECT_EQ(t, Truth::kFalse);
+    } else {
+      EXPECT_EQ(t, Truth::kUnknown);
+    }
+  }
+}
+
+TEST(TruthTest, ThreeValuedConnectives) {
+  EXPECT_EQ(TruthAnd(Truth::kTrue, Truth::kUnknown), Truth::kUnknown);
+  EXPECT_EQ(TruthAnd(Truth::kFalse, Truth::kUnknown), Truth::kFalse);
+  EXPECT_EQ(TruthOr(Truth::kTrue, Truth::kUnknown), Truth::kTrue);
+  EXPECT_EQ(TruthOr(Truth::kFalse, Truth::kUnknown), Truth::kUnknown);
+  EXPECT_EQ(TruthNot(Truth::kUnknown), Truth::kUnknown);
+  EXPECT_EQ(TruthNot(Truth::kTrue), Truth::kFalse);
+}
+
+TEST(QueryTest, ConjunctiveMatches) {
+  Query q = Query::Conjunction({Predicate(0, 1, 2), Predicate(1, 0, 3)});
+  EXPECT_TRUE(q.IsConjunctive());
+  EXPECT_TRUE(q.Matches({1, 3, 0}));
+  EXPECT_FALSE(q.Matches({0, 3, 0}));
+  EXPECT_FALSE(q.Matches({1, 4, 0}));
+}
+
+TEST(QueryTest, DisjunctiveMatches) {
+  Query q = Query::Disjunction(
+      {{Predicate(0, 1, 1)}, {Predicate(1, 5, 7), Predicate(2, 1, 1)}});
+  EXPECT_FALSE(q.IsConjunctive());
+  EXPECT_TRUE(q.Matches({1, 0, 0}));   // first conjunct
+  EXPECT_TRUE(q.Matches({0, 6, 1}));   // second conjunct
+  EXPECT_FALSE(q.Matches({0, 6, 0}));  // second conjunct half-satisfied
+}
+
+TEST(QueryTest, RangeEvaluationMatchesBruteForce) {
+  // Property: three-valued evaluation against ranges is exactly the
+  // quantified truth over all tuples in the box.
+  const Schema s = TestSchema();
+  Rng rng(21);
+  for (int iter = 0; iter < 100; ++iter) {
+    Conjunct c1 = {Predicate(0, 1, 2), Predicate(1, 2, 6)};
+    Conjunct c2 = {Predicate(2, 1, 1)};
+    Query q = (iter % 2 == 0) ? Query::Conjunction(c1)
+                              : Query::Disjunction({c1, c2});
+    std::vector<ValueRange> ranges(3);
+    for (int a = 0; a < 3; ++a) {
+      const uint32_t k = s.domain_size(static_cast<AttrId>(a));
+      const Value lo = static_cast<Value>(rng.UniformInt(0, k - 1));
+      const Value hi = static_cast<Value>(rng.UniformInt(lo, k - 1));
+      ranges[a] = ValueRange{lo, hi};
+    }
+    int sat = 0, total = 0;
+    Tuple t(3);
+    for (Value a = ranges[0].lo; a <= ranges[0].hi; ++a) {
+      for (Value b = ranges[1].lo; b <= ranges[1].hi; ++b) {
+        for (Value cc = ranges[2].lo; cc <= ranges[2].hi; ++cc) {
+          t = {a, b, cc};
+          ++total;
+          sat += q.Matches(t) ? 1 : 0;
+        }
+      }
+    }
+    const Truth truth = q.EvaluateOnRanges(ranges);
+    if (sat == total) {
+      EXPECT_EQ(truth, Truth::kTrue);
+    } else if (sat == 0) {
+      EXPECT_EQ(truth, Truth::kFalse);
+    } else {
+      EXPECT_EQ(truth, Truth::kUnknown);
+    }
+  }
+}
+
+TEST(QueryTest, ReferencedAttributesSortedUnique) {
+  Query q = Query::Disjunction(
+      {{Predicate(2, 0, 1), Predicate(0, 0, 1)}, {Predicate(2, 1, 1)}});
+  EXPECT_EQ(q.ReferencedAttributes(), (std::vector<AttrId>{0, 2}));
+}
+
+TEST(QueryTest, ValidForChecksDomains) {
+  const Schema s = TestSchema();
+  EXPECT_TRUE(Query::Conjunction({Predicate(0, 0, 3)}).ValidFor(s));
+  EXPECT_FALSE(Query::Conjunction({Predicate(0, 0, 4)}).ValidFor(s));  // hi
+  EXPECT_FALSE(Query::Conjunction({Predicate(5, 0, 1)}).ValidFor(s));  // attr
+  // Duplicate attribute within a conjunct.
+  EXPECT_FALSE(
+      Query::Conjunction({Predicate(0, 0, 1), Predicate(0, 2, 3)}).ValidFor(s));
+  // Same attribute across different conjuncts is fine.
+  EXPECT_TRUE(Query::Disjunction({{Predicate(0, 0, 1)}, {Predicate(0, 2, 3)}})
+                  .ValidFor(s));
+}
+
+TEST(QueryTest, ToStringIsReadable) {
+  const Schema s = TestSchema();
+  Query q = Query::Conjunction({Predicate(0, 1, 2), Predicate(1, 0, 3, true)});
+  EXPECT_EQ(q.ToString(s), "a in [1,2] AND b not in [0,3]");
+}
+
+TEST(CsvTest, ParsesHeaderAndRows) {
+  auto table = ParseCsv("x, y\n1, 2.5\n3, -4\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->column_names, (std::vector<std::string>{"x", "y"}));
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(table->rows[1][1], -4.0);
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  auto table = ParseCsv("x\n\n1\n\n2\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows.size(), 2u);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto table = ParseCsv("x,y\n1\n");
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsNonNumericCells) {
+  auto table = ParseCsv("x\nfoo\n");
+  EXPECT_FALSE(table.ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseCsv("").ok());
+}
+
+TEST(CsvTest, DatasetFromCsvDiscretizes) {
+  auto table = ParseCsv("t,light\n0,10\n1,500\n2,990\n3,20\n");
+  ASSERT_TRUE(table.ok());
+  auto ds = DatasetFromCsv(*table, {{"light", 4, 100.0}, {"t", 4, 1.0}});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_rows(), 4u);
+  EXPECT_EQ(ds->schema().name(0), "light");
+  EXPECT_EQ(ds->schema().cost(0), 100.0);
+  // light spans [10, 990]; 10 -> bin 0, 990 -> bin 3.
+  EXPECT_EQ(ds->at(0, 0), 0);
+  EXPECT_EQ(ds->at(2, 0), 3);
+}
+
+TEST(CsvTest, DatasetFromCsvMissingColumn) {
+  auto table = ParseCsv("x\n1\n");
+  ASSERT_TRUE(table.ok());
+  auto ds = DatasetFromCsv(*table, {{"y", 4, 1.0}});
+  EXPECT_EQ(ds.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CsvTest, DatasetFromCsvConstantColumn) {
+  auto table = ParseCsv("x\n5\n5\n5\n");
+  ASSERT_TRUE(table.ok());
+  auto ds = DatasetFromCsv(*table, {{"x", 4, 1.0}});
+  ASSERT_TRUE(ds.ok());
+  for (RowId r = 0; r < 3; ++r) EXPECT_EQ(ds->at(r, 0), 0);
+}
+
+TEST(CsvTest, EquiDepthIngestionBalancesBins) {
+  // A heavy-tailed column: equi-width packs nearly everything into bin 0,
+  // equi-depth spreads rows evenly.
+  std::string csv = "x\n";
+  Rng rng(9);
+  for (int i = 0; i < 4000; ++i) {
+    const double v = std::exp(rng.Gaussian(0.0, 1.5));  // log-normal
+    csv += std::to_string(v) + "\n";
+  }
+  auto table = ParseCsv(csv);
+  ASSERT_TRUE(table.ok());
+
+  CsvColumnSpec width_spec{"x", 4, 1.0, /*equi_depth=*/false};
+  CsvColumnSpec depth_spec{"x", 4, 1.0, /*equi_depth=*/true};
+  auto width_ds = DatasetFromCsv(*table, {width_spec});
+  auto depth_ds = DatasetFromCsv(*table, {depth_spec});
+  ASSERT_TRUE(width_ds.ok());
+  ASSERT_TRUE(depth_ds.ok());
+
+  auto bin_counts = [](const Dataset& ds) {
+    std::vector<int> counts(4, 0);
+    for (Value v : ds.column(0)) counts[v]++;
+    return counts;
+  };
+  const auto width_counts = bin_counts(*width_ds);
+  const auto depth_counts = bin_counts(*depth_ds);
+  // Equi-width: dominated by the first bin.
+  EXPECT_GT(width_counts[0], 3500);
+  // Equi-depth: each bin holds roughly a quarter.
+  for (int c : depth_counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(CsvTest, LoadCsvFileNotFound) {
+  EXPECT_EQ(LoadCsvFile("/nonexistent/path.csv").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace caqp

@@ -1,0 +1,357 @@
+// Data and workload generator tests: the synthetic generator must satisfy
+// the paper's stated statistical properties; Lab/Garden generators must
+// exhibit the correlations the planners exploit; workload generators must
+// produce the paper's query shapes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/garden_gen.h"
+#include "data/lab_gen.h"
+#include "data/synthetic_gen.h"
+#include "data/workload.h"
+#include "prob/dataset_estimator.h"
+
+namespace caqp {
+namespace {
+
+double Correlation(const Dataset& ds, AttrId a, AttrId b) {
+  const size_t n = ds.num_rows();
+  double ma = 0, mb = 0;
+  for (RowId r = 0; r < n; ++r) {
+    ma += ds.at(r, a);
+    mb += ds.at(r, b);
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0, va = 0, vb = 0;
+  for (RowId r = 0; r < n; ++r) {
+    const double da = ds.at(r, a) - ma;
+    const double db = ds.at(r, b) - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0 || vb <= 0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+// ---------------------------------------------------------------- Synthetic
+
+TEST(SyntheticGenTest, SchemaShape) {
+  SyntheticDataOptions opts;
+  opts.n = 10;
+  opts.gamma = 1;
+  const Dataset ds = GenerateSyntheticData(opts);
+  EXPECT_EQ(ds.num_attributes(), 10u);
+  EXPECT_EQ(SyntheticExpensiveCount(ds.schema()), 5u);  // one cheap per pair
+  for (size_t a = 0; a < 10; ++a) {
+    EXPECT_EQ(ds.schema().domain_size(static_cast<AttrId>(a)), 2u);
+  }
+}
+
+TEST(SyntheticGenTest, PredicateCountsMatchPaperSettings) {
+  // The paper's four settings use 5, 7, 20 and 30 predicates.
+  struct Setting {
+    uint32_t n, gamma;
+    size_t preds;
+  };
+  for (const Setting s : std::initializer_list<Setting>{
+           {10, 1, 5}, {10, 3, 7}, {40, 1, 20}, {40, 3, 30}}) {
+    SyntheticDataOptions opts;
+    opts.n = s.n;
+    opts.gamma = s.gamma;
+    opts.tuples = 100;
+    const Dataset ds = GenerateSyntheticData(opts);
+    EXPECT_EQ(SyntheticExpensiveCount(ds.schema()), s.preds)
+        << "n=" << s.n << " gamma=" << s.gamma;
+  }
+}
+
+class SyntheticSelTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SyntheticSelTest, MarginalsApproximateSel) {
+  SyntheticDataOptions opts;
+  opts.n = 12;
+  opts.gamma = 2;
+  opts.sel = GetParam();
+  opts.tuples = 30000;
+  const Dataset ds = GenerateSyntheticData(opts);
+  for (size_t a = 0; a < ds.num_attributes(); ++a) {
+    double ones = 0;
+    for (Value v : ds.column(static_cast<AttrId>(a))) ones += v;
+    EXPECT_NEAR(ones / ds.num_rows(), GetParam(), 0.02) << "attr " << a;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sels, SyntheticSelTest,
+                         ::testing::Values(0.2, 0.35, 0.5, 0.65, 0.8));
+
+TEST(SyntheticGenTest, WithinGroupAgreementIsEighty) {
+  SyntheticDataOptions opts;
+  opts.n = 8;
+  opts.gamma = 3;  // groups of 4
+  opts.sel = 0.5;
+  opts.tuples = 30000;
+  const Dataset ds = GenerateSyntheticData(opts);
+  // Attributes 0-3 are one group; 4-7 another.
+  for (AttrId a = 0; a < 3; ++a) {
+    for (AttrId b = a + 1; b < 4; ++b) {
+      size_t agree = 0;
+      for (RowId r = 0; r < ds.num_rows(); ++r) {
+        agree += (ds.at(r, a) == ds.at(r, b)) ? 1 : 0;
+      }
+      EXPECT_NEAR(static_cast<double>(agree) / ds.num_rows(), 0.8, 0.02);
+    }
+  }
+}
+
+TEST(SyntheticGenTest, CrossGroupIndependence) {
+  SyntheticDataOptions opts;
+  opts.n = 8;
+  opts.gamma = 3;
+  opts.sel = 0.5;
+  opts.tuples = 30000;
+  const Dataset ds = GenerateSyntheticData(opts);
+  // Attribute 0 (group 0) vs attribute 4 (group 1): near-zero correlation.
+  EXPECT_NEAR(Correlation(ds, 0, 4), 0.0, 0.03);
+  // Within group: strong.
+  EXPECT_GT(Correlation(ds, 0, 1), 0.3);
+}
+
+TEST(SyntheticGenTest, QueryChecksAllExpensiveEqualOne) {
+  SyntheticDataOptions opts;
+  opts.n = 6;
+  opts.gamma = 1;
+  opts.tuples = 10;
+  const Dataset ds = GenerateSyntheticData(opts);
+  const Query q = SyntheticAllExpensiveQuery(ds.schema());
+  ASSERT_TRUE(q.IsConjunctive());
+  EXPECT_EQ(q.predicates().size(), 3u);
+  for (const Predicate& p : q.predicates()) {
+    EXPECT_EQ(p.lo, 1);
+    EXPECT_EQ(p.hi, 1);
+    EXPECT_EQ(ds.schema().cost(p.attr), 100.0);
+  }
+}
+
+// ---------------------------------------------------------------------- Lab
+
+TEST(LabGenTest, SchemaAndCosts) {
+  LabDataOptions opts;
+  opts.readings = 2000;
+  const Dataset ds = GenerateLabData(opts);
+  const LabAttrs a = ResolveLabAttrs(ds.schema());
+  EXPECT_EQ(ds.schema().cost(a.light), 100.0);
+  EXPECT_EQ(ds.schema().cost(a.temperature), 100.0);
+  EXPECT_EQ(ds.schema().cost(a.humidity), 100.0);
+  EXPECT_EQ(ds.schema().cost(a.hour), 1.0);
+  EXPECT_EQ(ds.schema().cost(a.nodeid), 1.0);
+  EXPECT_EQ(ds.schema().cost(a.voltage), 1.0);
+  EXPECT_EQ(ds.num_rows(), 2000u);
+}
+
+TEST(LabGenTest, HourPredictsLight) {
+  // Conditioning light on hour must shrink its variance substantially
+  // (the paper's Figure 1 band structure).
+  LabDataOptions opts;
+  opts.readings = 40000;
+  const Dataset ds = GenerateLabData(opts);
+  const LabAttrs a = ResolveLabAttrs(ds.schema());
+  DatasetEstimator est(ds);
+  const RangeVec root = ds.schema().FullRanges();
+  const double sd_all = est.Marginal(root, a.light).StdDev();
+  double weighted_sd = 0;
+  for (Value h = 0; h < 24; ++h) {
+    RangeVec cond = root;
+    cond[a.hour] = ValueRange{h, h};
+    const Histogram hist = est.Marginal(cond, a.light);
+    if (hist.total() > 0) {
+      weighted_sd += hist.total() / ds.num_rows() * hist.StdDev();
+    }
+  }
+  EXPECT_LT(weighted_sd, 0.75 * sd_all);
+}
+
+TEST(LabGenTest, NightLightDependsOnZone) {
+  // At midnight the back zone is sometimes lit (night sessions) while the
+  // front zone stays dark -- the nodeid split of Figure 9.
+  LabDataOptions opts;
+  opts.readings = 60000;
+  opts.num_motes = 10;
+  const Dataset ds = GenerateLabData(opts);
+  const LabAttrs a = ResolveLabAttrs(ds.schema());
+  DatasetEstimator est(ds);
+  RangeVec night = ds.schema().FullRanges();
+  night[a.hour] = ValueRange{23, 23};
+  RangeVec front = night;
+  front[a.nodeid] = ValueRange{0, 5};
+  RangeVec back = night;
+  back[a.nodeid] = ValueRange{6, 9};
+  // Lamps produce ~420 lux => bin 5 of 16 over [0, 1200].
+  const Predicate bright(a.light, 5, 15);
+  const double p_front = est.PredicateProbability(front, bright);
+  const double p_back = est.PredicateProbability(back, bright);
+  EXPECT_GT(p_back, p_front + 0.1);
+}
+
+TEST(LabGenTest, HumidityHigherAtNight) {
+  LabDataOptions opts;
+  opts.readings = 40000;
+  const Dataset ds = GenerateLabData(opts);
+  const LabAttrs a = ResolveLabAttrs(ds.schema());
+  DatasetEstimator est(ds);
+  RangeVec night = ds.schema().FullRanges();
+  night[a.hour] = ValueRange{0, 4};
+  RangeVec day = ds.schema().FullRanges();
+  day[a.hour] = ValueRange{10, 15};
+  const double m_night = est.Marginal(night, a.humidity).Mean();
+  const double m_day = est.Marginal(day, a.humidity).Mean();
+  EXPECT_GT(m_night, m_day + 1.0);
+}
+
+// ------------------------------------------------------------------- Garden
+
+TEST(GardenGenTest, SchemaShapeMatchesPaper) {
+  GardenDataOptions g5;
+  g5.num_motes = 5;
+  g5.epochs = 100;
+  EXPECT_EQ(GenerateGardenData(g5).num_attributes(), 16u);
+  GardenDataOptions g11;
+  g11.num_motes = 11;
+  g11.epochs = 100;
+  EXPECT_EQ(GenerateGardenData(g11).num_attributes(), 34u);
+}
+
+TEST(GardenGenTest, CrossMoteTemperatureCorrelation) {
+  GardenDataOptions opts;
+  opts.num_motes = 5;
+  opts.epochs = 20000;
+  const Dataset ds = GenerateGardenData(opts);
+  const GardenAttrs a = ResolveGardenAttrs(ds.schema());
+  ASSERT_EQ(a.temperature.size(), 5u);
+  for (size_t i = 1; i < 5; ++i) {
+    EXPECT_GT(Correlation(ds, a.temperature[0], a.temperature[i]), 0.8);
+  }
+}
+
+TEST(GardenGenTest, VoltageTracksTemperature) {
+  GardenDataOptions opts;
+  opts.num_motes = 3;
+  opts.epochs = 20000;
+  const Dataset ds = GenerateGardenData(opts);
+  const GardenAttrs a = ResolveGardenAttrs(ds.schema());
+  // Voltage is dominated by drain over time; remove the trend by checking
+  // correlation within a narrow time slice (first 2000 epochs).
+  auto head = ds.SplitAt(2000).first;
+  EXPECT_GT(Correlation(head, a.voltage[0], a.temperature[0]), 0.2);
+}
+
+TEST(GardenGenTest, HumidityAntiCorrelatedWithTemperature) {
+  GardenDataOptions opts;
+  opts.num_motes = 3;
+  opts.epochs = 20000;
+  const Dataset ds = GenerateGardenData(opts);
+  const GardenAttrs a = ResolveGardenAttrs(ds.schema());
+  EXPECT_LT(Correlation(ds, a.humidity[0], a.temperature[0]), -0.5);
+}
+
+// ----------------------------------------------------------------- Workload
+
+TEST(WorkloadTest, LabQueriesHaveOnePredicatePerTarget) {
+  LabDataOptions lopts;
+  lopts.readings = 5000;
+  const Dataset ds = GenerateLabData(lopts);
+  const LabAttrs a = ResolveLabAttrs(ds.schema());
+  LabQueryOptions qopts;
+  qopts.num_queries = 95;
+  const auto queries = GenerateLabQueries(
+      ds, {a.light, a.temperature, a.humidity}, qopts);
+  ASSERT_EQ(queries.size(), 95u);
+  for (const Query& q : queries) {
+    ASSERT_TRUE(q.IsConjunctive());
+    ASSERT_EQ(q.predicates().size(), 3u);
+    EXPECT_TRUE(q.ValidFor(ds.schema()));
+  }
+}
+
+TEST(WorkloadTest, LabQueriesHaveModerateSelectivity) {
+  // The paper tunes for ~50% per-predicate selectivity; verify the average
+  // predicate passes a sizable fraction of tuples.
+  LabDataOptions lopts;
+  lopts.readings = 20000;
+  const Dataset ds = GenerateLabData(lopts);
+  const LabAttrs a = ResolveLabAttrs(ds.schema());
+  LabQueryOptions qopts;
+  qopts.num_queries = 50;
+  const auto queries =
+      GenerateLabQueries(ds, {a.light, a.temperature, a.humidity}, qopts);
+  DatasetEstimator est(ds);
+  const RangeVec root = ds.schema().FullRanges();
+  double total_sel = 0;
+  size_t count = 0;
+  for (const Query& q : queries) {
+    for (const Predicate& p : q.predicates()) {
+      total_sel += est.PredicateProbability(root, p);
+      ++count;
+    }
+  }
+  const double mean_sel = total_sel / count;
+  EXPECT_GT(mean_sel, 0.3);
+  EXPECT_LT(mean_sel, 0.8);
+}
+
+TEST(WorkloadTest, GardenQueriesAreIdenticalAcrossMotes) {
+  GardenDataOptions gopts;
+  gopts.num_motes = 5;
+  gopts.epochs = 100;
+  const Dataset ds = GenerateGardenData(gopts);
+  const GardenAttrs a = ResolveGardenAttrs(ds.schema());
+  GardenQueryOptions qopts;
+  qopts.num_queries = 90;
+  const auto queries =
+      GenerateGardenQueries(ds.schema(), a.temperature, a.humidity, qopts);
+  ASSERT_EQ(queries.size(), 90u);
+  for (const Query& q : queries) {
+    ASSERT_EQ(q.predicates().size(), 10u);  // 5 temp + 5 humid
+    // All temperature predicates share bounds and negation.
+    const Predicate& t0 = q.predicates()[0];
+    for (size_t i = 1; i < 5; ++i) {
+      EXPECT_EQ(q.predicates()[i].lo, t0.lo);
+      EXPECT_EQ(q.predicates()[i].hi, t0.hi);
+      EXPECT_EQ(q.predicates()[i].negated, t0.negated);
+    }
+    EXPECT_TRUE(q.ValidFor(ds.schema()));
+  }
+}
+
+TEST(WorkloadTest, GardenQueriesMixNegation) {
+  GardenDataOptions gopts;
+  gopts.num_motes = 2;
+  gopts.epochs = 50;
+  const Dataset ds = GenerateGardenData(gopts);
+  const GardenAttrs a = ResolveGardenAttrs(ds.schema());
+  GardenQueryOptions qopts;
+  qopts.num_queries = 200;
+  const auto queries =
+      GenerateGardenQueries(ds.schema(), a.temperature, a.humidity, qopts);
+  size_t negated = 0;
+  for (const Query& q : queries) negated += q.predicates()[0].negated ? 1 : 0;
+  EXPECT_GT(negated, 50u);
+  EXPECT_LT(negated, 150u);
+}
+
+TEST(WorkloadTest, GeneratorsAreDeterministic) {
+  LabDataOptions opts;
+  opts.readings = 1000;
+  const Dataset a = GenerateLabData(opts);
+  const Dataset b = GenerateLabData(opts);
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (RowId r = 0; r < a.num_rows(); r += 97) {
+    EXPECT_EQ(a.GetTuple(r), b.GetTuple(r));
+  }
+}
+
+}  // namespace
+}  // namespace caqp

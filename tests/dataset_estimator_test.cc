@@ -1,0 +1,211 @@
+// DatasetEstimator tests: every statistic must agree exactly with brute-
+// force counting over the dataset (the estimator is the paper's Section 5
+// machinery, so its correctness underpins every planner).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "prob/dataset_estimator.h"
+#include "test_util.h"
+
+namespace caqp {
+namespace {
+
+using testing_util::BruteForceRows;
+using testing_util::CorrelatedDataset;
+using testing_util::RandomRanges;
+using testing_util::SmallSchema;
+
+TEST(DatasetEstimatorTest, RootMarginalMatchesColumnCounts) {
+  const Dataset ds = CorrelatedDataset(SmallSchema(), 500, 1);
+  DatasetEstimator est(ds);
+  const RangeVec root = ds.schema().FullRanges();
+  for (size_t a = 0; a < ds.num_attributes(); ++a) {
+    const Histogram h = est.Marginal(root, static_cast<AttrId>(a));
+    EXPECT_DOUBLE_EQ(h.total(), 500.0);
+    std::vector<double> counts(ds.schema().domain_size(static_cast<AttrId>(a)),
+                               0);
+    for (Value v : ds.column(static_cast<AttrId>(a))) counts[v] += 1;
+    for (Value v = 0; v < counts.size(); ++v) {
+      EXPECT_DOUBLE_EQ(h.Count(v), counts[v]);
+    }
+  }
+}
+
+TEST(DatasetEstimatorTest, ConditionalMarginalMatchesBruteForce) {
+  const Dataset ds = CorrelatedDataset(SmallSchema(), 800, 2);
+  DatasetEstimator est(ds);
+  Rng rng(3);
+  for (int iter = 0; iter < 50; ++iter) {
+    const RangeVec ranges = RandomRanges(ds.schema(), rng);
+    const std::vector<RowId> expected = BruteForceRows(ds, ranges);
+    for (size_t a = 0; a < ds.num_attributes(); ++a) {
+      const Histogram h = est.Marginal(ranges, static_cast<AttrId>(a));
+      EXPECT_DOUBLE_EQ(h.total(), static_cast<double>(expected.size()));
+      std::vector<double> counts(
+          ds.schema().domain_size(static_cast<AttrId>(a)), 0);
+      for (RowId r : expected) counts[ds.at(r, static_cast<AttrId>(a))] += 1;
+      for (Value v = 0; v < counts.size(); ++v) {
+        ASSERT_DOUBLE_EQ(h.Count(v), counts[v]);
+      }
+    }
+  }
+}
+
+TEST(DatasetEstimatorTest, ReachProbabilityMatchesBruteForce) {
+  const Dataset ds = CorrelatedDataset(SmallSchema(), 600, 4);
+  DatasetEstimator est(ds);
+  Rng rng(5);
+  for (int iter = 0; iter < 50; ++iter) {
+    const RangeVec ranges = RandomRanges(ds.schema(), rng);
+    const double expected =
+        static_cast<double>(BruteForceRows(ds, ranges).size()) / 600.0;
+    EXPECT_DOUBLE_EQ(est.ReachProbability(ranges), expected);
+  }
+}
+
+TEST(DatasetEstimatorTest, PredicateMasksMatchBruteForce) {
+  const Dataset ds = CorrelatedDataset(SmallSchema(), 700, 6);
+  DatasetEstimator est(ds);
+  Rng rng(7);
+  std::vector<Predicate> preds = {Predicate(2, 1, 2), Predicate(3, 0, 2),
+                                  Predicate(1, 2, 4, /*neg=*/true)};
+  for (int iter = 0; iter < 30; ++iter) {
+    const RangeVec ranges = RandomRanges(ds.schema(), rng);
+    const MaskDistribution dist = est.PredicateMasks(ranges, preds);
+    const std::vector<RowId> rows = BruteForceRows(ds, ranges);
+    EXPECT_DOUBLE_EQ(dist.total(), static_cast<double>(rows.size()));
+    // Brute-force mask counts.
+    std::vector<double> expected(8, 0);
+    for (RowId r : rows) {
+      expected[PredicateMask(preds, ds.GetTuple(r))] += 1;
+    }
+    for (uint64_t mask = 0; mask < 8; ++mask) {
+      double got = 0;
+      for (const auto& [m, w] : dist.entries()) {
+        if (m == mask) got += w;
+      }
+      ASSERT_DOUBLE_EQ(got, expected[mask]) << "mask " << mask;
+    }
+  }
+}
+
+TEST(DatasetEstimatorTest, PerValueMasksPartitionParent) {
+  const Dataset ds = CorrelatedDataset(SmallSchema(), 900, 8);
+  DatasetEstimator est(ds);
+  Rng rng(9);
+  std::vector<Predicate> preds = {Predicate(2, 1, 2), Predicate(3, 1, 3)};
+  for (int iter = 0; iter < 30; ++iter) {
+    const RangeVec ranges = RandomRanges(ds.schema(), rng);
+    for (size_t a = 0; a < ds.num_attributes(); ++a) {
+      const AttrId attr = static_cast<AttrId>(a);
+      const auto per_value = est.PerValuePredicateMasks(ranges, attr, preds);
+      ASSERT_EQ(per_value.size(), ranges[attr].Width());
+      const MaskDistribution parent = est.PredicateMasks(ranges, preds);
+      double total = 0;
+      for (const auto& d : per_value) total += d.total();
+      EXPECT_DOUBLE_EQ(total, parent.total());
+      // Summing per-value distributions over the whole range recovers the
+      // parent's subset masses exactly.
+      for (uint64_t mask = 0; mask < 4; ++mask) {
+        double sum = 0;
+        for (const auto& d : per_value) sum += d.MassAllTrue(mask);
+        EXPECT_NEAR(sum, parent.MassAllTrue(mask), 1e-9);
+      }
+      // Check per-value contents directly against brute force.
+      const std::vector<RowId> rows = BruteForceRows(ds, ranges);
+      for (Value v = ranges[attr].lo; v <= ranges[attr].hi; ++v) {
+        double expected = 0;
+        for (RowId r : rows) {
+          if (ds.at(r, attr) == v) expected += 1;
+        }
+        EXPECT_DOUBLE_EQ(per_value[v - ranges[attr].lo].total(), expected);
+      }
+    }
+  }
+}
+
+TEST(DatasetEstimatorTest, ScopeStackSpeedsEqualAnswers) {
+  const Dataset ds = CorrelatedDataset(SmallSchema(), 500, 10);
+  DatasetEstimator est(ds);
+  const Schema& schema = ds.schema();
+  RangeVec outer = schema.FullRanges();
+  outer[0] = ValueRange{1, 2};
+  RangeVec inner = outer;
+  inner[2] = ValueRange{0, 1};
+
+  // Without scopes.
+  const double p_no_scope = est.ReachProbability(inner);
+
+  // With a scope stack mirroring planner recursion.
+  est.PushScope(outer);
+  est.PushScope(inner);
+  const double p_scoped = est.ReachProbability(inner);
+  est.PopScope();
+  const double p_outer = est.ReachProbability(outer);
+  est.PopScope();
+
+  EXPECT_DOUBLE_EQ(p_no_scope, p_scoped);
+  EXPECT_DOUBLE_EQ(
+      p_outer, static_cast<double>(BruteForceRows(ds, outer).size()) / 500.0);
+}
+
+TEST(DatasetEstimatorTest, OffStackQueriesResolveFromNearestScope) {
+  const Dataset ds = CorrelatedDataset(SmallSchema(), 400, 11);
+  DatasetEstimator est(ds);
+  RangeVec scope = ds.schema().FullRanges();
+  scope[1] = ValueRange{1, 4};
+  est.PushScope(scope);
+  // Query a sibling refinement not on the stack.
+  RangeVec probe = scope;
+  probe[3] = ValueRange{2, 3};
+  EXPECT_DOUBLE_EQ(
+      est.ReachProbability(probe),
+      static_cast<double>(BruteForceRows(ds, probe).size()) / 400.0);
+  est.PopScope();
+}
+
+TEST(DatasetEstimatorTest, RangeProbabilityConvenience) {
+  const Dataset ds = CorrelatedDataset(SmallSchema(), 300, 12);
+  DatasetEstimator est(ds);
+  const RangeVec root = ds.schema().FullRanges();
+  double total = 0;
+  for (Value v = 0; v < 4; ++v) {
+    total += est.RangeProbability(root, 0, ValueRange{v, v});
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(DatasetEstimatorTest, PredicateProbabilityHandlesNegation) {
+  const Dataset ds = CorrelatedDataset(SmallSchema(), 300, 13);
+  DatasetEstimator est(ds);
+  const RangeVec root = ds.schema().FullRanges();
+  const Predicate p(1, 2, 4);
+  const Predicate np(1, 2, 4, /*neg=*/true);
+  EXPECT_NEAR(est.PredicateProbability(root, p) +
+                  est.PredicateProbability(root, np),
+              1.0, 1e-12);
+}
+
+TEST(DatasetEstimatorTest, EmptyDatasetIsSafe) {
+  Dataset ds(SmallSchema());
+  DatasetEstimator est(ds);
+  const RangeVec root = ds.schema().FullRanges();
+  EXPECT_DOUBLE_EQ(est.ReachProbability(root), 0.0);
+  EXPECT_DOUBLE_EQ(est.Marginal(root, 0).total(), 0.0);
+  EXPECT_TRUE(est.PredicateMasks(root, {Predicate(0, 0, 1)}).empty());
+}
+
+TEST(DatasetEstimatorTest, RowsMatchingExactAndSubset) {
+  const Dataset ds = CorrelatedDataset(SmallSchema(), 200, 14);
+  DatasetEstimator est(ds);
+  Rng rng(15);
+  for (int iter = 0; iter < 20; ++iter) {
+    const RangeVec ranges = RandomRanges(ds.schema(), rng);
+    EXPECT_EQ(est.RowsMatching(ranges), BruteForceRows(ds, ranges));
+  }
+}
+
+}  // namespace
+}  // namespace caqp

@@ -1,0 +1,93 @@
+// Binary dataset persistence tests: roundtrips, validation, file I/O.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/bytes.h"
+#include "core/dataset_io.h"
+#include "test_util.h"
+
+namespace caqp {
+namespace {
+
+using testing_util::CorrelatedDataset;
+using testing_util::SmallSchema;
+
+TEST(DatasetIoTest, RoundtripPreservesEverything) {
+  const Dataset ds = CorrelatedDataset(SmallSchema(), 500, 81);
+  const auto bytes = SerializeDataset(ds);
+  auto back = DeserializeDataset(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->schema() == ds.schema());
+  ASSERT_EQ(back->num_rows(), ds.num_rows());
+  for (RowId r = 0; r < ds.num_rows(); r += 37) {
+    EXPECT_EQ(back->GetTuple(r), ds.GetTuple(r));
+  }
+}
+
+TEST(DatasetIoTest, EmptyDatasetRoundtrips) {
+  const Dataset ds(SmallSchema());
+  auto back = DeserializeDataset(SerializeDataset(ds));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 0u);
+  EXPECT_TRUE(back->schema() == ds.schema());
+}
+
+TEST(DatasetIoTest, RejectsBadMagic) {
+  auto bytes = SerializeDataset(CorrelatedDataset(SmallSchema(), 10, 82));
+  bytes[0] ^= 0xFF;
+  EXPECT_EQ(DeserializeDataset(bytes).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(DatasetIoTest, RejectsTruncation) {
+  const auto bytes = SerializeDataset(CorrelatedDataset(SmallSchema(), 20, 83));
+  for (size_t cut = 1; cut < bytes.size(); cut += 13) {
+    std::vector<uint8_t> trunc(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(DeserializeDataset(trunc).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(DatasetIoTest, RejectsTrailingGarbage) {
+  auto bytes = SerializeDataset(CorrelatedDataset(SmallSchema(), 10, 84));
+  bytes.push_back(0);
+  EXPECT_FALSE(DeserializeDataset(bytes).ok());
+}
+
+TEST(DatasetIoTest, RejectsOutOfDomainValue) {
+  // Hand-corrupt a value varint to exceed its domain: find any value byte
+  // by re-encoding with a hacked column. Simpler: serialize a dataset whose
+  // last column value we bump beyond the domain via raw byte surgery is
+  // brittle, so instead build bytes manually.
+  ByteWriter w;
+  w.PutVarint(0x43415150'44530001ULL);
+  w.PutVarint(1);          // one attribute
+  w.PutString("a");
+  w.PutVarint(4);          // domain 4
+  w.PutDouble(1.0);
+  w.PutVarint(1);          // one row
+  w.PutVarint(9);          // value 9 out of domain 4
+  EXPECT_EQ(DeserializeDataset(w.bytes()).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(DatasetIoTest, FileRoundtrip) {
+  const Dataset ds = CorrelatedDataset(SmallSchema(), 200, 85);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "caqp_ds_test.bin").string();
+  ASSERT_TRUE(SaveDataset(ds, path).ok());
+  auto back = LoadDataset(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), ds.num_rows());
+  EXPECT_EQ(back->GetTuple(57), ds.GetTuple(57));
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LoadMissingFileFails) {
+  EXPECT_EQ(LoadDataset("/nonexistent/ds.bin").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace caqp

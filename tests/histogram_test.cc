@@ -1,0 +1,193 @@
+// Tests for Histogram and MaskDistribution, the planners' two statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "prob/histogram.h"
+#include "prob/subproblem.h"
+
+namespace caqp {
+namespace {
+
+TEST(HistogramTest, CountsAndProbabilities) {
+  Histogram h(4);
+  h.Add(0);
+  h.Add(1, 2.0);
+  h.Add(3);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+  EXPECT_DOUBLE_EQ(h.Count(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.RangeCount({0, 1}), 3.0);
+  EXPECT_DOUBLE_EQ(h.Probability({0, 1}), 0.75);
+  EXPECT_DOUBLE_EQ(h.ValueProbability(3), 0.25);
+}
+
+TEST(HistogramTest, EmptyHistogramProbabilitiesAreZero) {
+  Histogram h(4);
+  EXPECT_DOUBLE_EQ(h.Probability({0, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(h.ValueProbability(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.StdDev(), 0.0);
+}
+
+TEST(HistogramTest, MeanAndStdDev) {
+  Histogram h(10);
+  h.Add(2);
+  h.Add(4);
+  h.Add(6);
+  EXPECT_DOUBLE_EQ(h.Mean(), 4.0);
+  EXPECT_NEAR(h.StdDev(), std::sqrt(8.0 / 3.0), 1e-12);
+}
+
+TEST(HistogramTest, RangeCountsPartitionTotal) {
+  Rng rng(17);
+  Histogram h(16);
+  for (int i = 0; i < 500; ++i) {
+    h.Add(static_cast<Value>(rng.UniformInt(0, 15)), rng.Uniform(0.1, 2.0));
+  }
+  for (Value split = 1; split < 16; ++split) {
+    const double lo = h.RangeCount({0, static_cast<Value>(split - 1)});
+    const double hi = h.RangeCount({split, 15});
+    EXPECT_NEAR(lo + hi, h.total(), 1e-9);
+  }
+}
+
+TEST(MaskDistributionTest, AggregateCollapsesDuplicates) {
+  MaskDistribution d;
+  d.Add(0b01, 1.0);
+  d.Add(0b01, 2.0);
+  d.Add(0b10, 1.0);
+  d.Aggregate();
+  EXPECT_EQ(d.entries().size(), 2u);
+  EXPECT_DOUBLE_EQ(d.total(), 4.0);
+  EXPECT_DOUBLE_EQ(d.MassAllTrue(0b01), 3.0);
+}
+
+TEST(MaskDistributionTest, MassAllTrue) {
+  MaskDistribution d;
+  d.Add(0b11, 2.0);
+  d.Add(0b01, 1.0);
+  d.Add(0b00, 5.0);
+  d.Aggregate();
+  EXPECT_DOUBLE_EQ(d.MassAllTrue(0), 8.0);
+  EXPECT_DOUBLE_EQ(d.MassAllTrue(0b01), 3.0);
+  EXPECT_DOUBLE_EQ(d.MassAllTrue(0b10), 2.0);
+  EXPECT_DOUBLE_EQ(d.MassAllTrue(0b11), 2.0);
+}
+
+TEST(MaskDistributionTest, ProbTrueGiven) {
+  MaskDistribution d;
+  d.Add(0b11, 2.0);
+  d.Add(0b01, 2.0);
+  d.Add(0b00, 4.0);
+  d.Aggregate();
+  // P(bit1 | bit0) = 2 / 4.
+  EXPECT_DOUBLE_EQ(d.ProbTrueGiven(1, 0b01), 0.5);
+  // P(bit0) = 4 / 8.
+  EXPECT_DOUBLE_EQ(d.ProbTrueGiven(0, 0), 0.5);
+  // Conditioning on an impossible event falls back.
+  MaskDistribution empty;
+  EXPECT_DOUBLE_EQ(empty.ProbTrueGiven(0, 0, 0.25), 0.25);
+}
+
+TEST(MaskDistributionTest, ConditionTrue) {
+  MaskDistribution d;
+  d.Add(0b11, 2.0);
+  d.Add(0b01, 1.0);
+  d.Add(0b10, 3.0);
+  d.Aggregate();
+  MaskDistribution c = d.ConditionTrue(0);
+  EXPECT_DOUBLE_EQ(c.total(), 3.0);
+  EXPECT_DOUBLE_EQ(c.MassAllTrue(0b10), 2.0);
+}
+
+TEST(MaskDistributionTest, SubtractRemovesPrefix) {
+  MaskDistribution all;
+  all.Add(0b0, 4.0);
+  all.Add(0b1, 6.0);
+  all.Aggregate();
+  MaskDistribution part;
+  part.Add(0b1, 2.5);
+  part.Aggregate();
+  MaskDistribution rest = all.Subtract(part);
+  EXPECT_NEAR(rest.total(), 7.5, 1e-9);
+  EXPECT_NEAR(rest.MassAllTrue(0b1), 3.5, 1e-9);
+}
+
+TEST(MaskDistributionTest, SubtractDropsZeroedEntries) {
+  MaskDistribution all;
+  all.Add(0b1, 2.0);
+  all.Add(0b0, 1.0);
+  all.Aggregate();
+  MaskDistribution part;
+  part.Add(0b1, 2.0);
+  part.Aggregate();
+  MaskDistribution rest = all.Subtract(part);
+  EXPECT_EQ(rest.entries().size(), 1u);
+  EXPECT_NEAR(rest.total(), 1.0, 1e-9);
+}
+
+TEST(MaskDistributionTest, MergeAddsWeights) {
+  MaskDistribution a, b;
+  a.Add(0b1, 1.0);
+  a.Aggregate();
+  b.Add(0b1, 2.0);
+  b.Add(0b0, 3.0);
+  b.Aggregate();
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.total(), 6.0);
+  EXPECT_DOUBLE_EQ(a.MassAllTrue(0b1), 3.0);
+}
+
+TEST(PredicateMaskTest, BuildsBitmaskFromTuple) {
+  std::vector<Predicate> preds = {Predicate(0, 1, 2), Predicate(1, 0, 0),
+                                  Predicate(2, 3, 5, /*neg=*/true)};
+  EXPECT_EQ(PredicateMask(preds, {1, 0, 6}), 0b111u);
+  EXPECT_EQ(PredicateMask(preds, {0, 0, 4}), 0b010u);
+  EXPECT_EQ(PredicateMask(preds, {2, 1, 3}), 0b001u);
+}
+
+class MaskDistributionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaskDistributionPropertyTest, SubtractAndConditionConsistent) {
+  Rng rng(GetParam());
+  MaskDistribution full;
+  const int m = 4;
+  std::vector<std::pair<uint64_t, double>> raw;
+  for (int i = 0; i < 300; ++i) {
+    const uint64_t mask = static_cast<uint64_t>(rng.UniformInt(0, 15));
+    const double w = rng.Uniform(0.1, 1.0);
+    raw.emplace_back(mask, w);
+    full.Add(mask, w);
+  }
+  full.Aggregate();
+
+  // Split raw entries arbitrarily into two halves; Subtract must recover the
+  // second half's statistics.
+  MaskDistribution half;
+  double half_total = 0;
+  for (size_t i = 0; i < raw.size() / 2; ++i) {
+    half.Add(raw[i].first, raw[i].second);
+    half_total += raw[i].second;
+  }
+  half.Aggregate();
+  MaskDistribution rest = full.Subtract(half);
+  EXPECT_NEAR(rest.total(), full.total() - half_total, 1e-6);
+  for (uint64_t s = 0; s < (1u << m); ++s) {
+    EXPECT_NEAR(rest.MassAllTrue(s), full.MassAllTrue(s) - half.MassAllTrue(s),
+                1e-6);
+  }
+
+  // ConditionTrue(b) preserves mass of supersets of b.
+  for (int b = 0; b < m; ++b) {
+    MaskDistribution c = full.ConditionTrue(b);
+    EXPECT_NEAR(c.total(), full.MassAllTrue(uint64_t{1} << b), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaskDistributionPropertyTest,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace caqp

@@ -1,0 +1,111 @@
+// IndependentEstimator tests: it must reproduce marginals exactly and,
+// by construction, report product-form joints that ignore correlations.
+
+#include <gtest/gtest.h>
+
+#include "prob/dataset_estimator.h"
+#include "prob/independent_estimator.h"
+#include "test_util.h"
+
+namespace caqp {
+namespace {
+
+using testing_util::CorrelatedDataset;
+using testing_util::SmallSchema;
+using testing_util::UniformDataset;
+
+TEST(IndependentEstimatorTest, RootMarginalsMatchDataset) {
+  const Dataset ds = CorrelatedDataset(SmallSchema(), 500, 1);
+  IndependentEstimator ind(ds);
+  DatasetEstimator exact(ds);
+  const RangeVec root = ds.schema().FullRanges();
+  for (size_t a = 0; a < ds.num_attributes(); ++a) {
+    const Histogram hi = ind.Marginal(root, static_cast<AttrId>(a));
+    const Histogram he = exact.Marginal(root, static_cast<AttrId>(a));
+    for (Value v = 0; v < hi.domain(); ++v) {
+      EXPECT_DOUBLE_EQ(hi.Count(v), he.Count(v));
+    }
+  }
+}
+
+TEST(IndependentEstimatorTest, ConditioningOnOtherAttributesIsIgnored) {
+  const Dataset ds = CorrelatedDataset(SmallSchema(), 500, 2);
+  IndependentEstimator ind(ds);
+  RangeVec cond = ds.schema().FullRanges();
+  cond[0] = ValueRange{0, 0};  // strongly informative in the real data
+  const Histogram h_cond = ind.Marginal(cond, 2);
+  const Histogram h_root = ind.Marginal(ds.schema().FullRanges(), 2);
+  for (Value v = 0; v < h_cond.domain(); ++v) {
+    EXPECT_DOUBLE_EQ(h_cond.Count(v), h_root.Count(v));
+  }
+}
+
+TEST(IndependentEstimatorTest, OwnRangeTruncatesMarginal) {
+  const Dataset ds = CorrelatedDataset(SmallSchema(), 500, 3);
+  IndependentEstimator ind(ds);
+  RangeVec cond = ds.schema().FullRanges();
+  cond[1] = ValueRange{2, 3};
+  const Histogram h = ind.Marginal(cond, 1);
+  EXPECT_DOUBLE_EQ(h.Count(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Count(4), 0.0);
+  EXPECT_GT(h.RangeCount({2, 3}), 0.0);
+}
+
+TEST(IndependentEstimatorTest, ReachProbabilityIsProductOfMarginals) {
+  const Dataset ds = UniformDataset(SmallSchema(), 4000, 4);
+  IndependentEstimator ind(ds);
+  RangeVec ranges = ds.schema().FullRanges();
+  ranges[0] = ValueRange{0, 1};  // ~1/2
+  ranges[2] = ValueRange{0, 0};  // ~1/4
+  EXPECT_NEAR(ind.ReachProbability(ranges), 0.5 * 0.25, 0.03);
+}
+
+TEST(IndependentEstimatorTest, PredicateMasksAreProductForm) {
+  const Dataset ds = UniformDataset(SmallSchema(), 2000, 5);
+  IndependentEstimator ind(ds);
+  const RangeVec root = ds.schema().FullRanges();
+  std::vector<Predicate> preds = {Predicate(0, 0, 1), Predicate(2, 0, 1)};
+  const MaskDistribution dist = ind.PredicateMasks(root, preds);
+  const double p0 = ind.PredicateProbability(root, preds[0]);
+  const double p1 = ind.PredicateProbability(root, preds[1]);
+  EXPECT_NEAR(dist.MassAllTrue(0b11) / dist.total(), p0 * p1, 1e-9);
+  EXPECT_NEAR(dist.total(), 1.0, 1e-9);
+}
+
+TEST(IndependentEstimatorTest, IgnoresRealCorrelations) {
+  // In the correlated dataset, P(exp0 high | cheap0 high) >> P(exp0 high),
+  // but the independent estimator reports the unconditional value.
+  const Dataset ds = CorrelatedDataset(SmallSchema(), 3000, 6, /*noise=*/0.1);
+  IndependentEstimator ind(ds);
+  DatasetEstimator exact(ds);
+  RangeVec cond = ds.schema().FullRanges();
+  cond[0] = ValueRange{3, 3};
+  const Predicate high_exp(2, 3, 3);
+  const double p_exact = exact.PredicateProbability(cond, high_exp);
+  const double p_ind = ind.PredicateProbability(cond, high_exp);
+  const double p_marg =
+      ind.PredicateProbability(ds.schema().FullRanges(), high_exp);
+  EXPECT_NEAR(p_ind, p_marg, 1e-12);
+  EXPECT_GT(p_exact, p_ind + 0.3);  // The correlation is real and large.
+}
+
+TEST(IndependentEstimatorTest, PerValueMasksSumToParent) {
+  const Dataset ds = UniformDataset(SmallSchema(), 1000, 7);
+  IndependentEstimator ind(ds);
+  const RangeVec root = ds.schema().FullRanges();
+  std::vector<Predicate> preds = {Predicate(2, 0, 1)};
+  const auto per_value = ind.PerValuePredicateMasks(root, 0, preds);
+  ASSERT_EQ(per_value.size(), 4u);
+  double total = 0;
+  double true_mass = 0;
+  for (const auto& d : per_value) {
+    total += d.total();
+    true_mass += d.MassAllTrue(0b1);
+  }
+  const MaskDistribution parent = ind.PredicateMasks(root, preds);
+  EXPECT_NEAR(total, parent.total(), 1e-9);
+  EXPECT_NEAR(true_mass, parent.MassAllTrue(0b1), 1e-9);
+}
+
+}  // namespace
+}  // namespace caqp

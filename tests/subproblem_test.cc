@@ -1,0 +1,110 @@
+// Tests for the subproblem bookkeeping helpers (prob/subproblem.h) and the
+// planner cost callback (MakeSeqCostFn).
+
+#include <gtest/gtest.h>
+
+#include "opt/planner.h"
+#include "prob/subproblem.h"
+#include "test_util.h"
+
+namespace caqp {
+namespace {
+
+using testing_util::SmallSchema;
+
+TEST(SubproblemTest, AcquiredAttrsTracksNarrowedRanges) {
+  const Schema schema = SmallSchema();
+  RangeVec ranges = schema.FullRanges();
+  EXPECT_EQ(AcquiredAttrs(schema, ranges).Count(), 0);
+  ranges[1] = ValueRange{2, 5};
+  ranges[3] = ValueRange{0, 0};
+  const AttrSet acquired = AcquiredAttrs(schema, ranges);
+  EXPECT_EQ(acquired.Count(), 2);
+  EXPECT_TRUE(acquired.Contains(1));
+  EXPECT_TRUE(acquired.Contains(3));
+  EXPECT_FALSE(acquired.Contains(0));
+}
+
+TEST(SubproblemTest, FullRangeDetection) {
+  const Schema schema = SmallSchema();
+  RangeVec ranges = schema.FullRanges();
+  EXPECT_TRUE(IsFullRange(schema, ranges, 0));
+  ranges[0] = ValueRange{0, 2};  // domain is 4: [0,2] is narrowed
+  EXPECT_FALSE(IsFullRange(schema, ranges, 0));
+}
+
+TEST(SubproblemTest, RefinedReplacesOneRange) {
+  const Schema schema = SmallSchema();
+  const RangeVec base = schema.FullRanges();
+  const RangeVec refined = Refined(base, 2, ValueRange{1, 2});
+  EXPECT_EQ(refined[2], (ValueRange{1, 2}));
+  EXPECT_EQ(refined[0], base[0]);
+  EXPECT_EQ(refined[1], base[1]);
+  EXPECT_EQ(refined[3], base[3]);
+}
+
+TEST(SubproblemTest, UndeterminedPredicatesFiltersDecided) {
+  const Schema schema = SmallSchema();
+  const Conjunct conj = {Predicate(0, 1, 2), Predicate(1, 0, 4),
+                         Predicate(2, 3, 3)};
+  RangeVec ranges = schema.FullRanges();
+  ranges[0] = ValueRange{1, 2};  // pred 0 determined true
+  ranges[2] = ValueRange{0, 1};  // pred 2 determined false
+  const auto undet = UndeterminedPredicates(conj, ranges);
+  ASSERT_EQ(undet.size(), 1u);
+  EXPECT_EQ(undet[0].attr, 1);
+}
+
+TEST(SubproblemTest, RangeVectorHashDistinguishes) {
+  const Schema schema = SmallSchema();
+  RangeVectorHash hash;
+  const RangeVec a = schema.FullRanges();
+  RangeVec b = a;
+  b[1] = ValueRange{0, 4};
+  EXPECT_NE(hash(a), hash(b));
+  EXPECT_EQ(hash(a), hash(schema.FullRanges()));
+}
+
+TEST(MakeSeqCostFnTest, ChargesOnlyUnacquiredAttributes) {
+  const Schema schema = SmallSchema();
+  PerAttributeCostModel cm(schema);
+  RangeVec ranges = schema.FullRanges();
+  ranges[2] = ValueRange{1, 3};  // attr 2 already acquired on the path
+  const std::vector<Predicate> preds = {Predicate(2, 2, 3),
+                                        Predicate(3, 1, 2),
+                                        Predicate(0, 0, 1)};
+  auto cost = MakeSeqCostFn(schema, cm, ranges, preds);
+  EXPECT_DOUBLE_EQ(cost(0, 0), 0.0);              // attr 2: path-acquired
+  EXPECT_DOUBLE_EQ(cost(1, 0), schema.cost(3));   // fresh
+  EXPECT_DOUBLE_EQ(cost(2, 0), schema.cost(0));   // fresh
+}
+
+TEST(MakeSeqCostFnTest, EvaluatedPredicatesMakeLaterOnesFree) {
+  const Schema schema = SmallSchema();
+  PerAttributeCostModel cm(schema);
+  const RangeVec ranges = schema.FullRanges();
+  // Two predicates over the same attribute cannot occur in one conjunct,
+  // but evaluated-set accounting also matters for board models; with the
+  // flat model, evaluating pred 0 (attr 3) makes a hypothetical second
+  // predicate on attr 3 free.
+  const std::vector<Predicate> preds = {Predicate(3, 0, 1),
+                                        Predicate(3, 2, 4)};
+  auto cost = MakeSeqCostFn(schema, cm, ranges, preds);
+  EXPECT_DOUBLE_EQ(cost(1, 0b0), schema.cost(3));
+  EXPECT_DOUBLE_EQ(cost(1, 0b1), 0.0);  // attr acquired by pred 0
+}
+
+TEST(MakeSeqCostFnTest, BoardModelSeesEvaluatedSet) {
+  const Schema schema = SmallSchema();
+  SensorBoardCostModel cm(schema, {-1, -1, 0, 0}, {30.0});
+  const RangeVec ranges = schema.FullRanges();
+  const std::vector<Predicate> preds = {Predicate(2, 1, 2),
+                                        Predicate(3, 1, 2)};
+  auto cost = MakeSeqCostFn(schema, cm, ranges, preds);
+  // First board attribute pays power-up; the second does not.
+  EXPECT_DOUBLE_EQ(cost(0, 0b0), schema.cost(2) + 30.0);
+  EXPECT_DOUBLE_EQ(cost(1, 0b1), schema.cost(3));
+}
+
+}  // namespace
+}  // namespace caqp

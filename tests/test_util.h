@@ -1,0 +1,156 @@
+// Shared helpers for CAQP tests: small random datasets with injected
+// correlations and brute-force probability computations to validate the
+// estimators and planners against.
+
+#ifndef CAQP_TESTS_TEST_UTIL_H_
+#define CAQP_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/dataset.h"
+#include "core/query.h"
+#include "prob/subproblem.h"
+
+namespace caqp {
+namespace testing_util {
+
+/// A small schema with mixed domain sizes and costs.
+inline Schema SmallSchema() {
+  Schema s;
+  s.AddAttribute("cheap0", 4, 1.0);
+  s.AddAttribute("cheap1", 6, 2.0);
+  s.AddAttribute("exp0", 4, 50.0);
+  s.AddAttribute("exp1", 5, 80.0);
+  return s;
+}
+
+/// Random dataset over `schema` where attribute i>0 is correlated with
+/// attribute 0 (value tends to track attr0 scaled into its domain), so
+/// conditional planners have something to exploit.
+inline Dataset CorrelatedDataset(const Schema& schema, size_t rows,
+                                 uint64_t seed, double noise = 0.25) {
+  Rng rng(seed);
+  Dataset ds(schema);
+  Tuple t(schema.num_attributes());
+  for (size_t r = 0; r < rows; ++r) {
+    const uint32_t k0 = schema.domain_size(0);
+    const auto base = static_cast<uint32_t>(rng.UniformInt(0, k0 - 1));
+    t[0] = static_cast<Value>(base);
+    for (size_t a = 1; a < schema.num_attributes(); ++a) {
+      const uint32_t k = schema.domain_size(static_cast<AttrId>(a));
+      uint32_t v;
+      if (rng.Bernoulli(noise)) {
+        v = static_cast<uint32_t>(rng.UniformInt(0, k - 1));
+      } else {
+        v = base * k / k0;
+        if (v >= k) v = k - 1;
+      }
+      t[a] = static_cast<Value>(v);
+    }
+    ds.Append(t);
+  }
+  return ds;
+}
+
+/// Fully independent uniform dataset.
+inline Dataset UniformDataset(const Schema& schema, size_t rows,
+                              uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(schema);
+  Tuple t(schema.num_attributes());
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      t[a] = static_cast<Value>(
+          rng.UniformInt(0, schema.domain_size(static_cast<AttrId>(a)) - 1));
+    }
+    ds.Append(t);
+  }
+  return ds;
+}
+
+/// Rows of `ds` matching every range, by brute force.
+inline std::vector<RowId> BruteForceRows(const Dataset& ds,
+                                         const RangeVec& ranges) {
+  std::vector<RowId> rows;
+  for (RowId r = 0; r < ds.num_rows(); ++r) {
+    bool ok = true;
+    for (size_t a = 0; a < ranges.size(); ++a) {
+      const Value v = ds.at(r, static_cast<AttrId>(a));
+      if (v < ranges[a].lo || v > ranges[a].hi) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) rows.push_back(r);
+  }
+  return rows;
+}
+
+/// Random valid sub-ranges of the schema's domains.
+inline RangeVec RandomRanges(const Schema& schema, Rng& rng,
+                             double narrow_probability = 0.5) {
+  RangeVec ranges = schema.FullRanges();
+  for (size_t a = 0; a < ranges.size(); ++a) {
+    if (!rng.Bernoulli(narrow_probability)) continue;
+    const uint32_t k = schema.domain_size(static_cast<AttrId>(a));
+    const Value lo = static_cast<Value>(rng.UniformInt(0, k - 1));
+    const Value hi = static_cast<Value>(rng.UniformInt(lo, k - 1));
+    ranges[a] = ValueRange{lo, hi};
+  }
+  return ranges;
+}
+
+/// Random conjunctive query over a subset of attributes.
+inline Query RandomConjunctiveQuery(const Schema& schema, Rng& rng,
+                                    size_t max_preds = 3) {
+  Conjunct preds;
+  std::vector<AttrId> attrs;
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    attrs.push_back(static_cast<AttrId>(a));
+  }
+  // Shuffle attribute choice.
+  for (size_t i = attrs.size(); i > 1; --i) {
+    std::swap(attrs[i - 1],
+              attrs[static_cast<size_t>(rng.UniformInt(0, i - 1))]);
+  }
+  const size_t n =
+      1 + static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(
+                     std::min(max_preds, attrs.size())) - 1));
+  for (size_t i = 0; i < n; ++i) {
+    const AttrId a = attrs[i];
+    const uint32_t k = schema.domain_size(a);
+    Value lo = static_cast<Value>(rng.UniformInt(0, k - 1));
+    Value hi = static_cast<Value>(rng.UniformInt(lo, k - 1));
+    // Avoid trivially-true predicates covering the whole domain.
+    if (lo == 0 && hi == k - 1) hi = static_cast<Value>(k - 2);
+    preds.emplace_back(a, lo, hi, rng.Bernoulli(0.3));
+  }
+  return Query::Conjunction(std::move(preds));
+}
+
+/// Enumerates every tuple of the (small!) schema and checks that the plan's
+/// verdict matches the query everywhere. Returns the number of mismatches.
+template <typename PlanT>
+size_t CountVerdictMismatches(const PlanT& plan, const Query& query,
+                              const Schema& schema) {
+  size_t mismatches = 0;
+  Tuple t(schema.num_attributes(), 0);
+  // Odometer enumeration.
+  while (true) {
+    if (plan.VerdictFor(t) != query.Matches(t)) ++mismatches;
+    size_t a = 0;
+    for (; a < t.size(); ++a) {
+      if (++t[a] < schema.domain_size(static_cast<AttrId>(a))) break;
+      t[a] = 0;
+    }
+    if (a == t.size()) break;
+  }
+  return mismatches;
+}
+
+}  // namespace testing_util
+}  // namespace caqp
+
+#endif  // CAQP_TESTS_TEST_UTIL_H_

@@ -1,0 +1,214 @@
+// caqp_plan: command-line planner. Loads a CSV of historical readings,
+// builds a conditional plan for a conjunctive range query, explains it, and
+// reports train/test costs against the Naive baseline.
+//
+// Example:
+//   caqp_plan --csv lab.csv --attr hour:24:1 --attr light:16:100
+//     --attr temp:16:100 --where light:5:15 --where temp:0:7
+//     --planner heuristic --max-splits 5 --train-frac 0.6 --explain
+//
+// --attr NAME:BINS:COST     discretization + acquisition cost per column
+// --where NAME:LO:HI[:not]  conjunctive range predicate (discretized bins)
+// --planner naive|corrseq|heuristic|exhaustive
+// --max-splits K            heuristic split budget (default 5)
+// --spsf LOG10              split-point budget (default: all points)
+// --train-frac F            head fraction used for training (default 0.6)
+// --explain                 annotate the plan with reach/cost estimates
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/csv.h"
+#include "opt/exhaustive.h"
+#include "opt/greedy_plan.h"
+#include "opt/greedyseq.h"
+#include "opt/naive.h"
+#include "opt/optseq.h"
+#include "plan/plan_cost.h"
+#include "plan/plan_printer.h"
+#include "plan/plan_serde.h"
+#include "prob/dataset_estimator.h"
+
+using namespace caqp;
+
+namespace {
+
+struct WhereSpec {
+  std::string name;
+  Value lo = 0;
+  Value hi = 0;
+  bool negated = false;
+};
+
+[[noreturn]] void Die(const std::string& msg) {
+  std::fprintf(stderr, "caqp_plan: %s\n", msg.c_str());
+  std::exit(1);
+}
+
+std::vector<std::string> SplitColon(const std::string& s) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(':', start);
+    if (pos == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+long ParseLong(const std::string& s, const std::string& what) {
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') Die("bad " + what + ": '" + s + "'");
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string csv_path;
+  std::vector<CsvColumnSpec> attrs;
+  std::vector<WhereSpec> wheres;
+  std::string planner_name = "heuristic";
+  size_t max_splits = 5;
+  double train_frac = 0.6;
+  double spsf_log10 = -1.0;  // <0: all points
+  bool explain = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) Die("missing value after " + arg);
+      return argv[++i];
+    };
+    if (arg == "--csv") {
+      csv_path = next();
+    } else if (arg == "--attr") {
+      const auto parts = SplitColon(next());
+      if (parts.size() != 3) Die("--attr expects NAME:BINS:COST");
+      CsvColumnSpec spec;
+      spec.name = parts[0];
+      spec.bins = static_cast<uint32_t>(ParseLong(parts[1], "bins"));
+      spec.cost = std::strtod(parts[2].c_str(), nullptr);
+      attrs.push_back(spec);
+    } else if (arg == "--where") {
+      const auto parts = SplitColon(next());
+      if (parts.size() != 3 && parts.size() != 4) {
+        Die("--where expects NAME:LO:HI[:not]");
+      }
+      WhereSpec w;
+      w.name = parts[0];
+      w.lo = static_cast<Value>(ParseLong(parts[1], "lo"));
+      w.hi = static_cast<Value>(ParseLong(parts[2], "hi"));
+      w.negated = parts.size() == 4 && parts[3] == "not";
+      wheres.push_back(w);
+    } else if (arg == "--planner") {
+      planner_name = next();
+    } else if (arg == "--max-splits") {
+      max_splits = static_cast<size_t>(ParseLong(next(), "max-splits"));
+    } else if (arg == "--train-frac") {
+      train_frac = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--spsf") {
+      spsf_log10 = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: see header comment of tools/caqp_plan.cc\n");
+      return 0;
+    } else {
+      Die("unknown flag " + arg);
+    }
+  }
+  if (csv_path.empty()) Die("--csv is required");
+  if (attrs.empty()) Die("at least one --attr is required");
+  if (wheres.empty()) Die("at least one --where is required");
+  if (train_frac <= 0.0 || train_frac >= 1.0) {
+    Die("--train-frac must be in (0,1)");
+  }
+
+  // --- Load and discretize ------------------------------------------------
+  Result<CsvTable> table = LoadCsvFile(csv_path);
+  if (!table.ok()) Die(table.status().ToString());
+  Result<Dataset> loaded = DatasetFromCsv(*table, attrs);
+  if (!loaded.ok()) Die(loaded.status().ToString());
+  const auto [train, test] = loaded->SplitFraction(train_frac);
+  const Schema& schema = loaded->schema();
+  std::printf("loaded %zu rows (%zu train / %zu test), %zu attributes\n",
+              loaded->num_rows(), train.num_rows(), test.num_rows(),
+              schema.num_attributes());
+
+  // --- Query --------------------------------------------------------------
+  Conjunct preds;
+  for (const WhereSpec& w : wheres) {
+    const AttrId a = schema.FindAttribute(w.name);
+    if (a == kInvalidAttr) Die("--where names unknown attribute " + w.name);
+    if (w.lo > w.hi || w.hi >= schema.domain_size(a)) {
+      Die("--where range out of domain for " + w.name);
+    }
+    preds.emplace_back(a, w.lo, w.hi, w.negated);
+  }
+  const Query query = Query::Conjunction(std::move(preds));
+  if (!query.ValidFor(schema)) Die("invalid query (duplicate attribute?)");
+  std::printf("query: %s\n\n", query.ToString(schema).c_str());
+
+  // --- Plan ---------------------------------------------------------------
+  if (train.num_rows() == 0) Die("empty training split");
+  DatasetEstimator estimator(train);
+  PerAttributeCostModel cost_model(schema);
+  const SplitPointSet splits =
+      spsf_log10 >= 0 ? SplitPointSet::FromLog10Spsf(schema, spsf_log10)
+                      : SplitPointSet::AllPoints(schema);
+  OptSeqSolver optseq;
+  GreedySeqSolver greedyseq;
+  const SequentialSolver& base =
+      query.predicates().size() <= 12
+          ? static_cast<const SequentialSolver&>(optseq)
+          : static_cast<const SequentialSolver&>(greedyseq);
+
+  NaivePlanner naive(estimator, cost_model);
+  Plan plan;
+  if (planner_name == "naive") {
+    plan = naive.BuildPlan(query);
+  } else if (planner_name == "corrseq") {
+    SequentialPlanner planner(estimator, cost_model, base, "CorrSeq");
+    plan = planner.BuildPlan(query);
+  } else if (planner_name == "heuristic") {
+    GreedyPlanner::Options opts;
+    opts.split_points = &splits;
+    opts.seq_solver = &base;
+    opts.max_splits = max_splits;
+    GreedyPlanner planner(estimator, cost_model, opts);
+    plan = planner.BuildPlan(query);
+  } else if (planner_name == "exhaustive") {
+    ExhaustivePlanner::Options opts;
+    opts.split_points = &splits;
+    ExhaustivePlanner planner(estimator, cost_model, opts);
+    plan = planner.BuildPlan(query);
+  } else {
+    Die("unknown --planner " + planner_name);
+  }
+
+  std::printf("plan (%s):\n%s\n", PlanSummary(plan).c_str(),
+              explain ? ExplainPlan(plan, estimator, cost_model).c_str()
+                      : PrintPlan(plan, schema).c_str());
+
+  // --- Costs --------------------------------------------------------------
+  const Plan naive_plan = naive.BuildPlan(query);
+  const auto r_train = EmpiricalPlanCost(plan, train, query, cost_model);
+  const auto r_test = EmpiricalPlanCost(plan, test, query, cost_model);
+  const auto n_test = EmpiricalPlanCost(naive_plan, test, query, cost_model);
+  std::printf("mean cost: train=%.2f test=%.2f (naive test=%.2f, gain %.2fx)\n",
+              r_train.mean_cost, r_test.mean_cost, n_test.mean_cost,
+              r_test.mean_cost > 0 ? n_test.mean_cost / r_test.mean_cost
+                                   : 1.0);
+  std::printf("verdict errors on test: %zu of %zu tuples\n",
+              r_test.verdict_errors, r_test.tuples);
+  return 0;
+}

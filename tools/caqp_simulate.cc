@@ -1,0 +1,197 @@
+// caqp_simulate: end-to-end sensor-network simulation from the command
+// line. Generates one of the built-in network traces (lab | garden |
+// synthetic), trains a conditional plan at the basestation, disseminates it
+// over a (configurable, lossy) radio, runs a continuous query, and prints
+// per-planner energy totals -- the whole Figure 4 loop in one command.
+//
+// Example:
+//   caqp_simulate --network garden --motes 5 --epochs 2000
+//     --max-splits 5 --drop-prob 0.05
+//
+// --network lab|garden|synthetic   trace generator (default garden)
+// --motes N                        motes in the network (default 5)
+// --epochs N                       continuous-query epochs (default 2000)
+// --max-splits K                   heuristic split budget (default 5)
+// --drop-prob P                    radio message loss (default 0)
+// --limit N                        stop after N matches (LIMIT query mode)
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "data/garden_gen.h"
+#include "data/lab_gen.h"
+#include "data/synthetic_gen.h"
+#include "data/workload.h"
+#include "net/basestation.h"
+#include "opt/greedyseq.h"
+#include "opt/naive.h"
+#include "plan/plan_printer.h"
+#include "prob/dataset_estimator.h"
+
+using namespace caqp;
+
+namespace {
+
+[[noreturn]] void Die(const std::string& msg) {
+  std::fprintf(stderr, "caqp_simulate: %s\n", msg.c_str());
+  std::exit(1);
+}
+
+struct Config {
+  std::string network = "garden";
+  size_t motes = 5;
+  size_t epochs = 2000;
+  size_t max_splits = 5;
+  double drop_prob = 0.0;
+  size_t limit = 0;  // 0: continuous query
+};
+
+/// Builds the trace and a representative query for the chosen network.
+std::pair<Dataset, Query> MakeScenario(const Config& cfg) {
+  if (cfg.network == "garden") {
+    GardenDataOptions opts;
+    opts.num_motes = cfg.motes;
+    opts.epochs = 20000;
+    Dataset data = GenerateGardenData(opts);
+    const GardenAttrs attrs = ResolveGardenAttrs(data.schema());
+    Conjunct preds;
+    for (AttrId a : attrs.temperature) {
+      preds.emplace_back(a, 5, 11);  // warm
+    }
+    for (AttrId a : attrs.humidity) {
+      preds.emplace_back(a, 5, 11);  // humid
+    }
+    return {std::move(data), Query::Conjunction(std::move(preds))};
+  }
+  if (cfg.network == "lab") {
+    LabDataOptions opts;
+    opts.num_motes = std::max<size_t>(2, cfg.motes);
+    opts.readings = 40000;
+    Dataset data = GenerateLabData(opts);
+    const LabAttrs attrs = ResolveLabAttrs(data.schema());
+    return {std::move(data),
+            Query::Conjunction({Predicate(attrs.light, 5, 15),
+                                Predicate(attrs.temperature, 0, 7),
+                                Predicate(attrs.humidity, 0, 7)})};
+  }
+  if (cfg.network == "synthetic") {
+    SyntheticDataOptions opts;
+    opts.n = 10;
+    opts.gamma = 4;
+    opts.sel = 0.6;
+    opts.tuples = 20000;
+    Dataset data = GenerateSyntheticData(opts);
+    Query q = SyntheticAllExpensiveQuery(data.schema());
+    return {std::move(data), std::move(q)};
+  }
+  Die("unknown --network " + cfg.network);
+}
+
+/// Runs dissemination + query for one plan; prints and returns total mote
+/// energy (acquisition + radio).
+double RunOnce(const char* label, const Plan& plan, const Schema& schema,
+               const AcquisitionCostModel& cm, const Dataset& live,
+               const Config& cfg) {
+  Radio radio(Radio::Options{.cost_per_byte = 0.05,
+                             .drop_probability = cfg.drop_prob});
+  Basestation base(schema, cm, radio);
+  std::vector<std::unique_ptr<Mote>> motes;
+  std::vector<Mote*> ptrs;
+  motes.push_back(std::make_unique<Mote>(
+      0, schema, cm, [&live](size_t epoch, AttrId attr) {
+        return live.at(static_cast<RowId>(epoch % live.num_rows()), attr);
+      }));
+  ptrs.push_back(motes.back().get());
+  const size_t installed = base.Disseminate(plan, ptrs);
+  if (installed == 0) {
+    std::printf("%-12s plan lost in transit (drop-prob too high?)\n", label);
+    return 0.0;
+  }
+
+  if (cfg.limit > 0) {
+    const auto res = base.RunLimitQuery(ptrs, cfg.limit, cfg.epochs);
+    std::printf("%-12s LIMIT %zu: %zu matches in %zu epochs, "
+                "acquisition=%.0f, mote energy=%.0f\n",
+                label, cfg.limit, res.matches, res.epochs_run,
+                res.acquisition_cost, motes[0]->energy().spent());
+    return motes[0]->energy().spent();
+  }
+  const auto reports = base.RunContinuousQuery(ptrs, cfg.epochs);
+  double acquisition = 0;
+  size_t matches = 0;
+  for (const auto& rep : reports) {
+    acquisition += rep.acquisition_cost;
+    matches += rep.matches;
+  }
+  std::printf("%-12s %zu epochs: %zu matches, plan=%zuB, acquisition=%.0f, "
+              "mote energy=%.0f\n",
+              label, cfg.epochs, matches, PlanSizeBytes(plan), acquisition,
+              motes[0]->energy().spent());
+  return motes[0]->energy().spent();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) Die("missing value after " + arg);
+      return argv[++i];
+    };
+    if (arg == "--network") {
+      cfg.network = next();
+    } else if (arg == "--motes") {
+      cfg.motes = static_cast<size_t>(std::strtoul(next().c_str(), nullptr, 10));
+    } else if (arg == "--epochs") {
+      cfg.epochs = static_cast<size_t>(std::strtoul(next().c_str(), nullptr, 10));
+    } else if (arg == "--max-splits") {
+      cfg.max_splits =
+          static_cast<size_t>(std::strtoul(next().c_str(), nullptr, 10));
+    } else if (arg == "--drop-prob") {
+      cfg.drop_prob = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--limit") {
+      cfg.limit = static_cast<size_t>(std::strtoul(next().c_str(), nullptr, 10));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: see header comment of tools/caqp_simulate.cc\n");
+      return 0;
+    } else {
+      Die("unknown flag " + arg);
+    }
+  }
+
+  auto [data, query] = MakeScenario(cfg);
+  const Schema& schema = data.schema();
+  const auto [train, test] = data.SplitFraction(0.6);
+  std::printf("network=%s attrs=%zu train=%zu test=%zu\n", cfg.network.c_str(),
+              schema.num_attributes(), train.num_rows(), test.num_rows());
+  std::printf("query: %s\n\n", query.ToString(schema).c_str());
+
+  DatasetEstimator estimator(train);
+  PerAttributeCostModel cost_model(schema);
+  const SplitPointSet splits = SplitPointSet::FromLog10Spsf(
+      schema, static_cast<double>(schema.num_attributes()));
+  GreedySeqSolver greedyseq;
+
+  NaivePlanner naive(estimator, cost_model);
+  const Plan p_naive = naive.BuildPlan(query);
+
+  GreedyPlanner::Options gopts;
+  gopts.split_points = &splits;
+  gopts.seq_solver = &greedyseq;
+  gopts.max_splits = cfg.max_splits;
+  GreedyPlanner heuristic(estimator, cost_model, gopts);
+  const Plan p_heur = heuristic.BuildPlan(query);
+
+  const double e_naive =
+      RunOnce("naive", p_naive, schema, cost_model, test, cfg);
+  const double e_heur =
+      RunOnce("heuristic", p_heur, schema, cost_model, test, cfg);
+  if (e_heur > 0 && e_naive > 0) {
+    std::printf("\nenergy ratio naive/heuristic: %.2fx\n", e_naive / e_heur);
+  }
+  return 0;
+}
