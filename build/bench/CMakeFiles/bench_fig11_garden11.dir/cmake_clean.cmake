@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_garden11.dir/bench_fig11_garden11.cc.o"
+  "CMakeFiles/bench_fig11_garden11.dir/bench_fig11_garden11.cc.o.d"
+  "bench_fig11_garden11"
+  "bench_fig11_garden11.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_garden11.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

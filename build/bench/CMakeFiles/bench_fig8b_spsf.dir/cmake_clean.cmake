@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8b_spsf.dir/bench_fig8b_spsf.cc.o"
+  "CMakeFiles/bench_fig8b_spsf.dir/bench_fig8b_spsf.cc.o.d"
+  "bench_fig8b_spsf"
+  "bench_fig8b_spsf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8b_spsf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

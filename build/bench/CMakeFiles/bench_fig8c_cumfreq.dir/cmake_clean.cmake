@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8c_cumfreq.dir/bench_fig8c_cumfreq.cc.o"
+  "CMakeFiles/bench_fig8c_cumfreq.dir/bench_fig8c_cumfreq.cc.o.d"
+  "bench_fig8c_cumfreq"
+  "bench_fig8c_cumfreq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8c_cumfreq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

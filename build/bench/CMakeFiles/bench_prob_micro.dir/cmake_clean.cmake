@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prob_micro.dir/bench_prob_micro.cc.o"
+  "CMakeFiles/bench_prob_micro.dir/bench_prob_micro.cc.o.d"
+  "bench_prob_micro"
+  "bench_prob_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prob_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caqp_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/caqp_bench_util.dir/bench_util.cc.o.d"
+  "libcaqp_bench_util.a"
+  "libcaqp_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caqp_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_db.dir/compressed_db.cc.o"
+  "CMakeFiles/compressed_db.dir/compressed_db.cc.o.d"
+  "compressed_db"
+  "compressed_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exists_query.dir/exists_query.cc.o"
+  "CMakeFiles/exists_query.dir/exists_query.cc.o.d"
+  "exists_query"
+  "exists_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exists_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garden_network.dir/garden_network.cc.o"
+  "CMakeFiles/garden_network.dir/garden_network.cc.o.d"
+  "garden_network"
+  "garden_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garden_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

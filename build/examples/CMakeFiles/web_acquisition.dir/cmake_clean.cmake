@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_acquisition.dir/web_acquisition.cc.o"
+  "CMakeFiles/web_acquisition.dir/web_acquisition.cc.o.d"
+  "web_acquisition"
+  "web_acquisition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_acquisition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bytes.cc" "src/CMakeFiles/caqp.dir/common/bytes.cc.o" "gcc" "src/CMakeFiles/caqp.dir/common/bytes.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/caqp.dir/common/status.cc.o" "gcc" "src/CMakeFiles/caqp.dir/common/status.cc.o.d"
+  "/root/repo/src/core/csv.cc" "src/CMakeFiles/caqp.dir/core/csv.cc.o" "gcc" "src/CMakeFiles/caqp.dir/core/csv.cc.o.d"
+  "/root/repo/src/core/dataset.cc" "src/CMakeFiles/caqp.dir/core/dataset.cc.o" "gcc" "src/CMakeFiles/caqp.dir/core/dataset.cc.o.d"
+  "/root/repo/src/core/dataset_io.cc" "src/CMakeFiles/caqp.dir/core/dataset_io.cc.o" "gcc" "src/CMakeFiles/caqp.dir/core/dataset_io.cc.o.d"
+  "/root/repo/src/core/discretizer.cc" "src/CMakeFiles/caqp.dir/core/discretizer.cc.o" "gcc" "src/CMakeFiles/caqp.dir/core/discretizer.cc.o.d"
+  "/root/repo/src/core/predicate.cc" "src/CMakeFiles/caqp.dir/core/predicate.cc.o" "gcc" "src/CMakeFiles/caqp.dir/core/predicate.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/CMakeFiles/caqp.dir/core/query.cc.o" "gcc" "src/CMakeFiles/caqp.dir/core/query.cc.o.d"
+  "/root/repo/src/core/schema.cc" "src/CMakeFiles/caqp.dir/core/schema.cc.o" "gcc" "src/CMakeFiles/caqp.dir/core/schema.cc.o.d"
+  "/root/repo/src/data/garden_gen.cc" "src/CMakeFiles/caqp.dir/data/garden_gen.cc.o" "gcc" "src/CMakeFiles/caqp.dir/data/garden_gen.cc.o.d"
+  "/root/repo/src/data/lab_gen.cc" "src/CMakeFiles/caqp.dir/data/lab_gen.cc.o" "gcc" "src/CMakeFiles/caqp.dir/data/lab_gen.cc.o.d"
+  "/root/repo/src/data/synthetic_gen.cc" "src/CMakeFiles/caqp.dir/data/synthetic_gen.cc.o" "gcc" "src/CMakeFiles/caqp.dir/data/synthetic_gen.cc.o.d"
+  "/root/repo/src/data/workload.cc" "src/CMakeFiles/caqp.dir/data/workload.cc.o" "gcc" "src/CMakeFiles/caqp.dir/data/workload.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/caqp.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/caqp.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/metrics.cc" "src/CMakeFiles/caqp.dir/exec/metrics.cc.o" "gcc" "src/CMakeFiles/caqp.dir/exec/metrics.cc.o.d"
+  "/root/repo/src/net/basestation.cc" "src/CMakeFiles/caqp.dir/net/basestation.cc.o" "gcc" "src/CMakeFiles/caqp.dir/net/basestation.cc.o.d"
+  "/root/repo/src/net/mote.cc" "src/CMakeFiles/caqp.dir/net/mote.cc.o" "gcc" "src/CMakeFiles/caqp.dir/net/mote.cc.o.d"
+  "/root/repo/src/net/radio.cc" "src/CMakeFiles/caqp.dir/net/radio.cc.o" "gcc" "src/CMakeFiles/caqp.dir/net/radio.cc.o.d"
+  "/root/repo/src/opt/adaptive.cc" "src/CMakeFiles/caqp.dir/opt/adaptive.cc.o" "gcc" "src/CMakeFiles/caqp.dir/opt/adaptive.cc.o.d"
+  "/root/repo/src/opt/cost_model.cc" "src/CMakeFiles/caqp.dir/opt/cost_model.cc.o" "gcc" "src/CMakeFiles/caqp.dir/opt/cost_model.cc.o.d"
+  "/root/repo/src/opt/exhaustive.cc" "src/CMakeFiles/caqp.dir/opt/exhaustive.cc.o" "gcc" "src/CMakeFiles/caqp.dir/opt/exhaustive.cc.o.d"
+  "/root/repo/src/opt/greedy_plan.cc" "src/CMakeFiles/caqp.dir/opt/greedy_plan.cc.o" "gcc" "src/CMakeFiles/caqp.dir/opt/greedy_plan.cc.o.d"
+  "/root/repo/src/opt/greedyseq.cc" "src/CMakeFiles/caqp.dir/opt/greedyseq.cc.o" "gcc" "src/CMakeFiles/caqp.dir/opt/greedyseq.cc.o.d"
+  "/root/repo/src/opt/naive.cc" "src/CMakeFiles/caqp.dir/opt/naive.cc.o" "gcc" "src/CMakeFiles/caqp.dir/opt/naive.cc.o.d"
+  "/root/repo/src/opt/optseq.cc" "src/CMakeFiles/caqp.dir/opt/optseq.cc.o" "gcc" "src/CMakeFiles/caqp.dir/opt/optseq.cc.o.d"
+  "/root/repo/src/opt/planner.cc" "src/CMakeFiles/caqp.dir/opt/planner.cc.o" "gcc" "src/CMakeFiles/caqp.dir/opt/planner.cc.o.d"
+  "/root/repo/src/opt/split_points.cc" "src/CMakeFiles/caqp.dir/opt/split_points.cc.o" "gcc" "src/CMakeFiles/caqp.dir/opt/split_points.cc.o.d"
+  "/root/repo/src/plan/plan.cc" "src/CMakeFiles/caqp.dir/plan/plan.cc.o" "gcc" "src/CMakeFiles/caqp.dir/plan/plan.cc.o.d"
+  "/root/repo/src/plan/plan_cost.cc" "src/CMakeFiles/caqp.dir/plan/plan_cost.cc.o" "gcc" "src/CMakeFiles/caqp.dir/plan/plan_cost.cc.o.d"
+  "/root/repo/src/plan/plan_printer.cc" "src/CMakeFiles/caqp.dir/plan/plan_printer.cc.o" "gcc" "src/CMakeFiles/caqp.dir/plan/plan_printer.cc.o.d"
+  "/root/repo/src/plan/plan_serde.cc" "src/CMakeFiles/caqp.dir/plan/plan_serde.cc.o" "gcc" "src/CMakeFiles/caqp.dir/plan/plan_serde.cc.o.d"
+  "/root/repo/src/plan/plan_verify.cc" "src/CMakeFiles/caqp.dir/plan/plan_verify.cc.o" "gcc" "src/CMakeFiles/caqp.dir/plan/plan_verify.cc.o.d"
+  "/root/repo/src/prob/chow_liu.cc" "src/CMakeFiles/caqp.dir/prob/chow_liu.cc.o" "gcc" "src/CMakeFiles/caqp.dir/prob/chow_liu.cc.o.d"
+  "/root/repo/src/prob/dataset_estimator.cc" "src/CMakeFiles/caqp.dir/prob/dataset_estimator.cc.o" "gcc" "src/CMakeFiles/caqp.dir/prob/dataset_estimator.cc.o.d"
+  "/root/repo/src/prob/histogram.cc" "src/CMakeFiles/caqp.dir/prob/histogram.cc.o" "gcc" "src/CMakeFiles/caqp.dir/prob/histogram.cc.o.d"
+  "/root/repo/src/prob/independent_estimator.cc" "src/CMakeFiles/caqp.dir/prob/independent_estimator.cc.o" "gcc" "src/CMakeFiles/caqp.dir/prob/independent_estimator.cc.o.d"
+  "/root/repo/src/prob/subproblem.cc" "src/CMakeFiles/caqp.dir/prob/subproblem.cc.o" "gcc" "src/CMakeFiles/caqp.dir/prob/subproblem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

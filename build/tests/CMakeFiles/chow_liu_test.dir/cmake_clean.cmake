@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chow_liu_test.dir/chow_liu_test.cc.o"
+  "CMakeFiles/chow_liu_test.dir/chow_liu_test.cc.o.d"
+  "chow_liu_test"
+  "chow_liu_test.pdb"
+  "chow_liu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chow_liu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

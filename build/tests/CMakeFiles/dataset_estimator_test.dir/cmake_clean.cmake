@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_estimator_test.dir/dataset_estimator_test.cc.o"
+  "CMakeFiles/dataset_estimator_test.dir/dataset_estimator_test.cc.o.d"
+  "dataset_estimator_test"
+  "dataset_estimator_test.pdb"
+  "dataset_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/independent_estimator_test.dir/independent_estimator_test.cc.o"
+  "CMakeFiles/independent_estimator_test.dir/independent_estimator_test.cc.o.d"
+  "independent_estimator_test"
+  "independent_estimator_test.pdb"
+  "independent_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/independent_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

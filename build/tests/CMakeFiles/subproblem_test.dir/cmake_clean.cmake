@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subproblem_test.dir/subproblem_test.cc.o"
+  "CMakeFiles/subproblem_test.dir/subproblem_test.cc.o.d"
+  "subproblem_test"
+  "subproblem_test.pdb"
+  "subproblem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subproblem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/histogram_test[1]_include.cmake")
+include("/root/repo/build/tests/dataset_estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/independent_estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/chow_liu_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_cost_test[1]_include.cmake")
+include("/root/repo/build/tests/sequential_test[1]_include.cmake")
+include("/root/repo/build/tests/exhaustive_test[1]_include.cmake")
+include("/root/repo/build/tests/greedy_plan_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/adaptive_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_verify_test[1]_include.cmake")
+include("/root/repo/build/tests/dataset_io_test[1]_include.cmake")
+include("/root/repo/build/tests/subproblem_test[1]_include.cmake")
+include("/root/repo/build/tests/umbrella_test[1]_include.cmake")

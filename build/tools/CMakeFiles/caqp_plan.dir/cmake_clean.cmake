@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caqp_plan.dir/caqp_plan.cc.o"
+  "CMakeFiles/caqp_plan.dir/caqp_plan.cc.o.d"
+  "caqp_plan"
+  "caqp_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caqp_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

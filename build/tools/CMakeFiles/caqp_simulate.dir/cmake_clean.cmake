@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caqp_simulate.dir/caqp_simulate.cc.o"
+  "CMakeFiles/caqp_simulate.dir/caqp_simulate.cc.o.d"
+  "caqp_simulate"
+  "caqp_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caqp_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
