@@ -42,7 +42,8 @@ Plan BuildWith(CondProbEstimator& est, const AcquisitionCostModel& cm,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("ablations", argc, argv);
   Banner("Ablation A: estimator choice vs training-set size");
   {
     SyntheticDataOptions opts;
@@ -159,5 +160,6 @@ int main() {
     }
     WriteCsv("ablation_base_solver", "solver,test_cost,plan_ms", rows);
   }
+  FinishBench();
   return 0;
 }

@@ -7,7 +7,8 @@
 
 using namespace caqp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("fig10_garden5", argc, argv);
   Banner("Figure 10: Garden-5 (16 attributes, 10-predicate queries)");
   GardenBenchConfig cfg;
   cfg.num_motes = 5;
@@ -18,5 +19,6 @@ int main() {
   RunGardenBench(cfg);
   std::printf("\nexpected shape: Heuristic <= CorrSeq <= Naive for most\n"
               "queries; regressions small and rare.\n");
+  FinishBench();
   return 0;
 }

@@ -6,7 +6,8 @@
 
 using namespace caqp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("fig11_garden11", argc, argv);
   Banner("Figure 11: Garden-11 (34 attributes, 22-predicate queries)");
   GardenBenchConfig cfg;
   cfg.num_motes = 11;
@@ -17,5 +18,6 @@ int main() {
   RunGardenBench(cfg);
   std::printf("\nexpected shape: larger gains than Garden-5; multi-x factors\n"
               "over Naive in the tail of the distribution.\n");
+  FinishBench();
   return 0;
 }

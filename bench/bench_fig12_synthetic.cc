@@ -18,7 +18,8 @@
 using namespace caqp;
 using namespace caqp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("fig12_synthetic", argc, argv);
   Banner("Figure 12: synthetic datasets (4 settings x sel sweep)");
 
   struct Setting {
@@ -79,5 +80,6 @@ int main() {
   std::printf(
       "\nexpected shapes: Heuristic beats Naive/CorrSeq (often >2x);\n"
       "Gamma=1 -> Naive ~= CorrSeq; n=10 -> Heuristic-5 ~= Heuristic-10.\n");
+  FinishBench();
   return 0;
 }

@@ -15,7 +15,8 @@
 using namespace caqp;
 using namespace caqp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("fig1_scatter", argc, argv);
   Banner("Figure 1: hour of day vs light (band structure)");
 
   LabDataOptions opts;
@@ -78,5 +79,6 @@ int main() {
   std::printf("expected shape: tight night bands (hours 0-5, 20-23), wide "
               "daytime spread -- Figure 1's banding.\n");
   WriteCsv("fig1_scatter", "hour,p25,p50,p75,stddev", rows);
+  FinishBench();
   return 0;
 }

@@ -16,7 +16,8 @@
 using namespace caqp;
 using namespace caqp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("fig2_motivating", argc, argv);
   Banner("Figure 2: motivating example (expected costs 1.5 vs 1.1)");
 
   Schema schema;
@@ -73,5 +74,6 @@ int main() {
   report("CorrSeq sequential", p_corr, "1.5");
   report("Conditional (optimal)", p_cond, "1.1");
   WriteCsv("fig2_motivating", "plan,expected_cost", rows);
+  FinishBench();
   return 0;
 }

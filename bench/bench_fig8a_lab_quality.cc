@@ -20,7 +20,8 @@
 using namespace caqp;
 using namespace caqp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("fig8a_lab_quality", argc, argv);
   Banner("Figure 8(a): Exhaustive vs Naive vs Heuristic-k (reduced Lab)");
 
   LabSetup lab = MakeReducedLab();
@@ -95,5 +96,6 @@ int main() {
            "planner,mean_norm_vs_exhaustive,worst_norm,mean_test_cost", rows);
   std::printf(
       "\nexpected shape: Naive worst; Heuristic-10 ~ Exhaustive (norm ~1).\n");
+  FinishBench();
   return 0;
 }

@@ -20,7 +20,8 @@
 using namespace caqp;
 using namespace caqp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("fig8b_spsf", argc, argv);
   Banner("Figure 8(b): Exhaustive at shrinking SPSF vs Heuristic-5");
 
   LabSetup lab = MakeReducedLab();
@@ -84,5 +85,6 @@ int main() {
   std::printf(
       "\nexpected shape: small SPSF -> Exhaustive worse than Heuristic-5;\n"
       "large SPSF -> Exhaustive matches or beats it (norm <= 1).\n");
+  FinishBench();
   return 0;
 }

@@ -16,7 +16,8 @@
 using namespace caqp;
 using namespace caqp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("fig8c_cumfreq", argc, argv);
   Banner("Figure 8(c): cumulative frequency of performance gain (Lab)");
 
   LabSetup lab = MakeFullLab();
@@ -67,5 +68,6 @@ int main() {
   std::printf(
       "\nexpected shape: Heuristic curves dominate CorrSeq; a large\n"
       "fraction of queries gain >1x, with multi-x gains in the tail.\n");
+  FinishBench();
   return 0;
 }

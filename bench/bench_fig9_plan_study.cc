@@ -18,7 +18,8 @@
 using namespace caqp;
 using namespace caqp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("fig9_plan_study", argc, argv);
   Banner("Figure 9: plan case study (bright, cool, dry)");
 
   LabSetup lab = MakeFullLab();
@@ -59,5 +60,6 @@ int main() {
   WriteCsv("fig9_plan_study", "plan,test_cost",
            {"conditional," + std::to_string(r_cond.mean_cost),
             "naive," + std::to_string(r_naive.mean_cost)});
+  FinishBench();
   return 0;
 }

@@ -1,0 +1,187 @@
+// Measures the cost of the obs instrumentation on the executor hot path.
+// Four configurations over the same plan and tuples:
+//
+//   baseline   a local copy of the executor loop with no instrumentation
+//              at all (no trace pointer, no counter macros)
+//   obs-off    ExecutePlan with runtime instrumentation disabled
+//              (obs::SetEnabled(false)) and a null trace sink
+//   obs-on     ExecutePlan with counters enabled
+//   traced     ExecutePlan with counters enabled and an ExecutionTrace sink
+//
+// The acceptance bar for the instrumentation is obs-off within 5% of
+// baseline: a disabled counter is one predicted-untaken branch and a null
+// trace sink is one pointer test per event site. Reported numbers are the
+// minimum over repetitions (least-noise estimate).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "exec/executor.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "opt/greedy_plan.h"
+#include "opt/greedyseq.h"
+#include "prob/dataset_estimator.h"
+#include "test_support.h"
+
+using namespace caqp;
+
+namespace {
+
+/// Executor loop stripped of every obs hook; must mirror ExecutePlan's
+/// traversal so the comparison isolates instrumentation cost. noinline so
+/// the baseline pays the same function-call boundary as the library's
+/// ExecutePlan instead of being folded into the timing loop.
+__attribute__((noinline)) ExecutionResult ExecutePlanBare(
+    const Plan& plan, const Schema& schema,
+    const AcquisitionCostModel& cost_model, AcquisitionSource& source) {
+  ExecutionResult out;
+  std::vector<Value> values(schema.num_attributes(), 0);
+  auto acquire = [&](AttrId a) -> Value {
+    if (!out.acquired.Contains(a)) {
+      out.cost += cost_model.Cost(a, out.acquired);
+      out.acquired.Insert(a);
+      ++out.acquisitions;
+      values[a] = source.Acquire(a);
+    }
+    return values[a];
+  };
+
+  const PlanNode* n = &plan.root();
+  while (n->kind == PlanNode::Kind::kSplit) {
+    n = (acquire(n->attr) >= n->split_value) ? n->ge.get() : n->lt.get();
+  }
+  switch (n->kind) {
+    case PlanNode::Kind::kVerdict:
+      out.verdict = n->verdict;
+      break;
+    case PlanNode::Kind::kSequential: {
+      out.verdict = true;
+      for (const Predicate& p : n->sequence) {
+        if (!p.Matches(acquire(p.attr))) {
+          out.verdict = false;
+          break;
+        }
+      }
+      break;
+    }
+    case PlanNode::Kind::kGeneric: {
+      RangeVec ranges = schema.FullRanges();
+      for (size_t a = 0; a < schema.num_attributes(); ++a) {
+        if (out.acquired.Contains(static_cast<AttrId>(a))) {
+          ranges[a] = ValueRange{values[a], values[a]};
+        }
+      }
+      Truth t = n->residual_query.EvaluateOnRanges(ranges);
+      for (size_t k = 0; t == Truth::kUnknown && k < n->acquire_order.size();
+           ++k) {
+        const AttrId a = n->acquire_order[k];
+        const Value v = acquire(a);
+        ranges[a] = ValueRange{v, v};
+        t = n->residual_query.EvaluateOnRanges(ranges);
+      }
+      CAQP_CHECK(t != Truth::kUnknown);
+      out.verdict = (t == Truth::kTrue);
+      break;
+    }
+    case PlanNode::Kind::kSplit:
+      CAQP_CHECK(false);
+  }
+  return out;
+}
+
+using Runner = double (*)(const Plan&, const Schema&,
+                          const AcquisitionCostModel&,
+                          const std::vector<Tuple>&, TraceSink*);
+
+double RunBare(const Plan& plan, const Schema& schema,
+               const AcquisitionCostModel& cm, const std::vector<Tuple>& rows,
+               TraceSink* /*trace*/) {
+  double sink = 0;
+  for (const Tuple& t : rows) {
+    TupleSource src(t);
+    sink += ExecutePlanBare(plan, schema, cm, src).cost;
+  }
+  return sink;
+}
+
+double RunInstrumented(const Plan& plan, const Schema& schema,
+                       const AcquisitionCostModel& cm,
+                       const std::vector<Tuple>& rows, TraceSink* trace) {
+  double sink = 0;
+  for (const Tuple& t : rows) {
+    TupleSource src(t);
+    sink += ExecutePlan(plan, schema, cm, src, trace).cost;
+  }
+  return sink;
+}
+
+/// One timed pass, in ns per tuple.
+double TimeOnce(Runner run, const Plan& plan, const Schema& schema,
+                const AcquisitionCostModel& cm, const std::vector<Tuple>& rows,
+                TraceSink* trace) {
+  const auto t0 = std::chrono::steady_clock::now();
+  volatile double keep = run(plan, schema, cm, rows, trace);
+  (void)keep;
+  const auto t1 = std::chrono::steady_clock::now();
+  const double ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
+  return ns / static_cast<double>(rows.size());
+}
+
+}  // namespace
+
+int main() {
+  const Dataset data = benchsupport::MakeCorrelated(8, 16, 50000, 17);
+  const Query query = benchsupport::MidRangeQuery(data.schema(), 4);
+  DatasetEstimator est(data);
+  PerAttributeCostModel cm(data.schema());
+  const SplitPointSet splits = SplitPointSet::AllPoints(data.schema());
+  GreedySeqSolver solver;
+  GreedyPlanner::Options opts;
+  opts.split_points = &splits;
+  opts.seq_solver = &solver;
+  opts.max_splits = 4;
+  GreedyPlanner planner(est, cm, opts);
+  const Plan plan = planner.BuildPlan(query);
+  std::printf("plan: %zu splits; %zu tuples x 8 attrs\n", plan.NumSplits(),
+              data.num_rows());
+
+  std::vector<Tuple> rows;
+  rows.reserve(data.num_rows());
+  for (RowId r = 0; r < data.num_rows(); ++r) rows.push_back(data.GetTuple(r));
+
+  // Interleave the configurations across repetitions so slow drift
+  // (frequency scaling, noisy neighbours) hits them all equally; keep the
+  // minimum per configuration as the least-noise estimate.
+  const size_t kReps = 15;
+  RunInstrumented(plan, data.schema(), cm, rows, nullptr);  // warm-up
+  double bare = 1e300, off = 1e300, on = 1e300, traced = 1e300;
+  ExecutionTrace trace;
+  for (size_t rep = 0; rep < kReps; ++rep) {
+    bare = std::min(
+        bare, TimeOnce(&RunBare, plan, data.schema(), cm, rows, nullptr));
+    obs::SetEnabled(false);
+    off = std::min(off, TimeOnce(&RunInstrumented, plan, data.schema(), cm,
+                                 rows, nullptr));
+    obs::SetEnabled(true);
+    on = std::min(on, TimeOnce(&RunInstrumented, plan, data.schema(), cm,
+                               rows, nullptr));
+    traced = std::min(traced, TimeOnce(&RunInstrumented, plan, data.schema(),
+                                       cm, rows, &trace));
+  }
+
+  auto pct = [&](double x) { return 100.0 * (x - bare) / bare; };
+  std::printf("\n%-28s %10.1f ns/tuple\n", "baseline (no instrumentation)",
+              bare);
+  std::printf("%-28s %10.1f ns/tuple  (%+.1f%%)\n", "obs disabled", off,
+              pct(off));
+  std::printf("%-28s %10.1f ns/tuple  (%+.1f%%)\n", "obs enabled", on,
+              pct(on));
+  std::printf("%-28s %10.1f ns/tuple  (%+.1f%%)\n", "obs + ExecutionTrace",
+              traced, pct(traced));
+  std::printf("\ndisabled-instrumentation overhead: %.1f%% (bar: < 5%%)\n",
+              pct(off));
+  return 0;
+}

@@ -1,11 +1,97 @@
 #include "bench_util.h"
 
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "plan/plan_serde.h"
 
 namespace caqp {
 namespace bench {
+
+namespace {
+
+// Structured-export state for this binary, armed by InitBench. Run
+// fragments are serialized eagerly so no Schema/Dataset lifetimes leak
+// into FinishBench.
+struct RunLog {
+  bool enabled = false;
+  std::string bench_name;
+  std::string json_path;
+  std::vector<std::string> run_fragments;
+};
+
+RunLog& Log() {
+  static RunLog log;
+  return log;
+}
+
+std::string SerializeRun(const Measurement& m, const obs::PlannerStats& stats,
+                         const AttributeProfile& profile,
+                         const Schema& schema) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("planner").String(m.planner);
+  w.Key("query_index").UInt(m.query_index);
+  w.Key("train_cost").Double(m.train_cost);
+  w.Key("test_cost").Double(m.test_cost);
+  w.Key("plan_splits").UInt(m.plan_splits);
+  w.Key("plan_bytes").UInt(m.plan_bytes);
+  w.Key("verdict_errors").UInt(m.verdict_errors);
+  w.Key("plan_build_seconds").Double(m.plan_build_seconds);
+  w.Key("planner_stats");
+  obs::WritePlannerStats(w, stats);
+  w.Key("test_profile");
+  obs::WriteAttributeProfile(w, profile, &schema);
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace
+
+void InitBench(const std::string& bench_name, int argc, char** argv) {
+  RunLog& log = Log();
+  log.bench_name = bench_name;
+  log.json_path.clear();
+  log.run_fragments.clear();
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json-out") == 0 && i + 1 < argc) {
+      log.json_path = argv[i + 1];
+      ++i;
+    } else if (std::strncmp(arg, "--json-out=", 11) == 0) {
+      log.json_path = arg + 11;
+    }
+  }
+  if (log.json_path.empty()) {
+    if (const char* env = std::getenv("CAQP_JSON_OUT")) log.json_path = env;
+  }
+  log.enabled = !log.json_path.empty();
+}
+
+bool JsonExportEnabled() { return Log().enabled; }
+
+void FinishBench() {
+  RunLog& log = Log();
+  if (!log.enabled) return;
+  std::string doc = "{\"bench\":\"" + obs::EscapeJson(log.bench_name) +
+                    "\",\"runs\":[";
+  for (size_t i = 0; i < log.run_fragments.size(); ++i) {
+    if (i) doc += ',';
+    doc += log.run_fragments[i];
+  }
+  doc += "],\"metrics\":";
+  doc += obs::RegistryToJson(obs::DefaultRegistry());
+  doc += "}\n";
+  if (obs::WriteFileOrComplain(log.json_path, doc)) {
+    std::printf("[wrote %s: %zu runs]\n", log.json_path.c_str(),
+                log.run_fragments.size());
+  }
+  log.enabled = false;
+}
 
 std::vector<Measurement> RunWorkload(Planner& planner,
                                      const std::vector<Query>& queries,
@@ -13,6 +99,7 @@ std::vector<Measurement> RunWorkload(Planner& planner,
                                      const AcquisitionCostModel& cost_model) {
   std::vector<Measurement> out;
   out.reserve(queries.size());
+  const bool record = JsonExportEnabled();
   for (size_t i = 0; i < queries.size(); ++i) {
     Measurement m;
     m.planner = planner.Name();
@@ -26,10 +113,15 @@ std::vector<Measurement> RunWorkload(Planner& planner,
     m.plan_bytes = PlanSizeBytes(plan);
     m.train_cost =
         EmpiricalPlanCost(plan, train, queries[i], cost_model).mean_cost;
-    const EmpiricalCostResult te =
-        EmpiricalPlanCost(plan, test, queries[i], cost_model);
+    AttributeProfile profile(test.schema().num_attributes());
+    const EmpiricalCostResult te = EmpiricalPlanCost(
+        plan, test, queries[i], cost_model, record ? &profile : nullptr);
     m.test_cost = te.mean_cost;
     m.verdict_errors = te.verdict_errors;
+    if (record) {
+      Log().run_fragments.push_back(SerializeRun(
+          m, planner.planner_stats(), profile, test.schema()));
+    }
     out.push_back(m);
   }
   return out;

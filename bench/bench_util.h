@@ -33,10 +33,28 @@ struct Measurement {
 };
 
 /// Runs one planner over a query workload, costing plans on both splits.
+/// When structured export is armed (see InitBench) each run additionally
+/// records the planner's obs::PlannerStats and a per-attribute acquisition
+/// profile of the test pass.
 std::vector<Measurement> RunWorkload(Planner& planner,
                                      const std::vector<Query>& queries,
                                      const Dataset& train, const Dataset& test,
                                      const AcquisitionCostModel& cost_model);
+
+/// Call once at the top of a bench main. Parses `--json-out <path>` (or
+/// `--json-out=<path>`) from argv, falling back to the CAQP_JSON_OUT
+/// environment variable; when a path is found, structured export is armed:
+/// every subsequent RunWorkload logs its runs and FinishBench writes one
+/// JSON document covering the whole binary invocation.
+void InitBench(const std::string& bench_name, int argc = 0,
+               char** argv = nullptr);
+
+/// True when InitBench armed structured export.
+bool JsonExportEnabled();
+
+/// Writes the accumulated run log plus a metrics-registry snapshot to the
+/// --json-out path and disarms export. No-op when export is off.
+void FinishBench();
 
 /// Mean of a field over measurements of one planner.
 double MeanTestCost(const std::vector<Measurement>& ms);

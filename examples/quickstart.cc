@@ -4,6 +4,7 @@
 // 2. Wrap it in a DatasetEstimator.
 // 3. Ask a planner for a plan for your query.
 // 4. Execute the plan over new tuples, paying acquisition costs lazily.
+// 5. Optionally observe the run: planner stats and an execution trace.
 //
 // The data here is the paper's Figure 2 situation: two expensive sensors
 // whose selectivities flip between night and day, plus a free clock. The
@@ -14,6 +15,7 @@
 
 #include "common/rng.h"
 #include "exec/executor.h"
+#include "obs/trace.h"
 #include "opt/greedy_plan.h"
 #include "opt/naive.h"
 #include "opt/optseq.h"
@@ -81,5 +83,24 @@ int main() {
       ExecutePlan(cond_plan, schema, cost_model, source);
   std::printf("tonight's tuple: verdict=%s, paid %.1f cost units, %d reads\n",
               res.verdict ? "PASS" : "FAIL", res.cost, res.acquisitions);
+
+  // --- 5. Observability ---------------------------------------------------
+  // Planner stats were collected during BuildPlan above.
+  const obs::PlannerStats& stats = greedy.planner_stats();
+  std::printf("\nplanner: %zu split searches, %zu splits taken, "
+              "%zu leaf solves\n",
+              stats.split_searches, stats.splits_taken, stats.seq_solves);
+
+  // An ExecutionTrace records the acquisition order and branch path of a
+  // single tuple (tools/caqp_plan --trace-out streams these as JSONL).
+  ExecutionTrace trace;
+  TupleSource traced_source(tonight);
+  (void)ExecutePlan(cond_plan, schema, cost_model, traced_source, &trace);
+  std::printf("trace:");
+  for (const TraceAcquisition& a : trace.acquisitions()) {
+    std::printf(" %s=%u(+%.1f)", schema.name(a.attr).c_str(), a.value,
+                a.cost);
+  }
+  std::printf(" -> %s\n", trace.verdict() ? "PASS" : "FAIL");
   return 0;
 }

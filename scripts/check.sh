@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Verification gate: tier-1 build + full test suite, then a second build
+# with AddressSanitizer + UBSan (-DCAQP_SANITIZE=ON) re-running the tests.
+# Usage: scripts/check.sh [--skip-sanitizers]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+skip_san=0
+[[ "${1:-}" == "--skip-sanitizers" ]] && skip_san=1
+
+echo "== tier-1: regular build + ctest =="
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "$skip_san" == 1 ]]; then
+  echo "== sanitizers skipped =="
+  exit 0
+fi
+
+echo "== ASan/UBSan build + ctest =="
+cmake -B build-asan -S . -DCAQP_SANITIZE=ON
+cmake --build build-asan -j
+ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+echo "== all checks passed =="

@@ -18,6 +18,11 @@
 #include "core/schema.h"       // IWYU pragma: export
 #include "exec/executor.h"     // IWYU pragma: export
 #include "exec/metrics.h"      // IWYU pragma: export
+#include "obs/export.h"        // IWYU pragma: export
+#include "obs/obs.h"           // IWYU pragma: export
+#include "obs/planner_stats.h" // IWYU pragma: export
+#include "obs/registry.h"      // IWYU pragma: export
+#include "obs/trace.h"         // IWYU pragma: export
 #include "opt/adaptive.h"      // IWYU pragma: export
 #include "opt/cost_model.h"    // IWYU pragma: export
 #include "opt/exhaustive.h"    // IWYU pragma: export

@@ -1,20 +1,32 @@
 #include "exec/executor.h"
 
+#include "obs/obs.h"
+#include "obs/registry.h"
+
 namespace caqp {
 
-ExecutionResult ExecutePlan(const Plan& plan, const Schema& schema,
-                            const AcquisitionCostModel& cost_model,
-                            AcquisitionSource& source) {
+namespace {
+
+// Templating on kTraced lets the no-trace instantiation drop every event
+// hook at compile time: ExecutePlan with a null sink runs the exact same
+// code as an uninstrumented executor (bench/bench_obs_overhead.cc measures
+// the residual dispatch cost).
+template <bool kTraced>
+ExecutionResult ExecutePlanImpl(const Plan& plan, const Schema& schema,
+                                const AcquisitionCostModel& cost_model,
+                                AcquisitionSource& source, TraceSink* trace) {
   ExecutionResult out;
   // Cache of acquired values; valid where out.acquired has the bit set.
   std::vector<Value> values(schema.num_attributes(), 0);
 
   auto acquire = [&](AttrId a) -> Value {
     if (!out.acquired.Contains(a)) {
-      out.cost += cost_model.Cost(a, out.acquired);
+      const double marginal = cost_model.Cost(a, out.acquired);
+      out.cost += marginal;
       out.acquired.Insert(a);
       ++out.acquisitions;
       values[a] = source.Acquire(a);
+      if constexpr (kTraced) trace->OnAcquire(a, values[a], marginal);
     }
     return values[a];
   };
@@ -22,7 +34,9 @@ ExecutionResult ExecutePlan(const Plan& plan, const Schema& schema,
   const PlanNode* n = &plan.root();
   while (n->kind == PlanNode::Kind::kSplit) {
     const Value v = acquire(n->attr);
-    n = (v >= n->split_value) ? n->ge.get() : n->lt.get();
+    const bool ge = v >= n->split_value;
+    if constexpr (kTraced) trace->OnBranch(n->attr, n->split_value, ge);
+    n = ge ? n->ge.get() : n->lt.get();
   }
 
   switch (n->kind) {
@@ -61,6 +75,21 @@ ExecutionResult ExecutePlan(const Plan& plan, const Schema& schema,
     case PlanNode::Kind::kSplit:
       CAQP_CHECK(false);
   }
+  if constexpr (kTraced) trace->OnVerdict(out.verdict, out.cost);
+  return out;
+}
+
+}  // namespace
+
+ExecutionResult ExecutePlan(const Plan& plan, const Schema& schema,
+                            const AcquisitionCostModel& cost_model,
+                            AcquisitionSource& source, TraceSink* trace) {
+  ExecutionResult out =
+      trace ? ExecutePlanImpl<true>(plan, schema, cost_model, source, trace)
+            : ExecutePlanImpl<false>(plan, schema, cost_model, source, nullptr);
+  CAQP_OBS_COUNTER_INC("exec.tuples");
+  CAQP_OBS_COUNTER_ADD("exec.acquisitions",
+                       static_cast<uint64_t>(out.acquisitions));
   return out;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/schema.h"
+#include "obs/trace.h"
 #include "opt/cost_model.h"
 #include "plan/plan.h"
 #include "prob/subproblem.h"
@@ -49,10 +50,14 @@ struct ExecutionResult {
 };
 
 /// Evaluates `plan` for one tuple, acquiring attributes lazily from `source`
-/// and charging `cost_model` for each first acquisition.
+/// and charging `cost_model` for each first acquisition. If `trace` is
+/// non-null it receives acquisition / branch / verdict events in traversal
+/// order (obs/trace.h); the default null sink costs one untaken branch per
+/// event site.
 ExecutionResult ExecutePlan(const Plan& plan, const Schema& schema,
                             const AcquisitionCostModel& cost_model,
-                            AcquisitionSource& source);
+                            AcquisitionSource& source,
+                            TraceSink* trace = nullptr);
 
 }  // namespace caqp
 

@@ -7,6 +7,17 @@
 
 namespace caqp {
 
+double SortedPercentile(const std::vector<double>& sorted, double q) {
+  CAQP_CHECK(!sorted.empty());
+  CAQP_CHECK(q >= 0.0 && q <= 100.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
 GainStats SummarizeGains(std::vector<double> gains) {
   GainStats s;
   if (gains.empty()) return s;
@@ -17,6 +28,12 @@ GainStats SummarizeGains(std::vector<double> gains) {
   double total = 0.0;
   for (double g : gains) total += g;
   s.mean = total / gains.size();
+  double m2 = 0.0;
+  for (double g : gains) m2 += (g - s.mean) * (g - s.mean);
+  s.variance = m2 / gains.size();
+  s.p25 = SortedPercentile(gains, 25.0);
+  s.p75 = SortedPercentile(gains, 75.0);
+  s.p95 = SortedPercentile(gains, 95.0);
   return s;
 }
 
@@ -27,6 +44,11 @@ std::vector<std::pair<double, double>> CumulativeGainCurve(
   std::sort(gains.begin(), gains.end());
   const double lo = gains.front();
   const double hi = gains.back();
+  if (lo == hi) {
+    // All experiments saw the same gain: one point, full mass.
+    curve.emplace_back(lo, 1.0);
+    return curve;
+  }
   for (int i = 0; i < points; ++i) {
     const double x = lo + (hi - lo) * i / (points - 1);
     // Fraction of experiments with gain >= x.

@@ -5,25 +5,43 @@
 #ifndef CAQP_EXEC_METRICS_H_
 #define CAQP_EXEC_METRICS_H_
 
+#include <cmath>
 #include <string>
 #include <vector>
 
 namespace caqp {
 
-/// Streaming accumulator for per-tuple execution costs.
+/// Streaming accumulator for per-tuple execution costs. Tracks mean and
+/// population variance online (Welford's algorithm: numerically stable,
+/// one pass, no stored samples) plus min/max.
 class CostAccumulator {
  public:
   void Add(double cost) {
     total_ += cost;
     ++count_;
+    const double delta = cost - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (cost - mean_);
+    if (count_ == 1 || cost < min_) min_ = cost;
+    if (count_ == 1 || cost > max_) max_ = cost;
   }
-  double mean() const { return count_ ? total_ / count_ : 0.0; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const {
+    return count_ ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
   double total() const { return total_; }
   size_t count() const { return count_; }
 
  private:
   double total_ = 0.0;
   size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
 };
 
 /// Ratios of baseline cost to algorithm cost, one per experiment; >1 means
@@ -33,13 +51,23 @@ struct GainStats {
   double min = 0.0;    ///< worst case across experiments
   double max = 0.0;    ///< best case
   double median = 0.0;
+  double variance = 0.0;  ///< population variance
+  double p25 = 0.0;    ///< lower-quartile gain (linear interpolation)
+  double p75 = 0.0;    ///< upper-quartile gain
+  double p95 = 0.0;    ///< near-best-case gain
 };
 
 GainStats SummarizeGains(std::vector<double> gains);
 
+/// q-th percentile (q in [0,100]) of `sorted` by linear interpolation
+/// between order statistics. `sorted` must be ascending and non-empty.
+double SortedPercentile(const std::vector<double>& sorted, double q);
+
 /// Cumulative-frequency curve over gains: for each threshold x returns the
 /// fraction of experiments with gain >= x (the Figure 8(c) / 10 / 11 plot).
-/// `points` thresholds are spaced between min and max gain.
+/// `points` thresholds are spaced between min and max gain. Degenerate
+/// inputs collapse: empty gains (or points < 2) give an empty curve, and
+/// all-equal gains give the single point {gain, 1.0}.
 std::vector<std::pair<double, double>> CumulativeGainCurve(
     std::vector<double> gains, int points = 20);
 

@@ -1,5 +1,7 @@
 #include "net/basestation.h"
 
+#include "obs/obs.h"
+#include "obs/registry.h"
 #include "prob/dataset_estimator.h"
 
 namespace caqp {
@@ -27,12 +29,19 @@ Plan Basestation::TrainPlan(const Query& query, const SplitPointSet& splits,
 
 size_t Basestation::Disseminate(const Plan& plan, std::vector<Mote*>& motes) {
   const std::vector<uint8_t> bytes = SerializePlan(plan);
+  CAQP_OBS_COUNTER_INC("net.base.disseminations");
+  CAQP_OBS_GAUGE_SET("net.base.plan_bytes", static_cast<double>(bytes.size()));
   size_t installed = 0;
   for (Mote* mote : motes) {
     const Radio::Delivery d = radio_.Transmit(bytes, energy_, mote->energy());
     if (!d.delivered) continue;
-    if (mote->ReceivePlanBytes(d.payload).ok()) ++installed;
+    if (mote->ReceivePlanBytes(d.payload).ok()) {
+      ++installed;
+    } else {
+      CAQP_OBS_COUNTER_INC("net.base.corrupt_plans_rejected");
+    }
   }
+  CAQP_OBS_COUNTER_ADD("net.base.plans_installed", installed);
   return installed;
 }
 

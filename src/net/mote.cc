@@ -1,5 +1,8 @@
 #include "net/mote.h"
 
+#include "obs/obs.h"
+#include "obs/registry.h"
+
 namespace caqp {
 
 namespace {
@@ -30,7 +33,12 @@ std::optional<ExecutionResult> Mote::RunEpoch(size_t epoch) {
   EpochSource source(sampler_, epoch);
   const ExecutionResult res =
       ExecutePlan(*plan_, schema_, cost_model_, source);
-  if (!energy_.Consume(res.cost)) return std::nullopt;
+  if (!energy_.Consume(res.cost)) {
+    CAQP_OBS_COUNTER_INC("net.mote.brownouts");
+    return std::nullopt;
+  }
+  CAQP_OBS_COUNTER_INC("net.mote.epochs");
+  CAQP_OBS_STAT_RECORD("net.mote.epoch_cost", res.cost);
   return res;
 }
 

@@ -1,22 +1,31 @@
 #include "net/radio.h"
 
+#include "obs/obs.h"
+#include "obs/registry.h"
+
 namespace caqp {
 
 Radio::Delivery Radio::Transmit(const std::vector<uint8_t>& bytes,
                                 EnergyMeter& sender, EnergyMeter& receiver) {
   Delivery out;
+  CAQP_OBS_COUNTER_INC("net.radio.transmissions");
   const double cost = options_.cost_per_byte * static_cast<double>(bytes.size());
   if (!sender.Consume(cost)) {
     ++messages_dropped_;
+    CAQP_OBS_COUNTER_INC("net.radio.dropped_energy");
     return out;
   }
   if (!receiver.Consume(cost)) {
     ++messages_dropped_;
+    CAQP_OBS_COUNTER_INC("net.radio.dropped_energy");
     return out;
   }
   bytes_sent_ += bytes.size();
+  CAQP_OBS_COUNTER_ADD("net.radio.bytes_sent", bytes.size());
+  CAQP_OBS_STAT_RECORD("net.radio.message_energy", 2.0 * cost);
   if (rng_.Bernoulli(options_.drop_probability)) {
     ++messages_dropped_;
+    CAQP_OBS_COUNTER_INC("net.radio.dropped_loss");
     return out;
   }
   out.payload = bytes;

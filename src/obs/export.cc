@@ -1,0 +1,286 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.h"
+#include "core/schema.h"
+
+namespace caqp {
+namespace obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  // %.17g round-trips every double; trim to shortest via %g first.
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  double parsed = 0.0;
+  std::sscanf(buf, "%lf", &parsed);
+  if (parsed != v) std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // comma already handled when the key was written
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_ += ',';
+    has_element_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  CAQP_DCHECK(!has_element_.empty());
+  CAQP_DCHECK(!pending_key_);
+  has_element_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  CAQP_DCHECK(!has_element_.empty());
+  CAQP_DCHECK(!pending_key_);
+  has_element_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view k) {
+  CAQP_DCHECK(!has_element_.empty());
+  CAQP_DCHECK(!pending_key_);
+  if (has_element_.back()) out_ += ',';
+  has_element_.back() = true;
+  out_ += '"';
+  out_ += EscapeJson(k);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view v) {
+  BeforeValue();
+  out_ += '"';
+  out_ += EscapeJson(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t v) {
+  BeforeValue();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t v) {
+  BeforeValue();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double v) {
+  BeforeValue();
+  out_ += FormatDouble(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool v) {
+  BeforeValue();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+void WriteRegistrySnapshot(JsonWriter& w, const RegistrySnapshot& snap) {
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& c : snap.counters) w.Key(c.name).UInt(c.value);
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& g : snap.gauges) w.Key(g.name).Double(g.value);
+  w.EndObject();
+  w.Key("stats").BeginObject();
+  for (const auto& s : snap.stats) {
+    w.Key(s.name).BeginObject();
+    w.Key("count").UInt(s.count);
+    w.Key("mean").Double(s.mean);
+    w.Key("variance").Double(s.variance);
+    w.Key("min").Double(s.min);
+    w.Key("max").Double(s.max);
+    w.Key("p50").Double(s.p50);
+    w.Key("p95").Double(s.p95);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+}
+
+void WritePlannerStats(JsonWriter& w, const PlannerStats& stats) {
+  w.BeginObject();
+  w.Key("planner").String(stats.planner);
+  w.Key("memo_hits").UInt(stats.memo_hits);
+  w.Key("memo_misses").UInt(stats.memo_misses);
+  w.Key("bound_prunes").UInt(stats.bound_prunes);
+  w.Key("candidates_tried").UInt(stats.candidates_tried);
+  w.Key("split_searches").UInt(stats.split_searches);
+  w.Key("splits_considered").UInt(stats.splits_considered);
+  w.Key("splits_taken").UInt(stats.splits_taken);
+  w.Key("queue_high_water").UInt(stats.queue_high_water);
+  w.Key("expansions_skipped").UInt(stats.expansions_skipped);
+  w.Key("benefit_first").Double(stats.benefit_first);
+  w.Key("benefit_last").Double(stats.benefit_last);
+  w.Key("benefit_total").Double(stats.benefit_total);
+  w.Key("seq_solves").UInt(stats.seq_solves);
+  w.Key("expected_cost").Double(stats.expected_cost);
+  w.EndObject();
+}
+
+void WriteAttributeProfile(JsonWriter& w, const AttributeProfile& profile,
+                           const Schema* schema) {
+  w.BeginObject();
+  w.Key("tuples").UInt(profile.tuples());
+  w.Key("matches").UInt(profile.matches());
+  w.Key("mean_cost").Double(profile.MeanCost());
+  w.Key("attributes").BeginArray();
+  for (size_t a = 0; a < profile.num_attributes(); ++a) {
+    const AttrId attr = static_cast<AttrId>(a);
+    if (profile.count(attr) == 0) continue;  // only acquired attributes
+    w.BeginObject();
+    w.Key("attr").UInt(a);
+    if (schema != nullptr) w.Key("name").String(schema->name(attr));
+    w.Key("acquisitions").UInt(profile.count(attr));
+    w.Key("acquisition_rate").Double(profile.AcquisitionRate(attr));
+    w.Key("total_cost").Double(profile.cost(attr));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+std::string RegistryToJson(const MetricsRegistry& registry) {
+  JsonWriter w;
+  WriteRegistrySnapshot(w, registry.Snapshot());
+  return w.TakeString();
+}
+
+std::string RegistryToMarkdown(const MetricsRegistry& registry) {
+  const RegistrySnapshot snap = registry.Snapshot();
+  std::string out;
+  char buf[256];
+  if (!snap.counters.empty()) {
+    out += "| counter | value |\n|---|---|\n";
+    for (const auto& c : snap.counters) {
+      std::snprintf(buf, sizeof(buf), "| %s | %" PRIu64 " |\n",
+                    c.name.c_str(), c.value);
+      out += buf;
+    }
+  }
+  if (!snap.gauges.empty()) {
+    out += "\n| gauge | value |\n|---|---|\n";
+    for (const auto& g : snap.gauges) {
+      std::snprintf(buf, sizeof(buf), "| %s | %g |\n", g.name.c_str(),
+                    g.value);
+      out += buf;
+    }
+  }
+  if (!snap.stats.empty()) {
+    out +=
+        "\n| stat | count | mean | stddev | min | p50 | p95 | max |\n"
+        "|---|---|---|---|---|---|---|---|\n";
+    for (const auto& s : snap.stats) {
+      std::snprintf(buf, sizeof(buf),
+                    "| %s | %zu | %g | %g | %g | %g | %g | %g |\n",
+                    s.name.c_str(), s.count, s.mean, std::sqrt(s.variance),
+                    s.min, s.p50, s.p95, s.max);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+bool AppendJsonLine(const std::string& path, const std::string& json) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) return false;
+  out << json << "\n";
+  return static_cast<bool>(out);
+}
+
+bool WriteFileOrComplain(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "obs: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << content;
+  if (!out) {
+    std::fprintf(stderr, "obs: short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace caqp

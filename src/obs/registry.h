@@ -1,0 +1,147 @@
+// Metrics registry: named counters, gauges, and streaming timers shared by
+// every layer of the library (planners, executor, network sim, tools).
+//
+// Design for the hot path:
+//  * Counter / Gauge are single std::atomics updated with relaxed ordering —
+//    lock-free, one instruction on x86/ARM.
+//  * StreamingStat (Welford mean/variance + min/max + deterministic
+//    reservoir for quantiles) is single-writer: the library is
+//    single-threaded per query, and concurrent *readers* of counters and
+//    gauges are safe. Registering a metric takes a mutex, but call sites
+//    cache the returned reference (see the CAQP_OBS_* macros in obs.h), so
+//    the lock is touched once per call site for the process lifetime.
+//  * Metric objects are never destroyed or moved once created; references
+//    stay valid until process exit (std::map nodes are stable).
+
+#ifndef CAQP_OBS_REGISTRY_H_
+#define CAQP_OBS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace caqp {
+namespace obs {
+
+/// Monotonic event count. Lock-free.
+class Counter {
+ public:
+  void Add(uint64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-written value (e.g. a high-water mark or energy level). Lock-free.
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Streaming distribution summary: count, Welford mean/variance, min/max,
+/// and approximate quantiles from a fixed-size deterministic reservoir.
+/// Single-writer; O(1) per Record.
+class StreamingStat {
+ public:
+  static constexpr size_t kReservoirCapacity = 1024;
+
+  void Record(double x);
+
+  size_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than two samples.
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Approximate q-quantile (q in [0,1]) from the reservoir sample, with
+  /// linear interpolation. Exact while count() <= kReservoirCapacity.
+  double Quantile(double q) const;
+  double p50() const { return Quantile(0.50); }
+  double p95() const { return Quantile(0.95); }
+
+  void Reset() { *this = StreamingStat(); }
+
+ private:
+  uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  // Algorithm R with a fixed-seed xorshift so runs are reproducible.
+  uint64_t rng_ = 0x9e3779b97f4a7c15ull;
+  std::vector<double> reservoir_;
+};
+
+/// Point-in-time copy of every registered metric, for export.
+struct RegistrySnapshot {
+  struct CounterValue {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct StatValue {
+    std::string name;
+    size_t count = 0;
+    double mean = 0.0;
+    double variance = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+  };
+  std::vector<CounterValue> counters;  // sorted by name
+  std::vector<GaugeValue> gauges;      // sorted by name
+  std::vector<StatValue> stats;        // sorted by name
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns the metric registered under `name`, creating it on first use.
+  /// The reference is valid for the registry's lifetime. Requesting the
+  /// same name as two different metric kinds is a programming error.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  StreamingStat& GetStat(const std::string& name);
+
+  RegistrySnapshot Snapshot() const;
+
+  /// Zeroes every metric (keeps registrations, so cached references held by
+  /// instrumentation call sites stay valid). Intended for tests and for
+  /// tools that report per-phase deltas.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<StreamingStat>> stats_;
+};
+
+/// The process-wide registry used by the CAQP_OBS_* macros.
+MetricsRegistry& DefaultRegistry();
+
+}  // namespace obs
+}  // namespace caqp
+
+#endif  // CAQP_OBS_REGISTRY_H_

@@ -137,7 +137,10 @@ std::pair<double, std::unique_ptr<PlanNode>> ExhaustivePlanner::Solve(
 
     const double observe =
         acquired.Contains(attr) ? 0.0 : cost_model_.Cost(attr, acquired);
-    if (observe >= cmin) continue;
+    if (observe >= cmin) {
+      ++stats_.observe_prunes;
+      continue;
+    }
 
     const Histogram h = estimator_.Marginal(ranges, attr);
     if (h.total() <= 0) continue;  // Unreachable; completion leaf covers it.
@@ -164,7 +167,10 @@ std::pair<double, std::unique_ptr<PlanNode>> ExhaustivePlanner::Solve(
         lt_node = CorrectLeaf(query, schema, lt_ranges);
       }
       // Exact child costs make abandoning a partially-costed candidate safe.
-      if (acc >= cmin) continue;
+      if (acc >= cmin) {
+        ++stats_.candidate_abandons;
+        continue;
+      }
 
       const RangeVec ge_ranges = Refined(ranges, attr, ge_r);
       if (p_ge > 0) {
@@ -196,9 +202,16 @@ Plan ExhaustivePlanner::BuildPlan(const Query& query) {
   CAQP_CHECK(query.ValidFor(estimator_.schema()));
   cache_.clear();
   stats_ = Stats{};
+  planner_stats_.Reset(Name());
   auto [cost, node] = Solve(query, estimator_.schema().FullRanges());
   CAQP_CHECK(node != nullptr);
   last_cost_ = cost;
+  planner_stats_.memo_hits = stats_.cache_hits;
+  planner_stats_.memo_misses = stats_.subproblems_solved;
+  planner_stats_.bound_prunes =
+      stats_.observe_prunes + stats_.candidate_abandons;
+  planner_stats_.candidates_tried = stats_.candidates_tried;
+  planner_stats_.expected_cost = cost;
   return Plan(std::move(node));
 }
 

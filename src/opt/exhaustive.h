@@ -48,9 +48,15 @@ class ExhaustivePlanner : public Planner {
   };
 
   struct Stats {
-    size_t subproblems_solved = 0;
-    size_t cache_hits = 0;
-    size_t candidates_tried = 0;
+    size_t subproblems_solved = 0;  ///< memo misses: distinct subproblems
+    size_t cache_hits = 0;          ///< memo hits
+    size_t candidates_tried = 0;    ///< (attribute, split point) pairs costed
+    /// Attributes skipped because their observation cost alone already
+    /// exceeded the best candidate (paper's candidate-level pruning).
+    size_t observe_prunes = 0;
+    /// Candidates abandoned after costing the "<" child because the partial
+    /// sum already exceeded the best candidate.
+    size_t candidate_abandons = 0;
   };
 
   ExhaustivePlanner(CondProbEstimator& estimator,

@@ -74,6 +74,7 @@ void GreedyPlanner::SolveLeafState(GNode* node,
   prob.masks = &node->masks;
   prob.cost = MakeSeqCostFn(estimator_.schema(), cost_model_, node->ranges,
                             node->preds);
+  ++stats_.seq_solves;
   const SeqSolution sol = options_.seq_solver->Solve(prob);
   node->seq_cost = sol.expected_cost;
   node->seq_order = sol.OrderedPredicates(prob);
@@ -234,6 +235,7 @@ Plan GreedyPlanner::BuildPlan(const Query& query) {
   CAQP_CHECK(query.ValidFor(schema));
   CAQP_CHECK(query.IsConjunctive());
   stats_ = Stats{};
+  planner_stats_.Reset(Name());
 
   auto root = std::make_unique<GNode>();
   root->ranges = schema.FullRanges();
@@ -260,7 +262,10 @@ Plan GreedyPlanner::BuildPlan(const Query& query) {
   auto maybe_enqueue = [&](GNode* n) {
     if (!n->has_split) return;
     const double gain = n->reach_prob * (n->seq_cost - n->split_cost);
-    if (gain > options_.min_gain) queue.push({gain, n});
+    if (gain > options_.min_gain) {
+      queue.push({gain, n});
+      stats_.queue_high_water = std::max(stats_.queue_high_water, queue.size());
+    }
   };
   maybe_enqueue(root.get());
 
@@ -281,18 +286,23 @@ Plan GreedyPlanner::BuildPlan(const Query& query) {
           static_cast<double>(after) - static_cast<double>(before);
       if (options_.size_penalty_alpha > 0 &&
           top.priority <= options_.size_penalty_alpha * delta) {
+        ++stats_.expansions_skipped;
         continue;  // The saving does not cover shipping the bigger plan.
       }
       if (options_.max_plan_bytes > 0) {
         const size_t current = PlanSizeBytes(Plan(Materialize(*root)));
         if (current + static_cast<size_t>(std::max(0.0, delta)) >
             options_.max_plan_bytes) {
+          ++stats_.expansions_skipped;
           continue;  // Would no longer fit in device RAM.
         }
       }
     }
 
     node->expanded = true;
+    if (stats_.splits_made == 0) stats_.benefit_first = top.priority;
+    stats_.benefit_last = top.priority;
+    stats_.benefit_total += top.priority;
     ++stats_.splits_made;
     for (GNode* child : {node->lt.get(), node->ge.get()}) {
       child->reach_prob = estimator_.ReachProbability(child->ranges);
@@ -302,6 +312,16 @@ Plan GreedyPlanner::BuildPlan(const Query& query) {
   }
 
   last_cost_ = SubtreeExpectedCost(*root);
+  planner_stats_.split_searches = stats_.split_searches;
+  planner_stats_.splits_considered = stats_.candidates_tried;
+  planner_stats_.splits_taken = stats_.splits_made;
+  planner_stats_.queue_high_water = stats_.queue_high_water;
+  planner_stats_.expansions_skipped = stats_.expansions_skipped;
+  planner_stats_.benefit_first = stats_.benefit_first;
+  planner_stats_.benefit_last = stats_.benefit_last;
+  planner_stats_.benefit_total = stats_.benefit_total;
+  planner_stats_.seq_solves = stats_.seq_solves;
+  planner_stats_.expected_cost = last_cost_;
   return Plan(Materialize(*root));
 }
 

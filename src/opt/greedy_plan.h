@@ -48,9 +48,16 @@ class GreedyPlanner : public Planner {
   };
 
   struct Stats {
-    size_t splits_made = 0;
-    size_t split_searches = 0;
-    size_t candidates_tried = 0;
+    size_t splits_made = 0;      ///< splits adopted into the plan
+    size_t split_searches = 0;   ///< GREEDYSPLIT invocations
+    size_t candidates_tried = 0; ///< candidate splits costed
+    size_t queue_high_water = 0; ///< max expansion-queue length observed
+    /// Queue pops rejected by the size penalty or the hard byte bound.
+    size_t expansions_skipped = 0;
+    size_t seq_solves = 0;       ///< base sequential-plan solver calls
+    double benefit_first = 0.0;  ///< expected gain of the first expansion
+    double benefit_last = 0.0;   ///< expected gain of the last expansion
+    double benefit_total = 0.0;  ///< summed expected gains of all expansions
   };
 
   GreedyPlanner(CondProbEstimator& estimator,

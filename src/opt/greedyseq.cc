@@ -2,6 +2,9 @@
 
 #include <limits>
 
+#include "obs/obs.h"
+#include "obs/registry.h"
+
 namespace caqp {
 
 SeqSolution GreedySeqSolver::Solve(const SeqProblem& problem) const {
@@ -10,6 +13,8 @@ SeqSolution GreedySeqSolver::Solve(const SeqProblem& problem) const {
   CAQP_CHECK_LE(m, 64u);
   SeqSolution sol;
   if (m == 0) return sol;
+  CAQP_OBS_COUNTER_INC("opt.greedyseq.solves");
+  CAQP_OBS_COUNTER_ADD("opt.greedyseq.preds", m);
 
   // Conditioned distribution: entries surviving "all chosen predicates
   // true". Shrinks as predicates are chosen, keeping each step cheap.

@@ -8,6 +8,7 @@ namespace caqp {
 Plan NaivePlanner::BuildPlan(const Query& query) {
   CAQP_CHECK(query.ValidFor(estimator_.schema()));
   CAQP_CHECK(query.IsConjunctive());
+  planner_stats_.Reset(Name());
   const Conjunct& preds = query.predicates();
   const RangeVec root = estimator_.schema().FullRanges();
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/obs.h"
+#include "obs/registry.h"
+
 namespace caqp {
 
 double SequentialOrderCost(const SeqProblem& problem,
@@ -26,6 +29,8 @@ SeqSolution OptSeqSolver::Solve(const SeqProblem& problem) const {
   SeqSolution sol;
   if (m == 0) return sol;
   CAQP_CHECK_LE(m, 20u);  // O(m 2^m) DP.
+  CAQP_OBS_COUNTER_INC("opt.optseq.solves");
+  CAQP_OBS_COUNTER_ADD("opt.optseq.subsets", uint64_t{1} << m);
 
   const uint64_t full = (uint64_t{1} << m) - 1;
 

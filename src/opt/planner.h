@@ -10,6 +10,7 @@
 #include <string>
 
 #include "core/query.h"
+#include "obs/planner_stats.h"
 #include "opt/cost_model.h"
 #include "opt/sequential.h"
 #include "plan/plan.h"
@@ -24,6 +25,14 @@ class Planner {
   /// Builds a plan for `query`. The query must be valid for the estimator's
   /// schema; sequential planners additionally require a conjunctive query.
   virtual Plan BuildPlan(const Query& query) = 0;
+
+  /// Uniform tracing view of the most recent BuildPlan call (memo hits,
+  /// prunes, splits considered/taken, ... — see obs/planner_stats.h).
+  /// Fields a planner doesn't track stay zero.
+  const obs::PlannerStats& planner_stats() const { return planner_stats_; }
+
+ protected:
+  obs::PlannerStats planner_stats_;
 };
 
 /// Builds the SeqProblem cost callback for predicates evaluated at a

@@ -117,14 +117,16 @@ struct TupleRun {
 
 TupleRun RunTuple(const PlanNode& root, const Schema& schema,
                   const Dataset& data, RowId row,
-                  const AcquisitionCostModel& cm) {
+                  const AcquisitionCostModel& cm, TraceSink* trace) {
   TupleRun out;
   AttrSet acquired;
   auto acquire = [&](AttrId a) {
     if (!acquired.Contains(a)) {
-      out.cost += cm.Cost(a, acquired);
+      const double marginal = cm.Cost(a, acquired);
+      out.cost += marginal;
       acquired.Insert(a);
       ++out.acquisitions;
+      if (trace) trace->OnAcquire(a, data.at(row, a), marginal);
     }
     return data.at(row, a);
   };
@@ -132,7 +134,9 @@ TupleRun RunTuple(const PlanNode& root, const Schema& schema,
   const PlanNode* n = &root;
   while (n->kind == PlanNode::Kind::kSplit) {
     const Value v = acquire(n->attr);
-    n = (v >= n->split_value) ? n->ge.get() : n->lt.get();
+    const bool ge = v >= n->split_value;
+    if (trace) trace->OnBranch(n->attr, n->split_value, ge);
+    n = ge ? n->ge.get() : n->lt.get();
   }
   switch (n->kind) {
     case PlanNode::Kind::kVerdict:
@@ -173,6 +177,7 @@ TupleRun RunTuple(const PlanNode& root, const Schema& schema,
     case PlanNode::Kind::kSplit:
       CAQP_CHECK(false);
   }
+  if (trace) trace->OnVerdict(out.verdict, out.cost);
   return out;
 }
 
@@ -180,13 +185,14 @@ TupleRun RunTuple(const PlanNode& root, const Schema& schema,
 
 EmpiricalCostResult EmpiricalPlanCost(const Plan& plan, const Dataset& data,
                                       const Query& query,
-                                      const AcquisitionCostModel& cost_model) {
+                                      const AcquisitionCostModel& cost_model,
+                                      TraceSink* trace) {
   EmpiricalCostResult res;
   res.tuples = data.num_rows();
   size_t total_acq = 0;
   for (RowId r = 0; r < data.num_rows(); ++r) {
     const TupleRun run =
-        RunTuple(plan.root(), data.schema(), data, r, cost_model);
+        RunTuple(plan.root(), data.schema(), data, r, cost_model, trace);
     res.total_cost += run.cost;
     total_acq += run.acquisitions;
     const bool truth = query.Matches(data.GetTuple(r));

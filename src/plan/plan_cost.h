@@ -14,6 +14,7 @@
 
 #include "core/dataset.h"
 #include "core/query.h"
+#include "obs/trace.h"
 #include "opt/cost_model.h"
 #include "plan/plan.h"
 #include "prob/estimator.h"
@@ -45,10 +46,13 @@ struct EmpiricalCostResult {
 };
 
 /// Runs the plan over every tuple of `data`, charging `cost_model`, and
-/// checks each verdict against `query`.
+/// checks each verdict against `query`. If `trace` is non-null it receives
+/// the execution events of every tuple (e.g. an obs::AttributeProfile to
+/// collect per-attribute acquisition histograms).
 EmpiricalCostResult EmpiricalPlanCost(const Plan& plan, const Dataset& data,
                                       const Query& query,
-                                      const AcquisitionCostModel& cost_model);
+                                      const AcquisitionCostModel& cost_model,
+                                      TraceSink* trace = nullptr);
 
 }  // namespace caqp
 

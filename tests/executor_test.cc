@@ -5,6 +5,7 @@
 
 #include "exec/executor.h"
 #include "exec/metrics.h"
+#include "obs/trace.h"
 #include "test_util.h"
 
 namespace caqp {
@@ -194,6 +195,99 @@ TEST(MetricsTest, CostAccumulator) {
 TEST(MetricsTest, FormatRowPads) {
   const std::string row = FormatRow({"a", "bb"}, {3, 4});
   EXPECT_EQ(row, "| a   | bb   |");
+}
+
+TEST(ExecutorTraceTest, AcquisitionOrderMatchesPlanTraversal) {
+  const Schema schema = SmallSchema();
+  PerAttributeCostModel cm(schema);
+  // Split on attr 0, then a sequential leaf over attrs 1, 3 on the >= side.
+  auto leaf = PlanNode::Sequential({Predicate(1, 0, 5), Predicate(3, 0, 4)});
+  Plan plan(PlanNode::Split(0, 2, PlanNode::Verdict(false), std::move(leaf)));
+  Tuple t = {3, 1, 0, 2};
+  RecordingSource src(t);
+  ExecutionTrace trace;
+  const ExecutionResult res = ExecutePlan(plan, schema, cm, src, &trace);
+
+  // Trace order must match the source's observed acquisition order exactly.
+  ASSERT_EQ(trace.acquisitions().size(), src.order().size());
+  for (size_t i = 0; i < src.order().size(); ++i) {
+    EXPECT_EQ(trace.acquisitions()[i].attr, src.order()[i]);
+  }
+  EXPECT_EQ(src.order(), (std::vector<AttrId>{0, 1, 3}));
+  // Branch path: one split, taken on the >= side.
+  ASSERT_EQ(trace.branches().size(), 1u);
+  EXPECT_EQ(trace.branches()[0].attr, 0);
+  EXPECT_EQ(trace.branches()[0].split_value, 2);
+  EXPECT_TRUE(trace.branches()[0].went_ge);
+  // Verdict event carries the final outcome and total cost.
+  EXPECT_EQ(trace.verdicts(), 1u);
+  EXPECT_EQ(trace.verdict(), res.verdict);
+  EXPECT_DOUBLE_EQ(trace.total_cost(), res.cost);
+}
+
+TEST(ExecutorTraceTest, AcquiredSetConsistentWithAcquisitionCount) {
+  const Schema schema = SmallSchema();
+  PerAttributeCostModel cm(schema);
+  auto leaf = PlanNode::Sequential({Predicate(2, 0, 3), Predicate(1, 0, 5)});
+  Plan plan(PlanNode::Split(0, 2, std::move(leaf), PlanNode::Verdict(true)));
+  Tuple t = {0, 2, 1, 4};
+  RecordingSource src(t);
+  ExecutionTrace trace;
+  const ExecutionResult res = ExecutePlan(plan, schema, cm, src, &trace);
+
+  EXPECT_EQ(static_cast<size_t>(res.acquisitions),
+            trace.acquisitions().size());
+  EXPECT_EQ(static_cast<size_t>(res.acquired.Count()),
+            trace.acquisitions().size());
+  for (const TraceAcquisition& a : trace.acquisitions()) {
+    EXPECT_TRUE(res.acquired.Contains(a.attr));
+    EXPECT_EQ(a.value, t[a.attr]);
+  }
+}
+
+TEST(ExecutorTraceTest, CostChargedOncePerAttribute) {
+  const Schema schema = SmallSchema();
+  PerAttributeCostModel cm(schema);
+  // Attr 0 appears in two splits and a predicate; trace must show exactly
+  // one acquisition event for it, carrying the full marginal cost.
+  auto leaf = PlanNode::Sequential({Predicate(0, 2, 2)});
+  auto inner = PlanNode::Split(0, 3, std::move(leaf), PlanNode::Verdict(false));
+  Plan plan(
+      PlanNode::Split(0, 1, PlanNode::Verdict(false), std::move(inner)));
+  Tuple t = {2, 0, 0, 0};
+  RecordingSource src(t);
+  ExecutionTrace trace;
+  const ExecutionResult res = ExecutePlan(plan, schema, cm, src, &trace);
+
+  ASSERT_EQ(trace.acquisitions().size(), 1u);
+  EXPECT_EQ(trace.acquisitions()[0].attr, 0);
+  EXPECT_DOUBLE_EQ(trace.acquisitions()[0].cost, schema.cost(0));
+  // Summing trace marginal costs reproduces the executor's total charge.
+  double traced_cost = 0.0;
+  for (const TraceAcquisition& a : trace.acquisitions()) {
+    traced_cost += a.cost;
+  }
+  EXPECT_DOUBLE_EQ(traced_cost, res.cost);
+  // Both splits were still routed (and recorded) even though the attribute
+  // was acquired once.
+  EXPECT_EQ(trace.branches().size(), 2u);
+}
+
+TEST(ExecutorTraceTest, NullSinkMatchesTracedExecution) {
+  const Schema schema = SmallSchema();
+  PerAttributeCostModel cm(schema);
+  auto leaf = PlanNode::Sequential({Predicate(1, 0, 2), Predicate(3, 0, 2)});
+  Plan plan(PlanNode::Split(0, 2, std::move(leaf), PlanNode::Verdict(false)));
+  Tuple t = {1, 1, 0, 1};
+  RecordingSource s1(t);
+  const ExecutionResult untraced = ExecutePlan(plan, schema, cm, s1);
+  RecordingSource s2(t);
+  ExecutionTrace trace;
+  const ExecutionResult traced = ExecutePlan(plan, schema, cm, s2, &trace);
+  EXPECT_EQ(untraced.verdict, traced.verdict);
+  EXPECT_DOUBLE_EQ(untraced.cost, traced.cost);
+  EXPECT_EQ(untraced.acquisitions, traced.acquisitions);
+  EXPECT_EQ(s1.order(), s2.order());
 }
 
 }  // namespace

@@ -1,0 +1,251 @@
+// caqp::obs tests: registry metrics (counters, gauges, streaming stats),
+// the JSON writer, structured export of snapshots / planner stats /
+// attribute profiles, and the planner-stats plumbing on the real planners.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "obs/planner_stats.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "opt/exhaustive.h"
+#include "opt/greedy_plan.h"
+#include "opt/greedyseq.h"
+#include "opt/naive.h"
+#include "prob/dataset_estimator.h"
+#include "test_util.h"
+
+namespace caqp {
+namespace {
+
+using testing_util::CorrelatedDataset;
+using testing_util::SmallSchema;
+
+TEST(RegistryTest, CounterGaugeBasics) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.GetCounter("test.counter");
+  c.Increment();
+  c.Add(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Same name returns the same object.
+  EXPECT_EQ(&reg.GetCounter("test.counter"), &c);
+
+  obs::Gauge& g = reg.GetGauge("test.gauge");
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+
+  reg.ResetAll();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(RegistryTest, StreamingStatMoments) {
+  obs::StreamingStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Record(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RegistryTest, StreamingStatQuantilesExactBelowCapacity) {
+  obs::StreamingStat s;
+  for (int i = 1; i <= 100; ++i) s.Record(static_cast<double>(i));
+  // 1..100 fits in the reservoir, so quantiles are exact (interpolated).
+  EXPECT_NEAR(s.p50(), 50.5, 1e-9);
+  EXPECT_NEAR(s.p95(), 95.05, 1e-9);
+  EXPECT_NEAR(s.Quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(s.Quantile(1.0), 100.0, 1e-9);
+}
+
+TEST(RegistryTest, StreamingStatReservoirStaysBounded) {
+  obs::StreamingStat s;
+  for (int i = 0; i < 100000; ++i) s.Record(static_cast<double>(i % 1000));
+  EXPECT_EQ(s.count(), 100000u);
+  // Quantiles are approximate but must stay inside the data range and
+  // roughly ordered.
+  const double p50 = s.p50();
+  const double p95 = s.p95();
+  EXPECT_GE(p50, 0.0);
+  EXPECT_LE(p95, 999.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_NEAR(p50, 500.0, 100.0);
+}
+
+TEST(RegistryTest, SnapshotSortedAndComplete) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("b.counter").Add(2);
+  reg.GetCounter("a.counter").Add(1);
+  reg.GetGauge("g").Set(3.0);
+  reg.GetStat("s").Record(1.5);
+  const obs::RegistrySnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a.counter");
+  EXPECT_EQ(snap.counters[1].name, "b.counter");
+  EXPECT_EQ(snap.counters[1].value, 2u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  ASSERT_EQ(snap.stats.size(), 1u);
+  EXPECT_EQ(snap.stats[0].count, 1u);
+}
+
+TEST(ObsToggleTest, DisabledMacrosDoNotRecord) {
+  obs::Counter& c =
+      obs::DefaultRegistry().GetCounter("obs_test.toggle.counter");
+  c.Reset();
+  obs::SetEnabled(false);
+  CAQP_OBS_COUNTER_INC("obs_test.toggle.counter");
+  EXPECT_EQ(c.value(), 0u);
+  obs::SetEnabled(true);
+  CAQP_OBS_COUNTER_INC("obs_test.toggle.counter");
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(JsonWriterTest, NestedStructure) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("a").Int(-3);
+  w.Key("b").BeginArray().UInt(1).Double(2.5).Bool(true).Null().EndArray();
+  w.Key("c").BeginObject().Key("d").String("x").EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"a\":-3,\"b\":[1,2.5,true,null],\"c\":{\"d\":\"x\"}}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  EXPECT_EQ(obs::EscapeJson("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(obs::EscapeJson(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  obs::JsonWriter w;
+  w.BeginArray();
+  w.Double(std::nan(""));
+  w.Double(INFINITY);
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonWriterTest, DoublesRoundTrip) {
+  obs::JsonWriter w;
+  w.BeginArray().Double(0.1).Double(1e300).Double(-2.5).EndArray();
+  EXPECT_EQ(w.str(), "[0.1,1e+300,-2.5]");
+}
+
+TEST(ExportTest, RegistryJsonContainsAllKinds) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("n.count").Add(7);
+  reg.GetGauge("n.gauge").Set(1.5);
+  reg.GetStat("n.stat").Record(3.0);
+  const std::string json = obs::RegistryToJson(reg);
+  EXPECT_NE(json.find("\"n.count\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"n.gauge\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"n.stat\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+
+  const std::string md = obs::RegistryToMarkdown(reg);
+  EXPECT_NE(md.find("n.count"), std::string::npos);
+  EXPECT_NE(md.find("| counter | value |"), std::string::npos);
+}
+
+TEST(ExportTest, PlannerStatsSerializes) {
+  obs::PlannerStats st;
+  st.Reset("TestPlanner");
+  st.memo_hits = 3;
+  st.bound_prunes = 5;
+  st.expected_cost = 12.5;
+  obs::JsonWriter w;
+  obs::WritePlannerStats(w, st);
+  const std::string json = w.str();
+  EXPECT_NE(json.find("\"planner\":\"TestPlanner\""), std::string::npos);
+  EXPECT_NE(json.find("\"memo_hits\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"bound_prunes\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"expected_cost\":12.5"), std::string::npos);
+}
+
+TEST(AttributeProfileTest, CountsAndRates) {
+  AttributeProfile prof(3);
+  prof.OnAcquire(0, 1, 2.0);
+  prof.OnVerdict(true, 2.0);
+  prof.OnAcquire(0, 2, 2.0);
+  prof.OnAcquire(2, 0, 5.0);
+  prof.OnVerdict(false, 7.0);
+  EXPECT_EQ(prof.tuples(), 2u);
+  EXPECT_EQ(prof.matches(), 1u);
+  EXPECT_EQ(prof.count(0), 2u);
+  EXPECT_EQ(prof.count(1), 0u);
+  EXPECT_EQ(prof.count(2), 1u);
+  EXPECT_DOUBLE_EQ(prof.AcquisitionRate(0), 1.0);
+  EXPECT_DOUBLE_EQ(prof.AcquisitionRate(2), 0.5);
+  EXPECT_DOUBLE_EQ(prof.MeanCost(), 4.5);
+  EXPECT_DOUBLE_EQ(prof.cost(2), 5.0);
+}
+
+TEST(PlannerStatsTest, GreedyPlannerFillsStats) {
+  const Schema schema = SmallSchema();
+  const Dataset data = CorrelatedDataset(schema, 600, 11);
+  DatasetEstimator est(data);
+  PerAttributeCostModel cm(schema);
+  const SplitPointSet splits = SplitPointSet::AllPoints(schema);
+  GreedySeqSolver solver;
+  GreedyPlanner::Options opts;
+  opts.split_points = &splits;
+  opts.seq_solver = &solver;
+  opts.max_splits = 3;
+  GreedyPlanner planner(est, cm, opts);
+  const Query q = Query::Conjunction({Predicate(2, 0, 1), Predicate(3, 0, 2)});
+  (void)planner.BuildPlan(q);
+  const obs::PlannerStats& st = planner.planner_stats();
+  EXPECT_EQ(st.planner, planner.Name());
+  EXPECT_GE(st.split_searches, 1u);
+  EXPECT_GT(st.seq_solves, 0u);
+  EXPECT_GT(st.expected_cost, 0.0);
+  // Every split adopted passed through the queue and contributes its
+  // benefit to the running totals.
+  if (st.splits_taken > 0) {
+    EXPECT_GE(st.queue_high_water, 1u);
+    EXPECT_GT(st.benefit_first, 0.0);
+    EXPECT_GT(st.benefit_total, 0.0);
+  }
+}
+
+TEST(PlannerStatsTest, ExhaustivePlannerFillsMemoCounts) {
+  const Schema schema = SmallSchema();
+  const Dataset data = CorrelatedDataset(schema, 400, 13);
+  DatasetEstimator est(data);
+  PerAttributeCostModel cm(schema);
+  const SplitPointSet splits = SplitPointSet::AllPoints(schema);
+  ExhaustivePlanner::Options opts;
+  opts.split_points = &splits;
+  ExhaustivePlanner planner(est, cm, opts);
+  const Query q = Query::Conjunction({Predicate(2, 0, 1), Predicate(3, 0, 2)});
+  (void)planner.BuildPlan(q);
+  const obs::PlannerStats& st = planner.planner_stats();
+  EXPECT_EQ(st.planner, planner.Name());
+  EXPECT_GT(st.memo_misses, 0u);
+  EXPECT_GT(st.candidates_tried, 0u);
+  EXPECT_GT(st.expected_cost, 0.0);
+  // Memoization and pruning must actually fire on a correlated workload.
+  EXPECT_GT(st.memo_hits + st.bound_prunes, 0u);
+}
+
+TEST(PlannerStatsTest, NaivePlannerResetsStats) {
+  const Schema schema = SmallSchema();
+  const Dataset data = CorrelatedDataset(schema, 200, 17);
+  DatasetEstimator est(data);
+  PerAttributeCostModel cm(schema);
+  NaivePlanner planner(est, cm);
+  const Query q = Query::Conjunction({Predicate(2, 0, 1)});
+  (void)planner.BuildPlan(q);
+  EXPECT_EQ(planner.planner_stats().planner, planner.Name());
+  EXPECT_EQ(planner.planner_stats().memo_hits, 0u);
+}
+
+}  // namespace
+}  // namespace caqp

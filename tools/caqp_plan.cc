@@ -14,14 +14,22 @@
 // --spsf LOG10              split-point budget (default: all points)
 // --train-frac F            head fraction used for training (default 0.6)
 // --explain                 annotate the plan with reach/cost estimates
+// --trace-out PATH          JSONL execution trace of the test run: one line
+//                           per tuple (acquisition order, branch path,
+//                           charged costs, verdict) plus a summary line with
+//                           per-attribute acquisition histograms
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/csv.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "opt/exhaustive.h"
 #include "opt/greedy_plan.h"
 #include "opt/greedyseq.h"
@@ -70,6 +78,58 @@ long ParseLong(const std::string& s, const std::string& what) {
   return v;
 }
 
+/// TraceSink that writes one JSON line per executed tuple: the acquisition
+/// order with per-attribute marginal costs, the branch path through the
+/// split tree, and the final verdict.
+class JsonlTraceSink : public TraceSink {
+ public:
+  JsonlTraceSink(std::ofstream& out, const Schema& schema)
+      : out_(out), schema_(schema) {}
+
+  void OnAcquire(AttrId attr, Value value, double marginal_cost) override {
+    acquisitions_.push_back({attr, value, marginal_cost});
+  }
+  void OnBranch(AttrId attr, Value split_value, bool went_ge) override {
+    branches_.push_back({attr, split_value, went_ge});
+  }
+  void OnVerdict(bool verdict, double total_cost) override {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("tuple").UInt(tuple_++);
+    w.Key("acquisitions").BeginArray();
+    for (const TraceAcquisition& a : acquisitions_) {
+      w.BeginObject();
+      w.Key("attr").String(schema_.name(a.attr));
+      w.Key("value").UInt(a.value);
+      w.Key("cost").Double(a.cost);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("branches").BeginArray();
+    for (const TraceBranch& b : branches_) {
+      w.BeginObject();
+      w.Key("attr").String(schema_.name(b.attr));
+      w.Key("split_value").UInt(b.split_value);
+      w.Key("went_ge").Bool(b.went_ge);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("verdict").Bool(verdict);
+    w.Key("cost").Double(total_cost);
+    w.EndObject();
+    out_ << w.str() << "\n";
+    acquisitions_.clear();
+    branches_.clear();
+  }
+
+ private:
+  std::ofstream& out_;
+  const Schema& schema_;
+  uint64_t tuple_ = 0;
+  std::vector<TraceAcquisition> acquisitions_;
+  std::vector<TraceBranch> branches_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -81,6 +141,7 @@ int main(int argc, char** argv) {
   double train_frac = 0.6;
   double spsf_log10 = -1.0;  // <0: all points
   bool explain = false;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -119,6 +180,8 @@ int main(int argc, char** argv) {
       spsf_log10 = std::strtod(next().c_str(), nullptr);
     } else if (arg == "--explain") {
       explain = true;
+    } else if (arg == "--trace-out") {
+      trace_out = next();
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: see header comment of tools/caqp_plan.cc\n");
       return 0;
@@ -202,7 +265,33 @@ int main(int argc, char** argv) {
   // --- Costs --------------------------------------------------------------
   const Plan naive_plan = naive.BuildPlan(query);
   const auto r_train = EmpiricalPlanCost(plan, train, query, cost_model);
-  const auto r_test = EmpiricalPlanCost(plan, test, query, cost_model);
+
+  // The test pass optionally streams a JSONL trace: one line per tuple,
+  // then one {"summary": ...} line with the acquisition histogram.
+  std::ofstream trace_file;
+  std::unique_ptr<JsonlTraceSink> jsonl;
+  AttributeProfile profile(schema.num_attributes());
+  std::unique_ptr<TeeTraceSink> tee;
+  TraceSink* sink = nullptr;
+  if (!trace_out.empty()) {
+    trace_file.open(trace_out);
+    if (!trace_file) Die("cannot open --trace-out " + trace_out);
+    jsonl = std::make_unique<JsonlTraceSink>(trace_file, schema);
+    tee = std::make_unique<TeeTraceSink>(jsonl.get(), &profile);
+    sink = tee.get();
+  }
+  const auto r_test = EmpiricalPlanCost(plan, test, query, cost_model, sink);
+  if (sink != nullptr) {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("summary");
+    obs::WriteAttributeProfile(w, profile, &schema);
+    w.EndObject();
+    trace_file << w.str() << "\n";
+    trace_file.close();
+    std::printf("[wrote %s: %zu tuple traces + summary]\n", trace_out.c_str(),
+                r_test.tuples);
+  }
   const auto n_test = EmpiricalPlanCost(naive_plan, test, query, cost_model);
   std::printf("mean cost: train=%.2f test=%.2f (naive test=%.2f, gain %.2fx)\n",
               r_train.mean_cost, r_test.mean_cost, n_test.mean_cost,

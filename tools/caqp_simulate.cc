@@ -14,6 +14,10 @@
 // --max-splits K                   heuristic split budget (default 5)
 // --drop-prob P                    radio message loss (default 0)
 // --limit N                        stop after N matches (LIMIT query mode)
+// --metrics-out PATH               write the run's metrics registry
+//                                  (radio/mote/basestation counters, energy
+//                                  stats) as JSON; a markdown summary is
+//                                  printed to stdout
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +25,8 @@
 #include <string>
 
 #include "data/garden_gen.h"
+#include "obs/export.h"
+#include "obs/registry.h"
 #include "data/lab_gen.h"
 #include "data/synthetic_gen.h"
 #include "data/workload.h"
@@ -46,6 +52,7 @@ struct Config {
   size_t max_splits = 5;
   double drop_prob = 0.0;
   size_t limit = 0;  // 0: continuous query
+  std::string metrics_out;
 };
 
 /// Builds the trace and a representative query for the chosen network.
@@ -155,6 +162,8 @@ int main(int argc, char** argv) {
       cfg.drop_prob = std::strtod(next().c_str(), nullptr);
     } else if (arg == "--limit") {
       cfg.limit = static_cast<size_t>(std::strtoul(next().c_str(), nullptr, 10));
+    } else if (arg == "--metrics-out") {
+      cfg.metrics_out = next();
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: see header comment of tools/caqp_simulate.cc\n");
       return 0;
@@ -192,6 +201,14 @@ int main(int argc, char** argv) {
       RunOnce("heuristic", p_heur, schema, cost_model, test, cfg);
   if (e_heur > 0 && e_naive > 0) {
     std::printf("\nenergy ratio naive/heuristic: %.2fx\n", e_naive / e_heur);
+  }
+
+  if (!cfg.metrics_out.empty()) {
+    const obs::MetricsRegistry& reg = obs::DefaultRegistry();
+    if (obs::WriteFileOrComplain(cfg.metrics_out, obs::RegistryToJson(reg))) {
+      std::printf("[wrote %s]\n", cfg.metrics_out.c_str());
+    }
+    std::printf("\n%s", obs::RegistryToMarkdown(reg).c_str());
   }
   return 0;
 }
