@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Verification gate: tier-1 build + full test suite, then a second build
-# with AddressSanitizer + UBSan (-DCAQP_SANITIZE=ON) re-running the tests.
+# with AddressSanitizer + UBSan (-DCAQP_SANITIZE=ON) re-running the tests,
+# then a ThreadSanitizer build (-DCAQP_SANITIZE=thread) running the
+# concurrency-sensitive suites (caqp::serve and the adaptive replanner).
 # Usage: scripts/check.sh [--skip-sanitizers]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,5 +24,11 @@ echo "== ASan/UBSan build + ctest =="
 cmake -B build-asan -S . -DCAQP_SANITIZE=ON
 cmake --build build-asan -j
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+echo "== TSan build + concurrency suites =="
+cmake -B build-tsan -S . -DCAQP_SANITIZE=thread
+cmake --build build-tsan -j
+ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
+  -R '^Serve|^Adaptive'
 
 echo "== all checks passed =="

@@ -55,6 +55,12 @@ struct Predicate {
 
   bool operator==(const Predicate& o) const = default;
 
+  /// AbslHashValue-style stable 64-bit hash, consistent with operator==
+  /// (equal predicates hash equal). Input to query signatures
+  /// (core/query_signature.h) and the serve-layer plan-cache key, so the
+  /// value must not depend on process state or pointer identity.
+  uint64_t Hash() const;
+
   /// "X3 in [2,5]" / "X3 not in [2,5]" with the schema's attribute name.
   std::string ToString(const Schema& schema) const;
 };

@@ -84,6 +84,17 @@ size_t Query::TotalPredicates() const {
   return n;
 }
 
+uint64_t Query::Hash() const {
+  // Length-prefixed chaining keeps the hash injective over the nested list
+  // structure: [[p],[q]] and [[p,q]] mix different length terms.
+  uint64_t h = HashCombine(0x71c9a1e5u, conjuncts_.size());
+  for (const Conjunct& c : conjuncts_) {
+    h = HashCombine(h, c.size());
+    for (const Predicate& p : c) h = HashCombine(h, p.Hash());
+  }
+  return h;
+}
+
 std::string Query::ToString(const Schema& schema) const {
   std::string out;
   for (size_t i = 0; i < conjuncts_.size(); ++i) {

@@ -68,6 +68,17 @@ class Query {
   /// Total number of predicates across conjuncts.
   size_t TotalPredicates() const;
 
+  /// Structural equality: same conjuncts with the same predicates in the
+  /// same order. Semantically equal queries written in different orders
+  /// compare unequal here; canonicalize first (core/query_signature.h) for
+  /// order-insensitive comparison.
+  bool operator==(const Query& o) const { return conjuncts_ == o.conjuncts_; }
+
+  /// Stable 64-bit structural hash, consistent with operator==. Like
+  /// Predicate::Hash, order-sensitive; QuerySignature() hashes the
+  /// canonical form instead.
+  uint64_t Hash() const;
+
   std::string ToString(const Schema& schema) const;
 
  private:

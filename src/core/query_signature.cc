@@ -1,0 +1,54 @@
+#include "core/query_signature.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace caqp {
+
+namespace {
+
+std::tuple<AttrId, Value, Value, bool> PredKey(const Predicate& p) {
+  return {p.attr, p.lo, p.hi, p.negated};
+}
+
+Conjunct CanonicalConjunct(const Conjunct& c) {
+  Conjunct out = c;
+  std::sort(out.begin(), out.end(), [](const Predicate& a, const Predicate& b) {
+    return PredKey(a) < PredKey(b);
+  });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Lexicographic order over sorted predicate lists.
+bool ConjunctLess(const Conjunct& a, const Conjunct& b) {
+  return std::lexicographical_compare(
+      a.begin(), a.end(), b.begin(), b.end(),
+      [](const Predicate& x, const Predicate& y) {
+        return PredKey(x) < PredKey(y);
+      });
+}
+
+}  // namespace
+
+Query CanonicalizeQuery(const Query& query) {
+  std::vector<Conjunct> conjuncts;
+  conjuncts.reserve(query.conjuncts().size());
+  for (const Conjunct& c : query.conjuncts()) {
+    conjuncts.push_back(CanonicalConjunct(c));
+  }
+  std::sort(conjuncts.begin(), conjuncts.end(), ConjunctLess);
+  conjuncts.erase(std::unique(conjuncts.begin(), conjuncts.end()),
+                  conjuncts.end());
+  return Query::Disjunction(std::move(conjuncts));
+}
+
+uint64_t QuerySignature(const Query& query) {
+  return CanonicalizeQuery(query).Hash();
+}
+
+bool EquivalentQueries(const Query& a, const Query& b) {
+  return CanonicalizeQuery(a) == CanonicalizeQuery(b);
+}
+
+}  // namespace caqp

@@ -1,0 +1,42 @@
+// Query canonicalization and stable 64-bit query signatures.
+//
+// The serving layer (src/serve) caches compiled plans across queries, so it
+// needs a key under which semantically identical queries collide: the same
+// WHERE clause submitted with predicates (or OR-conjuncts) in a different
+// order must fetch the same plan. Canonicalization maps a query to a unique
+// representative of its order-equivalence class:
+//
+//  * within each conjunct, predicates sort by (attr, lo, hi, negated) and
+//    exact duplicates are dropped (AND is idempotent);
+//  * conjuncts sort lexicographically by their sorted predicate lists and
+//    exact duplicate conjuncts are dropped (OR is idempotent).
+//
+// Bounds are already normalized by construction (Predicate checks lo <= hi),
+// and duplicate *attributes* with different ranges are preserved untouched:
+// Query::ValidFor rejects them, so collapsing them here would only mask
+// invalid input. The signature is the structural hash of the canonical form
+// — stable across processes and platforms, suitable for persistent keys.
+
+#ifndef CAQP_CORE_QUERY_SIGNATURE_H_
+#define CAQP_CORE_QUERY_SIGNATURE_H_
+
+#include <cstdint>
+
+#include "core/query.h"
+
+namespace caqp {
+
+/// The canonical representative of `query`'s order-equivalence class (see
+/// file comment). Idempotent: Canonicalize(Canonicalize(q)) == Canonicalize(q).
+Query CanonicalizeQuery(const Query& query);
+
+/// Stable 64-bit signature of the canonical form: equal for queries that
+/// differ only in predicate/conjunct order or idempotent duplicates.
+uint64_t QuerySignature(const Query& query);
+
+/// True iff the two queries canonicalize to the same form.
+bool EquivalentQueries(const Query& a, const Query& b);
+
+}  // namespace caqp
+
+#endif  // CAQP_CORE_QUERY_SIGNATURE_H_

@@ -61,6 +61,7 @@ void AdaptivePlanner::MaybeReplan() {
       current_cost * (1.0 - options_.improvement_threshold)) {
     plan_ = std::move(candidate);
     ++stats_.replans_adopted;
+    if (options_.on_plan_adopted) options_.on_plan_adopted();
   }
 }
 

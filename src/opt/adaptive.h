@@ -8,6 +8,7 @@
 #define CAQP_OPT_ADAPTIVE_H_
 
 #include <deque>
+#include <functional>
 
 #include "opt/greedy_plan.h"
 #include "plan/plan.h"
@@ -28,6 +29,11 @@ class AdaptivePlanner {
     const SplitPointSet* split_points = nullptr;
     const SequentialSolver* seq_solver = nullptr;
     size_t max_splits = 5;
+    /// Invoked (on the Observe thread) each time a replan is adopted — i.e.
+    /// the window distribution drifted enough that plans built from older
+    /// statistics are stale. Serving layers hook cache invalidation here
+    /// (serve::QueryService::InvalidationHook()).
+    std::function<void()> on_plan_adopted;
   };
 
   struct Stats {

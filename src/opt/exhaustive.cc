@@ -75,7 +75,7 @@ double GenericLeafCost(const Query& query, const std::vector<AttrId>& order,
 }  // namespace
 
 std::pair<double, std::unique_ptr<PlanNode>> ExhaustivePlanner::CompletionLeaf(
-    const Query& query, const RangeVec& ranges) {
+    const Query& query, const RangeVec& ranges) const {
   if (query.IsConjunctive()) {
     const size_t m =
         UndeterminedPredicates(query.predicates(), ranges).size();
@@ -96,7 +96,7 @@ std::pair<double, std::unique_ptr<PlanNode>> ExhaustivePlanner::CompletionLeaf(
 }
 
 std::pair<double, std::unique_ptr<PlanNode>> ExhaustivePlanner::Solve(
-    const Query& query, const RangeVec& ranges) {
+    const Query& query, const RangeVec& ranges, BuildContext& ctx) const {
   const Schema& schema = estimator_.schema();
 
   // Base case 1: ranges determine the truth of the WHERE clause.
@@ -109,12 +109,12 @@ std::pair<double, std::unique_ptr<PlanNode>> ExhaustivePlanner::Solve(
     return {0.0, CorrectLeaf(query, schema, ranges)};
   }
 
-  if (auto it = cache_.find(ranges); it != cache_.end()) {
-    ++stats_.cache_hits;
+  if (auto it = ctx.cache.find(ranges); it != ctx.cache.end()) {
+    ++ctx.stats.cache_hits;
     return {it->second.cost, it->second.node->Clone()};
   }
-  ++stats_.subproblems_solved;
-  CAQP_CHECK_LE(stats_.subproblems_solved, options_.max_subproblems);
+  ++ctx.stats.subproblems_solved;
+  CAQP_CHECK_LE(ctx.stats.subproblems_solved, options_.max_subproblems);
 
   double cmin = kInf;
   std::unique_ptr<PlanNode> best;
@@ -138,7 +138,7 @@ std::pair<double, std::unique_ptr<PlanNode>> ExhaustivePlanner::Solve(
     const double observe =
         acquired.Contains(attr) ? 0.0 : cost_model_.Cost(attr, acquired);
     if (observe >= cmin) {
-      ++stats_.observe_prunes;
+      ++ctx.stats.observe_prunes;
       continue;
     }
 
@@ -147,7 +147,7 @@ std::pair<double, std::unique_ptr<PlanNode>> ExhaustivePlanner::Solve(
 
     for (Value x : options_.split_points->PointsFor(attr)) {
       if (x <= r.lo || x > r.hi) continue;
-      ++stats_.candidates_tried;
+      ++ctx.stats.candidates_tried;
 
       const ValueRange lt_r{r.lo, static_cast<Value>(x - 1)};
       const ValueRange ge_r{x, r.hi};
@@ -160,7 +160,7 @@ std::pair<double, std::unique_ptr<PlanNode>> ExhaustivePlanner::Solve(
       const RangeVec lt_ranges = Refined(ranges, attr, lt_r);
       if (p_lt > 0) {
         ScopedEstimatorScope scope(estimator_, lt_ranges);
-        auto [cost, node] = Solve(query, lt_ranges);
+        auto [cost, node] = Solve(query, lt_ranges, ctx);
         acc += p_lt * cost;
         lt_node = std::move(node);
       } else {
@@ -168,14 +168,14 @@ std::pair<double, std::unique_ptr<PlanNode>> ExhaustivePlanner::Solve(
       }
       // Exact child costs make abandoning a partially-costed candidate safe.
       if (acc >= cmin) {
-        ++stats_.candidate_abandons;
+        ++ctx.stats.candidate_abandons;
         continue;
       }
 
       const RangeVec ge_ranges = Refined(ranges, attr, ge_r);
       if (p_ge > 0) {
         ScopedEstimatorScope scope(estimator_, ge_ranges);
-        auto [cost, node] = Solve(query, ge_ranges);
+        auto [cost, node] = Solve(query, ge_ranges, ctx);
         acc += p_ge * cost;
         ge_node = std::move(node);
       } else {
@@ -192,26 +192,29 @@ std::pair<double, std::unique_ptr<PlanNode>> ExhaustivePlanner::Solve(
 
   // The completion leaf always yields a finite candidate, so `best` exists.
   CAQP_CHECK(best != nullptr);
-  CacheEntry& entry = cache_[ranges];
+  CacheEntry& entry = ctx.cache[ranges];
   entry.cost = cmin;
   entry.node = best->Clone();
   return {cmin, std::move(best)};
 }
 
-Plan ExhaustivePlanner::BuildPlan(const Query& query) {
+Plan ExhaustivePlanner::BuildPlanImpl(const Query& query,
+                                      obs::PlannerStats& stats) const {
   CAQP_CHECK(query.ValidFor(estimator_.schema()));
-  cache_.clear();
-  stats_ = Stats{};
-  planner_stats_.Reset(Name());
-  auto [cost, node] = Solve(query, estimator_.schema().FullRanges());
+  BuildContext ctx;
+  auto [cost, node] = Solve(query, estimator_.schema().FullRanges(), ctx);
   CAQP_CHECK(node != nullptr);
-  last_cost_ = cost;
-  planner_stats_.memo_hits = stats_.cache_hits;
-  planner_stats_.memo_misses = stats_.subproblems_solved;
-  planner_stats_.bound_prunes =
-      stats_.observe_prunes + stats_.candidate_abandons;
-  planner_stats_.candidates_tried = stats_.candidates_tried;
-  planner_stats_.expected_cost = cost;
+  stats.memo_hits = ctx.stats.cache_hits;
+  stats.memo_misses = ctx.stats.subproblems_solved;
+  stats.bound_prunes =
+      ctx.stats.observe_prunes + ctx.stats.candidate_abandons;
+  stats.candidates_tried = ctx.stats.candidates_tried;
+  stats.expected_cost = cost;
+  {
+    std::lock_guard<std::mutex> lock(diag_mu_);
+    stats_ = ctx.stats;
+    last_cost_ = cost;
+  }
   return Plan(std::move(node));
 }
 

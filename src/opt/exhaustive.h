@@ -66,12 +66,16 @@ class ExhaustivePlanner : public Planner {
   }
 
   std::string Name() const override { return "Exhaustive"; }
-  Plan BuildPlan(const Query& query) override;
 
   /// Expected cost of the last built plan per the DP (== Equation (3) value
-  /// under the training estimator).
+  /// under the training estimator). See opt/planner.h for when diagnostics
+  /// may be read.
   double LastPlanCost() const { return last_cost_; }
   const Stats& stats() const { return stats_; }
+
+ protected:
+  Plan BuildPlanImpl(const Query& query,
+                     obs::PlannerStats& stats) const override;
 
  private:
   struct CacheEntry {
@@ -79,23 +83,32 @@ class ExhaustivePlanner : public Planner {
     std::unique_ptr<PlanNode> node;
   };
 
+  /// Per-build scratch: the DP memo table and counters live here (on the
+  /// BuildPlan stack) so concurrent builds on one instance never share
+  /// mutable state.
+  struct BuildContext {
+    std::unordered_map<RangeVec, CacheEntry, RangeVectorHash> cache;
+    Stats stats;
+  };
+
   /// Solves a subproblem exactly; results are memoized by range vector.
   std::pair<double, std::unique_ptr<PlanNode>> Solve(const Query& query,
-                                                     const RangeVec& ranges);
+                                                     const RangeVec& ranges,
+                                                     BuildContext& ctx) const;
 
   /// Zero-or-known-cost completion leaf once splits are no longer useful:
   /// the optimal sequential plan (conjunctive) or a generic acquire-and-test
   /// leaf (DNF), with its expected cost under the estimator.
   std::pair<double, std::unique_ptr<PlanNode>> CompletionLeaf(
-      const Query& query, const RangeVec& ranges);
+      const Query& query, const RangeVec& ranges) const;
 
   CondProbEstimator& estimator_;
   const AcquisitionCostModel& cost_model_;
   Options options_;
   OptSeqSolver optseq_;
-  std::unordered_map<RangeVec, CacheEntry, RangeVectorHash> cache_;
-  Stats stats_;
-  double last_cost_ = 0.0;
+  /// Most-recent-build diagnostics, committed under Planner::diag_mu_.
+  mutable Stats stats_;
+  mutable double last_cost_ = 0.0;
 };
 
 }  // namespace caqp

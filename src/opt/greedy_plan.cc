@@ -62,8 +62,8 @@ MaskDistribution FromMap(const std::unordered_map<uint64_t, double>& map) {
 
 }  // namespace
 
-void GreedyPlanner::SolveLeafState(GNode* node,
-                                   const MaskDistribution& masks) {
+void GreedyPlanner::SolveLeafState(GNode* node, const MaskDistribution& masks,
+                                   Stats& stats) const {
   node->masks = masks;
   if (node->determined || node->preds.empty()) {
     node->seq_cost = 0.0;
@@ -74,7 +74,7 @@ void GreedyPlanner::SolveLeafState(GNode* node,
   prob.masks = &node->masks;
   prob.cost = MakeSeqCostFn(estimator_.schema(), cost_model_, node->ranges,
                             node->preds);
-  ++stats_.seq_solves;
+  ++stats.seq_solves;
   const SeqSolution sol = options_.seq_solver->Solve(prob);
   node->seq_cost = sol.expected_cost;
   node->seq_order = sol.OrderedPredicates(prob);
@@ -124,11 +124,11 @@ size_t GreedyPlanner::LeafBytes(const GNode& node) {
   return PlanSizeBytes(Plan(std::move(leaf)));
 }
 
-void GreedyPlanner::GreedySplit(GNode* node) {
+void GreedyPlanner::GreedySplit(GNode* node, Stats& stats) const {
   node->has_split = false;
   if (node->determined || node->preds.empty()) return;
   if (node->masks.total() <= 0) return;  // No training mass: keep the leaf.
-  ++stats_.split_searches;
+  ++stats.split_searches;
 
   ScopedEstimatorScope scope(estimator_, node->ranges);
   const Schema& schema = estimator_.schema();
@@ -174,7 +174,7 @@ void GreedyPlanner::GreedySplit(GNode* node) {
         }
         ++cursor;
       }
-      ++stats_.candidates_tried;
+      ++stats.candidates_tried;
 
       const double p_lt = lt_total / parent_total;
       const double p_ge = 1.0 - p_lt;
@@ -190,14 +190,14 @@ void GreedyPlanner::GreedySplit(GNode* node) {
       auto lt_child =
           MakeChildShell(*node, attr, ValueRange{r.lo, static_cast<Value>(x - 1)},
                          lt_dist, &lt_proj);
-      SolveLeafState(lt_child.get(), lt_proj);
+      SolveLeafState(lt_child.get(), lt_proj, stats);
       double cand = observe + p_lt * lt_child->seq_cost;
       if (cand >= cmin) continue;
 
       MaskDistribution ge_proj;
       auto ge_child = MakeChildShell(*node, attr, ValueRange{x, r.hi},
                                      ge_dist, &ge_proj);
-      SolveLeafState(ge_child.get(), ge_proj);
+      SolveLeafState(ge_child.get(), ge_proj, stats);
       cand += p_ge * ge_child->seq_cost;
 
       if (cand < cmin) {
@@ -230,12 +230,12 @@ double GreedyPlanner::SubtreeExpectedCost(const GNode& node) const {
          (1.0 - node.split_p_lt) * SubtreeExpectedCost(*node.ge);
 }
 
-Plan GreedyPlanner::BuildPlan(const Query& query) {
+Plan GreedyPlanner::BuildPlanImpl(const Query& query,
+                                  obs::PlannerStats& pstats) const {
   const Schema& schema = estimator_.schema();
   CAQP_CHECK(query.ValidFor(schema));
   CAQP_CHECK(query.IsConjunctive());
-  stats_ = Stats{};
-  planner_stats_.Reset(Name());
+  Stats stats;
 
   auto root = std::make_unique<GNode>();
   root->ranges = schema.FullRanges();
@@ -243,13 +243,15 @@ Plan GreedyPlanner::BuildPlan(const Query& query) {
 
   const Truth truth = query.EvaluateOnRanges(root->ranges);
   if (truth != Truth::kUnknown) {
+    std::lock_guard<std::mutex> lock(diag_mu_);
+    stats_ = stats;
     last_cost_ = 0.0;
     return Plan(PlanNode::Verdict(truth == Truth::kTrue));
   }
   root->preds = UndeterminedPredicates(query.predicates(), root->ranges);
   SolveLeafState(root.get(),
-                 estimator_.PredicateMasks(root->ranges, root->preds));
-  GreedySplit(root.get());
+                 estimator_.PredicateMasks(root->ranges, root->preds), stats);
+  GreedySplit(root.get(), stats);
 
   struct QueueEntry {
     double priority;
@@ -264,12 +266,12 @@ Plan GreedyPlanner::BuildPlan(const Query& query) {
     const double gain = n->reach_prob * (n->seq_cost - n->split_cost);
     if (gain > options_.min_gain) {
       queue.push({gain, n});
-      stats_.queue_high_water = std::max(stats_.queue_high_water, queue.size());
+      stats.queue_high_water = std::max(stats.queue_high_water, queue.size());
     }
   };
   maybe_enqueue(root.get());
 
-  while (stats_.splits_made < options_.max_splits && !queue.empty()) {
+  while (stats.splits_made < options_.max_splits && !queue.empty()) {
     const QueueEntry top = queue.top();
     queue.pop();
     GNode* node = top.node;
@@ -286,42 +288,47 @@ Plan GreedyPlanner::BuildPlan(const Query& query) {
           static_cast<double>(after) - static_cast<double>(before);
       if (options_.size_penalty_alpha > 0 &&
           top.priority <= options_.size_penalty_alpha * delta) {
-        ++stats_.expansions_skipped;
+        ++stats.expansions_skipped;
         continue;  // The saving does not cover shipping the bigger plan.
       }
       if (options_.max_plan_bytes > 0) {
         const size_t current = PlanSizeBytes(Plan(Materialize(*root)));
         if (current + static_cast<size_t>(std::max(0.0, delta)) >
             options_.max_plan_bytes) {
-          ++stats_.expansions_skipped;
+          ++stats.expansions_skipped;
           continue;  // Would no longer fit in device RAM.
         }
       }
     }
 
     node->expanded = true;
-    if (stats_.splits_made == 0) stats_.benefit_first = top.priority;
-    stats_.benefit_last = top.priority;
-    stats_.benefit_total += top.priority;
-    ++stats_.splits_made;
+    if (stats.splits_made == 0) stats.benefit_first = top.priority;
+    stats.benefit_last = top.priority;
+    stats.benefit_total += top.priority;
+    ++stats.splits_made;
     for (GNode* child : {node->lt.get(), node->ge.get()}) {
       child->reach_prob = estimator_.ReachProbability(child->ranges);
-      GreedySplit(child);
+      GreedySplit(child, stats);
       maybe_enqueue(child);
     }
   }
 
-  last_cost_ = SubtreeExpectedCost(*root);
-  planner_stats_.split_searches = stats_.split_searches;
-  planner_stats_.splits_considered = stats_.candidates_tried;
-  planner_stats_.splits_taken = stats_.splits_made;
-  planner_stats_.queue_high_water = stats_.queue_high_water;
-  planner_stats_.expansions_skipped = stats_.expansions_skipped;
-  planner_stats_.benefit_first = stats_.benefit_first;
-  planner_stats_.benefit_last = stats_.benefit_last;
-  planner_stats_.benefit_total = stats_.benefit_total;
-  planner_stats_.seq_solves = stats_.seq_solves;
-  planner_stats_.expected_cost = last_cost_;
+  const double cost = SubtreeExpectedCost(*root);
+  pstats.split_searches = stats.split_searches;
+  pstats.splits_considered = stats.candidates_tried;
+  pstats.splits_taken = stats.splits_made;
+  pstats.queue_high_water = stats.queue_high_water;
+  pstats.expansions_skipped = stats.expansions_skipped;
+  pstats.benefit_first = stats.benefit_first;
+  pstats.benefit_last = stats.benefit_last;
+  pstats.benefit_total = stats.benefit_total;
+  pstats.seq_solves = stats.seq_solves;
+  pstats.expected_cost = cost;
+  {
+    std::lock_guard<std::mutex> lock(diag_mu_);
+    stats_ = stats;
+    last_cost_ = cost;
+  }
   return Plan(Materialize(*root));
 }
 

@@ -71,21 +71,23 @@ class GreedyPlanner : public Planner {
     return "Heuristic-" + std::to_string(options_.max_splits);
   }
 
-  /// Conjunctive queries only (sequential base plans are conjunctive).
-  Plan BuildPlan(const Query& query) override;
-
   /// The Equation (6)-style expected cost of the last built plan under the
-  /// training estimator.
+  /// training estimator. See opt/planner.h for when diagnostics may be read.
   double LastPlanCost() const { return last_cost_; }
   const Stats& stats() const { return stats_; }
+
+ protected:
+  /// Conjunctive queries only (sequential base plans are conjunctive).
+  Plan BuildPlanImpl(const Query& query,
+                     obs::PlannerStats& stats) const override;
 
  private:
   struct GNode;
 
   /// Fills node->split_* with the locally optimal binary split (Figure 6);
   /// leaves has_split=false if no split strictly improves on the leaf's
-  /// sequential plan.
-  void GreedySplit(GNode* node);
+  /// sequential plan. `stats` is the per-build counter block.
+  void GreedySplit(GNode* node, Stats& stats) const;
 
   /// Child subproblem shell for a candidate split: refined ranges, child
   /// predicate set, projected mask distribution (base plan still unsolved).
@@ -100,7 +102,8 @@ class GreedyPlanner : public Planner {
 
   /// Solves the sequential base plan for a child subproblem given its
   /// projected mask distribution.
-  void SolveLeafState(GNode* node, const MaskDistribution& masks);
+  void SolveLeafState(GNode* node, const MaskDistribution& masks,
+                      Stats& stats) const;
 
   std::unique_ptr<PlanNode> Materialize(const GNode& node) const;
   double SubtreeExpectedCost(const GNode& node) const;
@@ -108,8 +111,9 @@ class GreedyPlanner : public Planner {
   CondProbEstimator& estimator_;
   const AcquisitionCostModel& cost_model_;
   Options options_;
-  Stats stats_;
-  double last_cost_ = 0.0;
+  /// Most-recent-build diagnostics, committed under Planner::diag_mu_.
+  mutable Stats stats_;
+  mutable double last_cost_ = 0.0;
 };
 
 }  // namespace caqp

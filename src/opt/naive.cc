@@ -5,10 +5,11 @@
 
 namespace caqp {
 
-Plan NaivePlanner::BuildPlan(const Query& query) {
+Plan NaivePlanner::BuildPlanImpl(const Query& query,
+                                 obs::PlannerStats& stats) const {
+  (void)stats;  // Naive does no search; the shared fields all stay zero.
   CAQP_CHECK(query.ValidFor(estimator_.schema()));
   CAQP_CHECK(query.IsConjunctive());
-  planner_stats_.Reset(Name());
   const Conjunct& preds = query.predicates();
   const RangeVec root = estimator_.schema().FullRanges();
 

@@ -17,7 +17,10 @@ class NaivePlanner : public Planner {
       : estimator_(estimator), cost_model_(cost_model) {}
 
   std::string Name() const override { return "Naive"; }
-  Plan BuildPlan(const Query& query) override;
+
+ protected:
+  Plan BuildPlanImpl(const Query& query,
+                     obs::PlannerStats& stats) const override;
 
  private:
   CondProbEstimator& estimator_;

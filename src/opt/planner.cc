@@ -42,14 +42,14 @@ SequentialLeaf SolveSequentialLeaf(const Query& query, const RangeVec& ranges,
   return out;
 }
 
-Plan SequentialPlanner::BuildPlan(const Query& query) {
+Plan SequentialPlanner::BuildPlanImpl(const Query& query,
+                                      obs::PlannerStats& stats) const {
   CAQP_CHECK(query.ValidFor(estimator_.schema()));
-  planner_stats_.Reset(Name());
   SequentialLeaf leaf =
       SolveSequentialLeaf(query, estimator_.schema().FullRanges(), estimator_,
                           cost_model_, solver_);
-  planner_stats_.seq_solves = 1;
-  planner_stats_.expected_cost = leaf.expected_cost;
+  stats.seq_solves = 1;
+  stats.expected_cost = leaf.expected_cost;
   return Plan(std::move(leaf.leaf));
 }
 

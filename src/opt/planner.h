@@ -7,6 +7,7 @@
 #define CAQP_OPT_PLANNER_H_
 
 #include <functional>
+#include <mutex>
 #include <string>
 
 #include "core/query.h"
@@ -18,21 +19,53 @@
 
 namespace caqp {
 
+/// Thread-safety contract (caqp::serve shares planner instances):
+///
+///   BuildPlan is const and keeps all per-build scratch on the stack; the
+///   diagnostic snapshot below is committed under an internal mutex when a
+///   build finishes. One planner instance may therefore run concurrent
+///   BuildPlan calls **iff the CondProbEstimator it references is itself
+///   safe for concurrent use**:
+///     * IndependentEstimator / ChowLiuEstimator — immutable after
+///       construction, safe to share across threads.
+///     * DatasetEstimator — maintains a scope stack and scratch row buffer,
+///       NOT safe to share; give each thread its own instance (see
+///       serve/query_service.h's per-worker PlanBuilder bundles).
+///   Diagnostics (planner_stats(), per-planner stats(), LastPlanCost())
+///   describe the most recently *completed* build and are unsynchronized on
+///   the read side: read them only while no build is in flight.
 class Planner {
  public:
   virtual ~Planner() = default;
   virtual std::string Name() const = 0;
   /// Builds a plan for `query`. The query must be valid for the estimator's
   /// schema; sequential planners additionally require a conjunctive query.
-  virtual Plan BuildPlan(const Query& query) = 0;
+  Plan BuildPlan(const Query& query) const {
+    obs::PlannerStats stats;
+    stats.Reset(Name());
+    Plan plan = BuildPlanImpl(query, stats);
+    std::lock_guard<std::mutex> lock(diag_mu_);
+    planner_stats_ = std::move(stats);
+    return plan;
+  }
 
-  /// Uniform tracing view of the most recent BuildPlan call (memo hits,
-  /// prunes, splits considered/taken, ... — see obs/planner_stats.h).
-  /// Fields a planner doesn't track stay zero.
+  /// Uniform tracing view of the most recent completed BuildPlan call (memo
+  /// hits, prunes, splits considered/taken, ... — see obs/planner_stats.h).
+  /// Fields a planner doesn't track stay zero. See the thread-safety
+  /// contract above.
   const obs::PlannerStats& planner_stats() const { return planner_stats_; }
 
  protected:
-  obs::PlannerStats planner_stats_;
+  /// Builds the plan, filling `stats` (already Reset to this planner's
+  /// name). Implementations must not touch instance state except under
+  /// diag_mu_ at the very end of the build.
+  virtual Plan BuildPlanImpl(const Query& query,
+                             obs::PlannerStats& stats) const = 0;
+
+  /// Guards the most-recent-build diagnostics of this planner and its
+  /// subclasses.
+  mutable std::mutex diag_mu_;
+  mutable obs::PlannerStats planner_stats_;
 };
 
 /// Builds the SeqProblem cost callback for predicates evaluated at a
@@ -69,7 +102,10 @@ class SequentialPlanner : public Planner {
         name_(std::move(name)) {}
 
   std::string Name() const override { return name_; }
-  Plan BuildPlan(const Query& query) override;
+
+ protected:
+  Plan BuildPlanImpl(const Query& query,
+                     obs::PlannerStats& stats) const override;
 
  private:
   CondProbEstimator& estimator_;

@@ -11,6 +11,10 @@
 // passing on the tree. Predicate-mask joints are estimated by exact
 // ancestral sampling from the conditioned tree (deterministic per query:
 // the sampler is reseeded from a hash of the evidence).
+//
+// Thread-safe after construction: the fitted tree is read-only and each
+// query's sampler state is local to the call, so one instance may serve
+// concurrent planners.
 
 #ifndef CAQP_PROB_CHOW_LIU_H_
 #define CAQP_PROB_CHOW_LIU_H_

@@ -8,6 +8,10 @@
 // for ranges that are not on the stack (e.g., GreedySplit probing candidate
 // children) are answered by filtering down from the nearest enclosing scope.
 
+// NOT thread-safe: the scope stack and scratch row buffer are mutated by
+// every probability query. Use one instance per thread (caqp::serve gives
+// each worker its own PlanBuilder bundle for exactly this reason).
+
 #ifndef CAQP_PROB_DATASET_ESTIMATOR_H_
 #define CAQP_PROB_DATASET_ESTIMATOR_H_
 

@@ -14,6 +14,16 @@
 // All conditioning is expressed as a RangeVec: one inclusive value range per
 // schema attribute ("X_1 in R_1 AND ... AND X_n in R_n"), which is exactly
 // the shape of every subproblem the planners generate.
+//
+// Thread safety: the interface is deliberately non-const (implementations
+// may keep incremental per-query state), so an estimator instance is safe to
+// share across threads only if its implementation says so:
+//  * IndependentEstimator and ChowLiuEstimator mutate nothing after
+//    construction -- safe for concurrent use.
+//  * DatasetEstimator keeps a scope stack and a scratch row buffer -- NOT
+//    safe to share; use one instance per thread.
+// Planner thread safety (opt/planner.h) is exactly the thread safety of the
+// estimator the planner references.
 
 #ifndef CAQP_PROB_ESTIMATOR_H_
 #define CAQP_PROB_ESTIMATOR_H_

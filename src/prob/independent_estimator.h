@@ -7,6 +7,9 @@
 // doubles as an ablation: running GreedyPlan with this estimator shows that
 // the benefit of conditional plans comes from *correlations*, not from the
 // plan shape alone (an independence model never makes a split look useful).
+//
+// Thread-safe after construction: the per-attribute marginals are never
+// mutated by queries, so one instance may serve concurrent planners.
 
 #ifndef CAQP_PROB_INDEPENDENT_ESTIMATOR_H_
 #define CAQP_PROB_INDEPENDENT_ESTIMATOR_H_

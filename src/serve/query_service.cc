@@ -1,0 +1,123 @@
+#include "serve/query_service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "core/query_signature.h"
+#include "exec/executor.h"
+#include "obs/registry.h"
+
+namespace caqp {
+namespace serve {
+
+namespace {
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+QueryService::QueryService(const Schema& schema,
+                           const AcquisitionCostModel& cost_model,
+                           const PlanBuilderFactory& factory, Options options)
+    : schema_(schema),
+      cost_model_(cost_model),
+      options_(options),
+      cache_(ShardedPlanCache::Options{options.cache_capacity,
+                                       options.cache_shards}) {
+  if (options_.num_workers == 0) options_.num_workers = 1;
+  builders_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    builders_.push_back(factory());
+    CAQP_CHECK(builders_.back() != nullptr);
+  }
+  planner_fingerprint_ = builders_.front()->ConfigFingerprint();
+  for (const std::unique_ptr<PlanBuilder>& b : builders_) {
+    // A factory whose bundles disagree on config would alias cache entries.
+    CAQP_CHECK(b->ConfigFingerprint() == planner_fingerprint_);
+  }
+  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+}
+
+QueryService::~QueryService() = default;  // pool_ drains first (last member)
+
+std::future<QueryService::Response> QueryService::Submit(Query query,
+                                                         Tuple tuple) {
+  auto state = std::make_shared<std::promise<Response>>();
+  std::future<Response> result = state->get_future();
+  pool_->Submit([this, state, query = std::move(query),
+                 tuple = std::move(tuple)](size_t worker_id) {
+    state->set_value(Handle(worker_id, query, tuple));
+  });
+  return result;
+}
+
+QueryService::Response QueryService::SubmitAndWait(Query query, Tuple tuple) {
+  return Submit(std::move(query), std::move(tuple)).get();
+}
+
+QueryService::Response QueryService::Handle(size_t worker_id,
+                                            const Query& query,
+                                            const Tuple& tuple) {
+  const double start = NowSeconds();
+  CAQP_OBS_COUNTER_INC("serve.requests");
+
+  Response r;
+  r.query_sig = QuerySignature(query);
+  r.estimator_version = estimator_version_.load(std::memory_order_acquire);
+  PlanBuilder& builder = *builders_[worker_id];
+  const PlanCacheKey key{r.query_sig, r.estimator_version,
+                         planner_fingerprint_};
+
+  if (options_.cache_capacity == 0) {
+    // Plan-per-query baseline: no cache, no deduplication.
+    r.plan = std::make_shared<const Plan>(builder.Build(query));
+    r.planned = true;
+  } else {
+    r.plan = cache_.Get(key);
+    if (r.plan != nullptr) {
+      r.cache_hit = true;
+    } else {
+      SingleFlight::Result flight = flight_.Do(key, [&] {
+        auto plan = std::make_shared<const Plan>(builder.Build(query));
+        cache_.Put(key, plan);
+        return plan;
+      });
+      r.plan = std::move(flight.plan);
+      r.planned = flight.leader;
+    }
+  }
+
+  TupleSource source(tuple);
+  r.exec = ExecutePlan(*r.plan, schema_, cost_model_, source);
+
+  r.latency_seconds = NowSeconds() - start;
+  {
+    // StreamingStat is single-writer; latency_mu_ serializes both the local
+    // stat and the registry stat across workers.
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    latency_.Record(r.latency_seconds);
+    CAQP_OBS_STAT_RECORD("serve.request_latency_seconds", r.latency_seconds);
+  }
+  return r;
+}
+
+void QueryService::InvalidateCache() {
+  estimator_version_.fetch_add(1, std::memory_order_acq_rel);
+  cache_.InvalidateAll();
+  CAQP_OBS_COUNTER_INC("serve.invalidations");
+}
+
+std::function<void()> QueryService::InvalidationHook() {
+  return [this] { InvalidateCache(); };
+}
+
+obs::StreamingStat QueryService::LatencyStats() const {
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  return latency_;
+}
+
+}  // namespace serve
+}  // namespace caqp

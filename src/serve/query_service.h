@@ -1,0 +1,167 @@
+// QueryService: the concurrent multi-query serving front end.
+//
+// A request is (query, tuple): compile-or-fetch a conditional plan for the
+// query, execute it over the tuple's acquisition source, and return the
+// verdict plus acquisition accounting. The paper's planners are expensive
+// relative to plan execution (milliseconds of sampling/DP vs. microseconds
+// of tree traversal), which is exactly the regime where a serving layer
+// amortizes planning across a workload:
+//
+//   Submit -> canonical signature -> sharded plan cache (plan_cache.h)
+//          -> miss: single-flight BuildPlan (single_flight.h)
+//          -> ExecutePlan on the worker pool (thread_pool.h)
+//
+// Planning state is per worker: the factory supplied at construction is
+// invoked once per worker thread, so estimators that are not shareable
+// (DatasetEstimator's scope stack) still serve concurrent traffic safely.
+// Thread-safe estimators (IndependentEstimator, ChowLiuEstimator) can back
+// all bundles with one shared const Planner instead — see the thread-safety
+// contract in opt/planner.h.
+//
+// Invalidation: InvalidateCache() bumps the estimator version (a component
+// of every cache key) and eagerly clears the cache. Wire it to the adaptive
+// replanner via AdaptivePlanner::Options::on_plan_adopted =
+// service.InvalidationHook() so a detected distribution shift immediately
+// stops serving stale plans.
+
+#ifndef CAQP_SERVE_QUERY_SERVICE_H_
+#define CAQP_SERVE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <functional>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "core/query.h"
+#include "core/schema.h"
+#include "exec/executor.h"
+#include "obs/registry.h"
+#include "opt/cost_model.h"
+#include "opt/planner.h"
+#include "serve/plan_cache.h"
+#include "serve/single_flight.h"
+#include "serve/thread_pool.h"
+
+namespace caqp {
+namespace serve {
+
+/// Per-worker planning bundle. QueryService calls Build from exactly one
+/// thread at a time per instance, so implementations may hold non-shareable
+/// state (e.g. a DatasetEstimator).
+class PlanBuilder {
+ public:
+  virtual ~PlanBuilder() = default;
+  virtual Plan Build(const Query& query) = 0;
+  /// Stable fingerprint of the planner kind + options + training-data
+  /// identity. Part of the cache key, so two services (or one service after
+  /// a config change) never alias each other's plans. All bundles from one
+  /// factory must agree on this value.
+  virtual uint64_t ConfigFingerprint() const = 0;
+};
+
+using PlanBuilderFactory = std::function<std::unique_ptr<PlanBuilder>()>;
+
+/// Bundle over a shared const Planner (requires a thread-safe estimator —
+/// see opt/planner.h). The planner must outlive the service.
+class SharedPlannerBuilder : public PlanBuilder {
+ public:
+  SharedPlannerBuilder(const Planner& planner, uint64_t fingerprint)
+      : planner_(planner), fingerprint_(fingerprint) {}
+  Plan Build(const Query& query) override { return planner_.BuildPlan(query); }
+  uint64_t ConfigFingerprint() const override { return fingerprint_; }
+
+ private:
+  const Planner& planner_;
+  uint64_t fingerprint_;
+};
+
+class QueryService {
+ public:
+  struct Options {
+    size_t num_workers = 4;
+    /// Total plan-cache entries; 0 disables caching AND single-flight, so
+    /// every request plans for itself (the plan-per-query baseline that
+    /// bench_serve compares against).
+    size_t cache_capacity = 1024;
+    size_t cache_shards = 8;
+  };
+
+  struct Response {
+    uint64_t query_sig = 0;
+    uint64_t estimator_version = 0;
+    bool cache_hit = false;
+    /// True iff this request ran BuildPlan (cache miss + single-flight
+    /// leader, or caching disabled).
+    bool planned = false;
+    std::shared_ptr<const Plan> plan;
+    ExecutionResult exec;
+    /// Wall-clock seconds from worker pickup to completion.
+    double latency_seconds = 0.0;
+  };
+
+  /// `schema` and `cost_model` must outlive the service. `factory` is
+  /// invoked options.num_workers times, once per worker.
+  QueryService(const Schema& schema, const AcquisitionCostModel& cost_model,
+               const PlanBuilderFactory& factory, Options options);
+
+  /// Drains in-flight requests, then stops the workers.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Admits one request. The returned future resolves on a worker thread.
+  /// The query need not be canonicalized; the tuple must be valid for the
+  /// schema.
+  std::future<Response> Submit(Query query, Tuple tuple);
+
+  /// Convenience synchronous form.
+  Response SubmitAndWait(Query query, Tuple tuple);
+
+  /// Estimator refresh: bumps the version component of future cache keys
+  /// and eagerly drops all cached plans. A request racing with the bump may
+  /// still insert a plan under the old version; such entries are
+  /// unreachable afterwards and age out of the LRU.
+  void InvalidateCache();
+
+  /// Callback form of InvalidateCache, shaped for
+  /// AdaptivePlanner::Options::on_plan_adopted. Safe to call from any
+  /// thread; must not outlive the service.
+  std::function<void()> InvalidationHook();
+
+  uint64_t estimator_version() const {
+    return estimator_version_.load(std::memory_order_relaxed);
+  }
+
+  const ShardedPlanCache& cache() const { return cache_; }
+  size_t num_workers() const { return pool_->num_threads(); }
+
+  /// Copy of the request-latency distribution (seconds) so far.
+  obs::StreamingStat LatencyStats() const;
+
+ private:
+  Response Handle(size_t worker_id, const Query& query, const Tuple& tuple);
+
+  const Schema& schema_;
+  const AcquisitionCostModel& cost_model_;
+  Options options_;
+  std::vector<std::unique_ptr<PlanBuilder>> builders_;  // one per worker
+  uint64_t planner_fingerprint_ = 0;
+  ShardedPlanCache cache_;
+  SingleFlight flight_;
+  std::atomic<uint64_t> estimator_version_{0};
+
+  /// StreamingStat is single-writer; serialize Record across workers.
+  mutable std::mutex latency_mu_;
+  obs::StreamingStat latency_;  // guarded by latency_mu_
+
+  /// Last member: its destructor drains the queue while everything the
+  /// workers touch is still alive.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace serve
+}  // namespace caqp
+
+#endif  // CAQP_SERVE_QUERY_SERVICE_H_

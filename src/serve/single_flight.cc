@@ -1,0 +1,49 @@
+#include "serve/single_flight.h"
+
+#include "common/check.h"
+#include "obs/registry.h"
+
+namespace caqp {
+namespace serve {
+
+SingleFlight::Result SingleFlight::Do(const PlanCacheKey& key,
+                                      const BuildFn& build) {
+  std::shared_ptr<Flight> flight;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = flights_.find(key);
+    if (it != flights_.end()) {
+      // Follower: block on the leader's shared future, outside the lock so
+      // the leader can publish and deregister.
+      std::shared_future<std::shared_ptr<const Plan>> future =
+          it->second->future;
+      lock.unlock();
+      CAQP_OBS_COUNTER_INC("serve.single_flight.followers");
+      return {future.get(), /*leader=*/false};
+    }
+    flight = std::make_shared<Flight>();
+    flight->future = flight->promise.get_future().share();
+    flights_.emplace(key, flight);
+  }
+
+  // Leader: plan with no lock held, publish, then deregister. Requests for
+  // this key that arrive after the erase re-plan — by then the plan is in
+  // the cache, so they hit there instead.
+  CAQP_OBS_COUNTER_INC("serve.single_flight.leaders");
+  std::shared_ptr<const Plan> plan = build();
+  CAQP_CHECK(plan != nullptr);
+  flight->promise.set_value(plan);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    flights_.erase(key);
+  }
+  return {std::move(plan), /*leader=*/true};
+}
+
+size_t SingleFlight::InFlight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flights_.size();
+}
+
+}  // namespace serve
+}  // namespace caqp

@@ -1,0 +1,50 @@
+#include "serve/thread_pool.h"
+
+#include <utility>
+
+namespace caqp {
+namespace serve {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  CAQP_CHECK(num_threads > 0);
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(Task task) {
+  CAQP_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CAQP_CHECK(!shutdown_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop(size_t worker_id) {
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task(worker_id);
+  }
+}
+
+}  // namespace serve
+}  // namespace caqp

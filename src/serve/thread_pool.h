@@ -1,0 +1,58 @@
+// Fixed-size worker thread pool for the serving layer.
+//
+// Deliberately minimal: a locked deque + condition variable is plenty for
+// the serve workload, where each task plans (milliseconds) or executes a
+// cached plan (microseconds) — queue contention is nowhere near the
+// bottleneck. Tasks receive their worker index so QueryService can hand each
+// worker thread-local planning state (see query_service.h) without any
+// thread_local machinery.
+
+#ifndef CAQP_SERVE_THREAD_POOL_H_
+#define CAQP_SERVE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace caqp {
+namespace serve {
+
+class ThreadPool {
+ public:
+  /// A unit of work; `worker_id` is in [0, num_threads).
+  using Task = std::function<void(size_t worker_id)>;
+
+  explicit ThreadPool(size_t num_threads);
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after (or concurrently with) the
+  /// destructor. Tasks may block (e.g. on a single-flight future) but must
+  /// not wait for *queued* work that only another Submit could start.
+  void Submit(Task task);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop(size_t worker_id);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;   // guarded by mu_
+  bool shutdown_ = false;    // guarded by mu_
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace serve
+}  // namespace caqp
+
+#endif  // CAQP_SERVE_THREAD_POOL_H_

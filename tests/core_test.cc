@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/csv.h"
@@ -206,6 +208,60 @@ TEST(PredicateTest, RangeEvalConsistentWithPointEval) {
       EXPECT_EQ(t, Truth::kUnknown);
     }
   }
+}
+
+TEST(PredicateTest, EqualityAndHashConsistent) {
+  const Predicate p(2, 1, 3);
+  EXPECT_EQ(p, Predicate(2, 1, 3));
+  EXPECT_EQ(p.Hash(), Predicate(2, 1, 3).Hash());
+  // Every field participates in both == and the hash.
+  EXPECT_NE(p, Predicate(1, 1, 3));
+  EXPECT_NE(p.Hash(), Predicate(1, 1, 3).Hash());
+  EXPECT_NE(p, Predicate(2, 0, 3));
+  EXPECT_NE(p.Hash(), Predicate(2, 0, 3).Hash());
+  EXPECT_NE(p, Predicate(2, 1, 2));
+  EXPECT_NE(p.Hash(), Predicate(2, 1, 2).Hash());
+  EXPECT_NE(p, Predicate(2, 1, 3, /*negated=*/true));
+  EXPECT_NE(p.Hash(), Predicate(2, 1, 3, /*negated=*/true).Hash());
+}
+
+TEST(PredicateTest, HashHasNoCheapCollisionsOverSmallDomain) {
+  // The field packing is injective, so distinct (attr, lo, hi, negated)
+  // tuples must never collide on a small exhaustive sweep.
+  std::vector<uint64_t> hashes;
+  for (AttrId a = 0; a < 4; ++a) {
+    for (Value lo = 0; lo < 6; ++lo) {
+      for (Value hi = lo; hi < 6; ++hi) {
+        for (int neg = 0; neg < 2; ++neg) {
+          hashes.push_back(Predicate(a, lo, hi, neg != 0).Hash());
+        }
+      }
+    }
+  }
+  std::sort(hashes.begin(), hashes.end());
+  EXPECT_EQ(std::adjacent_find(hashes.begin(), hashes.end()), hashes.end());
+}
+
+TEST(QueryTest, EqualityIsStructural) {
+  const Query a = Query::Conjunction({Predicate(0, 1, 2), Predicate(1, 0, 3)});
+  const Query b = Query::Conjunction({Predicate(0, 1, 2), Predicate(1, 0, 3)});
+  const Query reordered =
+      Query::Conjunction({Predicate(1, 0, 3), Predicate(0, 1, 2)});
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_FALSE(a == reordered);  // same semantics, different structure
+  EXPECT_NE(a.Hash(), reordered.Hash());
+}
+
+TEST(QueryTest, HashSeparatesConjunctBoundaries) {
+  // Same flat predicate list split differently across conjuncts must hash
+  // apart: AND(p, q) vs OR(p, q).
+  const Query anded =
+      Query::Conjunction({Predicate(0, 1, 2), Predicate(1, 0, 3)});
+  const Query ored =
+      Query::Disjunction({{Predicate(0, 1, 2)}, {Predicate(1, 0, 3)}});
+  EXPECT_FALSE(anded == ored);
+  EXPECT_NE(anded.Hash(), ored.Hash());
 }
 
 TEST(TruthTest, ThreeValuedConnectives) {

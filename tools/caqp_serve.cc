@@ -1,0 +1,300 @@
+// caqp_serve: workload replay against the caqp::serve::QueryService.
+//
+// Generates a synthetic correlated dataset, a pool of distinct conjunctive
+// queries, and replays a repeated-query request stream from concurrent
+// client threads at a target concurrency. Each request's predicates are
+// re-shuffled before submission, so cache hits demonstrate canonicalization
+// (order-insensitive query signatures), not string matching. Prints
+// throughput and latency percentiles from the service's latency stats and
+// the caqp::obs registry.
+//
+// Example:
+//   caqp_serve --workers 8 --clients 16 --requests 20000 --distinct 32
+//
+// --workers N          service worker threads (default 4)
+// --clients N          concurrent client threads submitting requests
+//                      (default 8)
+// --requests N         total requests to replay (default 20000)
+// --distinct N         distinct queries in the workload (default 16)
+// --tuples N           synthetic dataset size (default 20000)
+// --attrs N            synthetic attributes (default 10)
+// --gamma G            correlation factor, group size G+1 (default 4)
+// --planner P          greedy | greedyseq | optseq | naive (default greedy)
+// --max-splits K       greedy split budget (default 5)
+// --cache-capacity N   plan-cache entries (default 1024)
+// --no-cache           plan-per-query baseline (capacity 0, no single-flight)
+// --metrics-out PATH   write the obs metrics registry as JSON
+// --seed S             workload RNG seed (default 20050405)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/query_signature.h"
+#include "data/synthetic_gen.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "opt/greedy_plan.h"
+#include "opt/greedyseq.h"
+#include "opt/naive.h"
+#include "opt/optseq.h"
+#include "opt/split_points.h"
+#include "prob/dataset_estimator.h"
+#include "serve/query_service.h"
+
+using namespace caqp;
+
+namespace {
+
+[[noreturn]] void Die(const std::string& msg) {
+  std::fprintf(stderr, "caqp_serve: %s\n", msg.c_str());
+  std::exit(1);
+}
+
+struct Config {
+  size_t workers = 4;
+  size_t clients = 8;
+  size_t requests = 20000;
+  size_t distinct = 16;
+  size_t tuples = 20000;
+  uint32_t attrs = 10;
+  uint32_t gamma = 4;
+  std::string planner = "greedy";
+  size_t max_splits = 5;
+  size_t cache_capacity = 1024;
+  std::string metrics_out;
+  uint64_t seed = 20050405;
+};
+
+/// Distinct random conjunctive queries over the (binary) synthetic schema:
+/// each query predicates 2..n attributes on a random value, negating some.
+std::vector<Query> MakeWorkload(const Schema& schema, const Config& cfg) {
+  std::mt19937_64 rng(cfg.seed);
+  std::vector<Query> out;
+  std::vector<uint64_t> sigs;
+  const size_t n = schema.num_attributes();
+  while (out.size() < cfg.distinct) {
+    std::vector<AttrId> attrs(n);
+    for (size_t i = 0; i < n; ++i) attrs[i] = static_cast<AttrId>(i);
+    std::shuffle(attrs.begin(), attrs.end(), rng);
+    const size_t arity = 2 + rng() % (n - 1);
+    Conjunct preds;
+    for (size_t i = 0; i < arity; ++i) {
+      const Value v = static_cast<Value>(
+          rng() % schema.domain_size(attrs[i]));
+      preds.emplace_back(attrs[i], v, v, /*negated=*/rng() % 4 == 0);
+    }
+    Query q = Query::Conjunction(std::move(preds));
+    // Reject signature duplicates so --distinct is honest.
+    const uint64_t sig = QuerySignature(q);
+    if (std::find(sigs.begin(), sigs.end(), sig) != sigs.end()) continue;
+    sigs.push_back(sig);
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+/// Per-worker planning bundle: own DatasetEstimator (not shareable — see
+/// prob/dataset_estimator.h) over the shared training split, plus the
+/// chosen planner.
+class WorkloadPlanBuilder : public serve::PlanBuilder {
+ public:
+  WorkloadPlanBuilder(const Dataset& train,
+                      const AcquisitionCostModel& cost_model,
+                      const SplitPointSet& splits, const Config& cfg)
+      : estimator_(train) {
+    if (cfg.planner == "greedy") {
+      GreedyPlanner::Options gopts;
+      gopts.split_points = &splits;
+      gopts.seq_solver = &greedyseq_;
+      gopts.max_splits = cfg.max_splits;
+      planner_ = std::make_unique<GreedyPlanner>(estimator_, cost_model,
+                                                 gopts);
+    } else if (cfg.planner == "greedyseq") {
+      planner_ = std::make_unique<SequentialPlanner>(estimator_, cost_model,
+                                                     greedyseq_, "GreedySeq");
+    } else if (cfg.planner == "optseq") {
+      planner_ = std::make_unique<SequentialPlanner>(estimator_, cost_model,
+                                                     optseq_, "OptSeq");
+    } else if (cfg.planner == "naive") {
+      planner_ = std::make_unique<NaivePlanner>(estimator_, cost_model);
+    } else {
+      Die("unknown --planner " + cfg.planner);
+    }
+    fingerprint_ = std::hash<std::string>{}(cfg.planner) ^
+                   (cfg.max_splits * 0x9e3779b97f4a7c15ULL);
+  }
+
+  Plan Build(const Query& query) override {
+    return planner_->BuildPlan(query);
+  }
+  uint64_t ConfigFingerprint() const override { return fingerprint_; }
+
+ private:
+  DatasetEstimator estimator_;
+  GreedySeqSolver greedyseq_;
+  OptSeqSolver optseq_;
+  std::unique_ptr<Planner> planner_;
+  uint64_t fingerprint_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) Die("missing value after " + arg);
+      return argv[++i];
+    };
+    auto next_num = [&]() {
+      return std::strtoull(next().c_str(), nullptr, 10);
+    };
+    if (arg == "--workers") {
+      cfg.workers = next_num();
+    } else if (arg == "--clients") {
+      cfg.clients = next_num();
+    } else if (arg == "--requests") {
+      cfg.requests = next_num();
+    } else if (arg == "--distinct") {
+      cfg.distinct = next_num();
+    } else if (arg == "--tuples") {
+      cfg.tuples = next_num();
+    } else if (arg == "--attrs") {
+      cfg.attrs = static_cast<uint32_t>(next_num());
+    } else if (arg == "--gamma") {
+      cfg.gamma = static_cast<uint32_t>(next_num());
+    } else if (arg == "--planner") {
+      cfg.planner = next();
+    } else if (arg == "--max-splits") {
+      cfg.max_splits = next_num();
+    } else if (arg == "--cache-capacity") {
+      cfg.cache_capacity = next_num();
+    } else if (arg == "--no-cache") {
+      cfg.cache_capacity = 0;
+    } else if (arg == "--metrics-out") {
+      cfg.metrics_out = next();
+    } else if (arg == "--seed") {
+      cfg.seed = next_num();
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: see header comment of tools/caqp_serve.cc\n");
+      return 0;
+    } else {
+      Die("unknown flag " + arg);
+    }
+  }
+  if (cfg.distinct == 0 || cfg.requests == 0 || cfg.clients == 0) {
+    Die("--distinct, --requests and --clients must be positive");
+  }
+
+  SyntheticDataOptions dopts;
+  dopts.n = cfg.attrs;
+  dopts.gamma = cfg.gamma;
+  dopts.sel = 0.6;
+  dopts.tuples = cfg.tuples;
+  dopts.seed = cfg.seed;
+  const Dataset data = GenerateSyntheticData(dopts);
+  const Schema& schema = data.schema();
+  const auto [train, test] = data.SplitFraction(0.6);
+  PerAttributeCostModel cost_model(schema);
+  const SplitPointSet splits = SplitPointSet::FromLog10Spsf(
+      schema, static_cast<double>(schema.num_attributes()));
+
+  const std::vector<Query> workload = MakeWorkload(schema, cfg);
+  std::printf(
+      "dataset: %u binary attrs, gamma=%u, %zu train / %zu test rows\n"
+      "workload: %zu distinct queries, %zu requests, %zu clients, "
+      "%zu workers, planner=%s, cache=%zu\n\n",
+      cfg.attrs, cfg.gamma, train.num_rows(), test.num_rows(), cfg.distinct,
+      cfg.requests, cfg.clients, cfg.workers, cfg.planner.c_str(),
+      cfg.cache_capacity);
+
+  serve::QueryService::Options sopts;
+  sopts.num_workers = cfg.workers;
+  sopts.cache_capacity = cfg.cache_capacity;
+  serve::QueryService service(
+      schema, cost_model,
+      [&] {
+        return std::make_unique<WorkloadPlanBuilder>(train, cost_model,
+                                                     splits, cfg);
+      },
+      sopts);
+
+  std::vector<std::thread> clients;
+  std::vector<size_t> matches(cfg.clients, 0);
+  std::vector<size_t> verdict_errors(cfg.clients, 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t c = 0; c < cfg.clients; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937_64 rng(cfg.seed ^ (0xc1u + c));
+      const size_t quota =
+          cfg.requests / cfg.clients + (c < cfg.requests % cfg.clients);
+      for (size_t r = 0; r < quota; ++r) {
+        // Re-shuffle the predicate order: the signature (and so the cache)
+        // must be insensitive to it.
+        Conjunct preds = workload[rng() % workload.size()].predicates();
+        std::shuffle(preds.begin(), preds.end(), rng);
+        Query q = Query::Conjunction(std::move(preds));
+        Tuple tuple = test.GetTuple(
+            static_cast<RowId>(rng() % test.num_rows()));
+        const bool expected = q.Matches(tuple);
+        const serve::QueryService::Response resp =
+            service.SubmitAndWait(std::move(q), std::move(tuple));
+        matches[c] += resp.exec.verdict;
+        verdict_errors[c] += resp.exec.verdict != expected;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  size_t total_matches = 0, total_errors = 0;
+  for (size_t c = 0; c < cfg.clients; ++c) {
+    total_matches += matches[c];
+    total_errors += verdict_errors[c];
+  }
+  const serve::ShardedPlanCache::Stats cs = service.cache().stats();
+  const obs::StreamingStat lat = service.LatencyStats();
+  const double rps = static_cast<double>(cfg.requests) / elapsed;
+  CAQP_OBS_GAUGE_SET("serve.replay.throughput_rps", rps);
+  CAQP_OBS_GAUGE_SET("serve.replay.elapsed_seconds", elapsed);
+
+  std::printf("replayed %zu requests in %.3fs  (%.0f req/s)\n", cfg.requests,
+              elapsed, rps);
+  std::printf("matches: %zu   verdict errors: %zu\n", total_matches,
+              total_errors);
+  std::printf(
+      "cache: %llu hits / %llu misses (%.1f%% hit rate), %llu inserts, "
+      "%llu evictions\n",
+      static_cast<unsigned long long>(cs.hits),
+      static_cast<unsigned long long>(cs.misses),
+      100.0 * static_cast<double>(cs.hits) /
+          static_cast<double>(std::max<uint64_t>(1, cs.hits + cs.misses)),
+      static_cast<unsigned long long>(cs.inserts),
+      static_cast<unsigned long long>(cs.evictions));
+  std::printf(
+      "latency: mean %.1fus  p50 %.1fus  p95 %.1fus  max %.1fus\n",
+      lat.mean() * 1e6, lat.p50() * 1e6, lat.p95() * 1e6, lat.max() * 1e6);
+  if (total_errors != 0) {
+    std::fprintf(stderr, "caqp_serve: verdict mismatches detected\n");
+    return 1;
+  }
+
+  if (!cfg.metrics_out.empty()) {
+    const obs::MetricsRegistry& reg = obs::DefaultRegistry();
+    if (obs::WriteFileOrComplain(cfg.metrics_out, obs::RegistryToJson(reg))) {
+      std::printf("[wrote %s]\n", cfg.metrics_out.c_str());
+    }
+    std::printf("\n%s", obs::RegistryToMarkdown(reg).c_str());
+  }
+  return 0;
+}
