@@ -44,7 +44,7 @@ __attribute__((noinline)) ExecutionResult ExecutePlanBare(
       out.cost += cost_model.Cost(a, out.acquired);
       out.acquired.Insert(a);
       ++out.acquisitions;
-      values[a] = source.Acquire(a);
+      values[a] = source.Acquire(a).value;
     }
     return values[a];
   };

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Verification gate: tier-1 build + full test suite, then a second build
-# with AddressSanitizer + UBSan (-DCAQP_SANITIZE=ON) re-running the tests,
-# then a ThreadSanitizer build (-DCAQP_SANITIZE=thread) running the
-# concurrency-sensitive suites (caqp::serve and the adaptive replanner).
+# with AddressSanitizer + UBSan (-DCAQP_SANITIZE=ON) re-running the tests
+# (including the fault-injection and serde byte-mutation fuzz suites, where
+# ASan catches OOB reads the Status paths might otherwise hide), then a
+# ThreadSanitizer build (-DCAQP_SANITIZE=thread) running the
+# concurrency-sensitive suites (caqp::serve incl. deadline/shedding paths,
+# the adaptive replanner) plus the fault suites again.
 # Usage: scripts/check.sh [--skip-sanitizers]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,15 +23,15 @@ if [[ "$skip_san" == 1 ]]; then
   exit 0
 fi
 
-echo "== ASan/UBSan build + ctest =="
+echo "== ASan/UBSan build + ctest (incl. fault + serde-fuzz suites) =="
 cmake -B build-asan -S . -DCAQP_SANITIZE=ON
 cmake --build build-asan -j
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
 
-echo "== TSan build + concurrency suites =="
+echo "== TSan build + concurrency and fault suites =="
 cmake -B build-tsan -S . -DCAQP_SANITIZE=thread
 cmake --build build-tsan -j
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-  -R '^Serve|^Adaptive'
+  -R '^Serve|^Adaptive|^Fault|^SerdeFuzz'
 
 echo "== all checks passed =="

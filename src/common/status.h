@@ -22,6 +22,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kDataLoss,
   kInternal,
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for a status code ("OK", "InvalidArgument"...).
@@ -55,6 +57,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,7 @@
 #include "exec/executor.h"
 
+#include <algorithm>
+
 #include "obs/obs.h"
 #include "obs/registry.h"
 
@@ -14,67 +16,127 @@ namespace {
 template <bool kTraced>
 ExecutionResult ExecutePlanImpl(const Plan& plan, const Schema& schema,
                                 const AcquisitionCostModel& cost_model,
-                                AcquisitionSource& source, TraceSink* trace) {
+                                AcquisitionSource& source, TraceSink* trace,
+                                const DegradationPolicy& policy) {
   ExecutionResult out;
   // Cache of acquired values; valid where out.acquired has the bit set.
   std::vector<Value> values(schema.num_attributes(), 0);
+  const int max_attempts =
+      policy.mode == DegradationPolicy::Mode::kRetry
+          ? std::max(1, policy.max_attempts)
+          : 1;
 
-  auto acquire = [&](AttrId a) -> Value {
-    if (!out.acquired.Contains(a)) {
-      const double marginal = cost_model.Cost(a, out.acquired);
-      out.cost += marginal;
-      out.acquired.Insert(a);
-      ++out.acquisitions;
-      values[a] = source.Acquire(a);
-      if constexpr (kTraced) trace->OnAcquire(a, values[a], marginal);
+  // Acquires `a` (retrying per policy), returning true and filling *v on
+  // success. Every attempt is charged: the sensor is energized whether or
+  // not it returns a sample. A permanently failed attribute is remembered so
+  // later plan references don't pay again for a sensor known to be dead.
+  auto acquire = [&](AttrId a, Value* v) -> bool {
+    if (out.acquired.Contains(a)) {
+      *v = values[a];
+      return true;
     }
-    return values[a];
+    if (out.failed.Contains(a)) return false;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      const AcquiredValue av = source.Acquire(a);
+      double marginal = cost_model.Cost(a, out.acquired) * av.cost_multiplier;
+      if (attempt > 0) {
+        marginal *= policy.retry_cost_multiplier;
+        ++out.retries;
+      }
+      out.cost += marginal;
+      if (av.ok) {
+        out.acquired.Insert(a);
+        ++out.acquisitions;
+        values[a] = av.value;
+        if constexpr (kTraced) trace->OnAcquire(a, av.value, marginal);
+        *v = av.value;
+        return true;
+      }
+      if (av.permanent) break;  // stuck sensor: retrying cannot help
+    }
+    out.failed.Insert(a);
+    return false;
+  };
+
+  // Sets the degraded outcome for a failed acquisition the plan could not
+  // work around; returns true when execution must stop (kAbort).
+  auto degrade = [&]() -> bool {
+    out.verdict3 = Truth::kUnknown;
+    if (policy.mode == DegradationPolicy::Mode::kAbort) {
+      out.aborted = true;
+      return true;
+    }
+    return false;
   };
 
   const PlanNode* n = &plan.root();
+  Value v = 0;
+  bool routed = true;
   while (n->kind == PlanNode::Kind::kSplit) {
-    const Value v = acquire(n->attr);
+    if (!acquire(n->attr, &v)) {
+      // A split cannot route without its attribute: no residual conjuncts
+      // are visible here, so the verdict degrades straight to Unknown.
+      (void)degrade();
+      routed = false;
+      break;
+    }
     const bool ge = v >= n->split_value;
     if constexpr (kTraced) trace->OnBranch(n->attr, n->split_value, ge);
     n = ge ? n->ge.get() : n->lt.get();
   }
 
-  switch (n->kind) {
-    case PlanNode::Kind::kVerdict:
-      out.verdict = n->verdict;
-      break;
-    case PlanNode::Kind::kSequential: {
-      out.verdict = true;
-      for (const Predicate& p : n->sequence) {
-        if (!p.Matches(acquire(p.attr))) {
-          out.verdict = false;
-          break;
+  if (routed) {
+    switch (n->kind) {
+      case PlanNode::Kind::kVerdict:
+        out.verdict3 = n->verdict ? Truth::kTrue : Truth::kFalse;
+        break;
+      case PlanNode::Kind::kSequential: {
+        // Three-valued short-circuit AND: a failed acquisition leaves the
+        // conjunct Unknown but scanning continues — a later false conjunct
+        // still decides the verdict (defined kFalse).
+        Truth t = Truth::kTrue;
+        for (const Predicate& p : n->sequence) {
+          if (!acquire(p.attr, &v)) {
+            if (degrade()) break;
+            t = Truth::kUnknown;
+            continue;
+          }
+          if (!p.Matches(v)) {
+            t = Truth::kFalse;
+            break;
+          }
         }
+        if (!out.aborted) out.verdict3 = t;
+        break;
       }
-      break;
-    }
-    case PlanNode::Kind::kGeneric: {
-      RangeVec ranges = schema.FullRanges();
-      for (size_t a = 0; a < schema.num_attributes(); ++a) {
-        if (out.acquired.Contains(static_cast<AttrId>(a))) {
-          ranges[a] = ValueRange{values[a], values[a]};
+      case PlanNode::Kind::kGeneric: {
+        RangeVec ranges = schema.FullRanges();
+        for (size_t a = 0; a < schema.num_attributes(); ++a) {
+          if (out.acquired.Contains(static_cast<AttrId>(a))) {
+            ranges[a] = ValueRange{values[a], values[a]};
+          }
         }
+        Truth t = n->residual_query.EvaluateOnRanges(ranges);
+        for (size_t k = 0; t == Truth::kUnknown && k < n->acquire_order.size();
+             ++k) {
+          const AttrId a = n->acquire_order[k];
+          if (!acquire(a, &v)) {
+            if (degrade()) break;
+            continue;  // range stays full; later attributes may still decide
+          }
+          ranges[a] = ValueRange{v, v};
+          t = n->residual_query.EvaluateOnRanges(ranges);
+        }
+        // Without failures the acquisition order must resolve the query.
+        CAQP_CHECK(t != Truth::kUnknown || out.failed.Count() > 0);
+        if (!out.aborted) out.verdict3 = t;
+        break;
       }
-      Truth t = n->residual_query.EvaluateOnRanges(ranges);
-      for (size_t k = 0; t == Truth::kUnknown && k < n->acquire_order.size();
-           ++k) {
-        const AttrId a = n->acquire_order[k];
-        const Value v = acquire(a);
-        ranges[a] = ValueRange{v, v};
-        t = n->residual_query.EvaluateOnRanges(ranges);
-      }
-      CAQP_CHECK(t != Truth::kUnknown);
-      out.verdict = (t == Truth::kTrue);
-      break;
+      case PlanNode::Kind::kSplit:
+        CAQP_CHECK(false);
     }
-    case PlanNode::Kind::kSplit:
-      CAQP_CHECK(false);
   }
+  out.verdict = out.verdict3 == Truth::kTrue;
   if constexpr (kTraced) trace->OnVerdict(out.verdict, out.cost);
   return out;
 }
@@ -83,13 +145,28 @@ ExecutionResult ExecutePlanImpl(const Plan& plan, const Schema& schema,
 
 ExecutionResult ExecutePlan(const Plan& plan, const Schema& schema,
                             const AcquisitionCostModel& cost_model,
-                            AcquisitionSource& source, TraceSink* trace) {
+                            AcquisitionSource& source, TraceSink* trace,
+                            const DegradationPolicy& policy) {
   ExecutionResult out =
-      trace ? ExecutePlanImpl<true>(plan, schema, cost_model, source, trace)
-            : ExecutePlanImpl<false>(plan, schema, cost_model, source, nullptr);
+      trace ? ExecutePlanImpl<true>(plan, schema, cost_model, source, trace,
+                                    policy)
+            : ExecutePlanImpl<false>(plan, schema, cost_model, source, nullptr,
+                                     policy);
   CAQP_OBS_COUNTER_INC("exec.tuples");
   CAQP_OBS_COUNTER_ADD("exec.acquisitions",
                        static_cast<uint64_t>(out.acquisitions));
+  if (out.retries > 0) {
+    CAQP_OBS_COUNTER_ADD("exec.retries", static_cast<uint64_t>(out.retries));
+  }
+  if (out.failed.Count() > 0) {
+    CAQP_OBS_COUNTER_ADD("exec.failed_attributes",
+                         static_cast<uint64_t>(out.failed.Count()));
+  }
+  if (out.aborted) {
+    CAQP_OBS_COUNTER_INC("exec.aborts");
+  } else if (out.verdict3 == Truth::kUnknown) {
+    CAQP_OBS_COUNTER_INC("exec.unknown_verdicts");
+  }
   return out;
 }
 

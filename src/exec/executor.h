@@ -6,6 +6,21 @@
 // Values are pulled through an AcquisitionSource, which lets the same engine
 // run over a recorded dataset, a live simulated sensor, or (in tests) a
 // source that records the acquisition order.
+//
+// Acquisition is fallible: real motes brown out, sensors stick, and radios
+// time out (paper Section 2.4), so Acquire returns an AcquiredValue that may
+// report failure. How the executor degrades is controlled by a
+// DegradationPolicy:
+//
+//  * kUnknownVerdict (default) -- a missing attribute propagates Unknown
+//    through the plan tree, *unless* the remaining conjuncts already decide
+//    the verdict (three-valued logic: a later false conjunct still yields a
+//    defined kFalse).
+//  * kRetry -- each failed acquisition is retried up to max_attempts total
+//    attempts (each attempt is charged; retries at retry_cost_multiplier x
+//    the marginal cost); exhausted retries degrade like kUnknownVerdict.
+//  * kAbort -- the first failed acquisition aborts execution; the result
+//    carries aborted=true and an Unknown verdict.
 
 #ifndef CAQP_EXEC_EXECUTOR_H_
 #define CAQP_EXEC_EXECUTOR_H_
@@ -20,19 +35,41 @@
 
 namespace caqp {
 
+/// Outcome of one acquisition attempt. Implicitly constructible from a
+/// Value so infallible sources keep writing `return tuple_[attr];`.
+struct AcquiredValue {
+  Value value = 0;
+  bool ok = true;
+  /// Permanent (stuck-sensor) failure: retrying cannot help.
+  bool permanent = false;
+  /// Latency/cost spike factor for this attempt; the executor scales the
+  /// marginal acquisition cost by it.
+  double cost_multiplier = 1.0;
+
+  AcquiredValue(Value v) : value(v) {}  // NOLINT: implicit by design
+  static AcquiredValue Failure(bool permanent_failure = false) {
+    AcquiredValue out(Value{0});
+    out.ok = false;
+    out.permanent = permanent_failure;
+    return out;
+  }
+};
+
 /// Supplies attribute values for the tuple currently being evaluated.
-/// Acquire() is called at most once per attribute per tuple.
+/// Acquire() is called at most once per attribute per tuple when every
+/// attempt succeeds; under kRetry it may be called up to max_attempts times
+/// for a failing attribute.
 class AcquisitionSource {
  public:
   virtual ~AcquisitionSource() = default;
-  virtual Value Acquire(AttrId attr) = 0;
+  virtual AcquiredValue Acquire(AttrId attr) = 0;
 };
 
 /// Source backed by a fully materialized tuple.
 class TupleSource : public AcquisitionSource {
  public:
   explicit TupleSource(const Tuple& t) : tuple_(t) {}
-  Value Acquire(AttrId attr) override {
+  AcquiredValue Acquire(AttrId attr) override {
     CAQP_DCHECK(attr < tuple_.size());
     return tuple_[attr];
   }
@@ -41,23 +78,57 @@ class TupleSource : public AcquisitionSource {
   const Tuple& tuple_;
 };
 
+/// How ExecutePlan degrades when an acquisition fails (see file comment).
+struct DegradationPolicy {
+  enum class Mode : uint8_t { kUnknownVerdict = 0, kRetry = 1, kAbort = 2 };
+
+  Mode mode = Mode::kUnknownVerdict;
+  /// Total attempts per acquisition, including the first (kRetry only).
+  int max_attempts = 1;
+  /// Marginal-cost factor charged for each attempt after the first.
+  double retry_cost_multiplier = 1.0;
+
+  static DegradationPolicy UnknownVerdict() { return {}; }
+  static DegradationPolicy Retry(int max_attempts,
+                                 double retry_cost_multiplier = 1.0) {
+    DegradationPolicy p;
+    p.mode = Mode::kRetry;
+    p.max_attempts = max_attempts;
+    p.retry_cost_multiplier = retry_cost_multiplier;
+    return p;
+  }
+  static DegradationPolicy Abort() {
+    DegradationPolicy p;
+    p.mode = Mode::kAbort;
+    return p;
+  }
+};
+
 /// Outcome of executing one plan over one tuple.
 struct ExecutionResult {
-  bool verdict = false;      ///< truth of the WHERE clause per the plan
-  double cost = 0.0;         ///< total acquisition cost charged
-  int acquisitions = 0;      ///< number of distinct attributes acquired
-  AttrSet acquired;          ///< which attributes were acquired
+  bool verdict = false;            ///< verdict3 == kTrue (two-valued view)
+  Truth verdict3 = Truth::kFalse;  ///< tri-state truth of the WHERE clause
+  bool aborted = false;            ///< kAbort policy hit a failure
+  double cost = 0.0;               ///< total acquisition cost charged
+  int acquisitions = 0;            ///< distinct attributes acquired
+  int retries = 0;                 ///< attempts beyond the first, summed
+  AttrSet acquired;                ///< attributes successfully acquired
+  AttrSet failed;                  ///< attributes that never yielded a value
+
+  /// True iff execution completed with a defined (non-Unknown) verdict.
+  bool defined() const { return !aborted && verdict3 != Truth::kUnknown; }
 };
 
 /// Evaluates `plan` for one tuple, acquiring attributes lazily from `source`
-/// and charging `cost_model` for each first acquisition. If `trace` is
-/// non-null it receives acquisition / branch / verdict events in traversal
-/// order (obs/trace.h); the default null sink costs one untaken branch per
-/// event site.
+/// and charging `cost_model` for each acquisition attempt. Failed
+/// acquisitions degrade per `policy`. If `trace` is non-null it receives
+/// acquisition / branch / verdict events in traversal order (obs/trace.h);
+/// the default null sink costs one untaken branch per event site.
 ExecutionResult ExecutePlan(const Plan& plan, const Schema& schema,
                             const AcquisitionCostModel& cost_model,
                             AcquisitionSource& source,
-                            TraceSink* trace = nullptr);
+                            TraceSink* trace = nullptr,
+                            const DegradationPolicy& policy = {});
 
 }  // namespace caqp
 

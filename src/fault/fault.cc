@@ -1,0 +1,157 @@
+#include "fault/fault.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/obs.h"
+#include "obs/registry.h"
+
+namespace caqp {
+
+namespace {
+
+// SplitMix64 finalizer: decorrelates the per-attribute stream seeds so
+// adjacent attributes (and adjacent spec seeds) get unrelated streams.
+uint64_t MixSeed(uint64_t seed, uint64_t attr) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ull * (attr + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+Status ParseProbability(const std::string& key, const std::string& text,
+                        double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("fault profile: bad number for '" + key +
+                                   "': " + text);
+  }
+  if (v < 0.0 || v > 1.0) {
+    return Status::InvalidArgument("fault profile: '" + key +
+                                   "' must be in [0,1], got " + text);
+  }
+  *out = v;
+  return Status::OK();
+}
+
+}  // namespace
+
+double FaultSpec::TransientFor(AttrId attr) const {
+  for (const auto& [a, p] : transient_overrides) {
+    if (a == attr) return p;
+  }
+  return transient;
+}
+
+Result<FaultSpec> FaultSpec::Parse(const std::string& text) {
+  FaultSpec spec;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault profile: expected key=value, got '" +
+                                     item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    if (key == "transient") {
+      CAQP_RETURN_IF_ERROR(ParseProbability(key, val, &spec.transient));
+    } else if (key == "stuck") {
+      CAQP_RETURN_IF_ERROR(ParseProbability(key, val, &spec.stuck));
+    } else if (key == "spike") {
+      CAQP_RETURN_IF_ERROR(ParseProbability(key, val, &spec.spike));
+    } else if (key == "spike_mult") {
+      char* end = nullptr;
+      const double v = std::strtod(val.c_str(), &end);
+      if (end == val.c_str() || *end != '\0' || v <= 0.0) {
+        return Status::InvalidArgument(
+            "fault profile: spike_mult must be a positive number, got '" + val +
+            "'");
+      }
+      spec.spike_multiplier = v;
+    } else if (key == "seed") {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(val.c_str(), &end, 10);
+      if (end == val.c_str() || *end != '\0') {
+        return Status::InvalidArgument("fault profile: bad seed '" + val + "'");
+      }
+      spec.seed = v;
+    } else if (key.rfind("transient@", 0) == 0) {
+      const std::string attr_text = key.substr(10);
+      char* end = nullptr;
+      const unsigned long long attr = std::strtoull(attr_text.c_str(), &end, 10);
+      if (end == attr_text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("fault profile: bad attribute in '" +
+                                       key + "'");
+      }
+      double p = 0.0;
+      CAQP_RETURN_IF_ERROR(ParseProbability(key, val, &p));
+      spec.transient_overrides.emplace_back(static_cast<AttrId>(attr), p);
+    } else {
+      return Status::InvalidArgument("fault profile: unknown key '" + key +
+                                     "'");
+    }
+  }
+  return spec;
+}
+
+std::string FaultSpec::ToString() const {
+  std::ostringstream out;
+  out << "transient=" << transient << ",stuck=" << stuck << ",spike=" << spike
+      << ",spike_mult=" << spike_multiplier << ",seed=" << seed;
+  for (const auto& [attr, p] : transient_overrides) {
+    out << ",transient@" << attr << "=" << p;
+  }
+  return out.str();
+}
+
+FaultInjector::AttrState& FaultInjector::StateFor(AttrId attr) {
+  const size_t idx = static_cast<size_t>(attr);
+  if (idx >= states_.size()) {
+    states_.resize(idx + 1, AttrState{Rng(0), false});
+    initialized_.resize(idx + 1, false);
+  }
+  if (!initialized_[idx]) {
+    states_[idx].rng = Rng(MixSeed(spec_.seed, attr));
+    // The stuck decision is the stream's first draw, so it is independent of
+    // how many attempts any other attribute has seen.
+    states_[idx].stuck = states_[idx].rng.Bernoulli(spec_.stuck);
+    initialized_[idx] = true;
+  }
+  return states_[idx];
+}
+
+FaultInjector::Outcome FaultInjector::NextAttempt(AttrId attr) {
+  AttrState& st = StateFor(attr);
+  Outcome out;
+  if (st.stuck) {
+    out.fail = true;
+    out.permanent = true;
+  } else {
+    out.fail = st.rng.Bernoulli(spec_.TransientFor(attr));
+    if (!out.fail && st.rng.Bernoulli(spec_.spike)) {
+      out.cost_multiplier = spec_.spike_multiplier;
+    }
+  }
+  if (out.fail) {
+    ++injected_;
+    CAQP_OBS_COUNTER_INC("fault.injected");
+  }
+  return out;
+}
+
+bool FaultInjector::IsStuck(AttrId attr) const {
+  const size_t idx = static_cast<size_t>(attr);
+  return idx < states_.size() && initialized_[idx] && states_[idx].stuck;
+}
+
+void FaultInjector::Reset() {
+  states_.clear();
+  initialized_.clear();
+  injected_ = 0;
+}
+
+}  // namespace caqp

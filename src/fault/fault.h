@@ -1,0 +1,137 @@
+// Deterministic fault injection for acquisitional execution (paper Section
+// 2.4: motes brown out, sensors stick, radios time out). A FaultSpec
+// describes the failure distribution; a FaultInjector turns it into a
+// reproducible per-attempt decision stream; FaultyAcquisitionSource decorates
+// any AcquisitionSource so the executor sees failures without the underlying
+// data source knowing about them.
+//
+// Determinism contract: the outcome of the k-th acquisition attempt for
+// attribute `a` depends only on (spec.seed, a, k). Each attribute draws from
+// its own forked RNG stream, so plans that acquire attributes in different
+// orders — or skip some entirely — still see identical per-attribute fault
+// sequences. Two runs with the same spec and the same workload are
+// bit-identical.
+
+#ifndef CAQP_FAULT_FAULT_H_
+#define CAQP_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/types.h"
+#include "exec/executor.h"
+
+namespace caqp {
+
+/// Declarative description of a sensor fault distribution.
+struct FaultSpec {
+  /// Per-attempt probability that an acquisition transiently fails (the
+  /// sensor returns nothing this time but may succeed on retry).
+  double transient = 0.0;
+  /// Per-attribute probability that a sensor is permanently stuck. Decided
+  /// once per attribute per injector; a stuck sensor fails every attempt
+  /// with permanent=true so the executor stops retrying it.
+  double stuck = 0.0;
+  /// Per-attempt probability of a latency/cost spike on a *successful*
+  /// acquisition; the sampled value arrives but costs spike_multiplier x
+  /// the normal marginal cost.
+  double spike = 0.0;
+  double spike_multiplier = 1.0;
+  uint64_t seed = 1;
+  /// Per-attribute overrides of `transient` (attr, probability).
+  std::vector<std::pair<AttrId, double>> transient_overrides;
+
+  /// True when the spec can inject anything at all.
+  bool any() const {
+    if (transient > 0.0 || stuck > 0.0 || spike > 0.0) return true;
+    for (const auto& [attr, p] : transient_overrides) {
+      (void)attr;
+      if (p > 0.0) return true;
+    }
+    return false;
+  }
+
+  /// Transient-failure probability for `attr` (override or global).
+  double TransientFor(AttrId attr) const;
+
+  /// Parses the `--fault-profile` mini-language: comma-separated key=value
+  /// pairs, e.g. "transient=0.1,stuck=0.01,spike=0.05,spike_mult=3,seed=7".
+  /// Per-attribute transient overrides use "transient@<attr>=<p>".
+  /// Probabilities must lie in [0,1]; spike_mult must be positive.
+  static Result<FaultSpec> Parse(const std::string& text);
+
+  /// Round-trips through Parse (modulo float formatting).
+  std::string ToString() const;
+};
+
+/// Turns a FaultSpec into reproducible per-attempt fault decisions. Not
+/// thread-safe; use one injector per mote / per execution thread.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultSpec& spec) : spec_(spec) {}
+
+  /// Outcome of one acquisition attempt.
+  struct Outcome {
+    bool fail = false;
+    bool permanent = false;
+    double cost_multiplier = 1.0;
+  };
+
+  /// Decides the next attempt for `attr`, advancing only that attribute's
+  /// stream. Emits the `fault.injected` counter on failure.
+  Outcome NextAttempt(AttrId attr);
+
+  /// True when `attr` has been decided permanently stuck. Only meaningful
+  /// after the first NextAttempt for that attribute.
+  bool IsStuck(AttrId attr) const;
+
+  /// Faults injected (failed attempts) since construction or Reset().
+  uint64_t injected() const { return injected_; }
+
+  /// Re-derives every stream from the spec seed; after Reset() the injector
+  /// replays exactly the same decision sequence.
+  void Reset();
+
+  const FaultSpec& spec() const { return spec_; }
+
+ private:
+  struct AttrState {
+    Rng rng;
+    bool stuck = false;
+  };
+  AttrState& StateFor(AttrId attr);
+
+  FaultSpec spec_;
+  std::vector<AttrState> states_;  // index = attr; grown lazily
+  std::vector<bool> initialized_;
+  uint64_t injected_ = 0;
+};
+
+/// Decorator that injects faults in front of any AcquisitionSource. The
+/// underlying source is only consulted for attempts the injector lets
+/// through, so recorded datasets and live samplers need no fault awareness.
+class FaultyAcquisitionSource : public AcquisitionSource {
+ public:
+  FaultyAcquisitionSource(AcquisitionSource& base, FaultInjector& injector)
+      : base_(base), injector_(injector) {}
+
+  AcquiredValue Acquire(AttrId attr) override {
+    const FaultInjector::Outcome o = injector_.NextAttempt(attr);
+    if (o.fail) return AcquiredValue::Failure(o.permanent);
+    AcquiredValue v = base_.Acquire(attr);
+    v.cost_multiplier *= o.cost_multiplier;
+    return v;
+  }
+
+ private:
+  AcquisitionSource& base_;
+  FaultInjector& injector_;
+};
+
+}  // namespace caqp
+
+#endif  // CAQP_FAULT_FAULT_H_

@@ -28,17 +28,47 @@ Plan Basestation::TrainPlan(const Query& query, const SplitPointSet& splits,
 }
 
 size_t Basestation::Disseminate(const Plan& plan, std::vector<Mote*>& motes) {
+  return Disseminate(plan, motes, DisseminateOptions{});
+}
+
+size_t Basestation::Disseminate(const Plan& plan, std::vector<Mote*>& motes,
+                                const DisseminateOptions& opts) {
   const std::vector<uint8_t> bytes = SerializePlan(plan);
+  const std::vector<uint8_t> ack_msg(opts.ack_bytes, 0xA5);
   CAQP_OBS_COUNTER_INC("net.base.disseminations");
   CAQP_OBS_GAUGE_SET("net.base.plan_bytes", static_cast<double>(bytes.size()));
+  const int max_attempts = opts.max_attempts < 1 ? 1 : opts.max_attempts;
   size_t installed = 0;
   for (Mote* mote : motes) {
-    const Radio::Delivery d = radio_.Transmit(bytes, energy_, mote->energy());
-    if (!d.delivered) continue;
-    if (mote->ReceivePlanBytes(d.payload).ok()) {
-      ++installed;
-    } else {
-      CAQP_OBS_COUNTER_INC("net.base.corrupt_plans_rejected");
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      if (attempt > 0) {
+        CAQP_OBS_COUNTER_INC("net.retransmissions");
+        // Linear backoff: each further attempt waits (and idle-listens)
+        // proportionally longer. An unaffordable backoff ends the retry
+        // loop -- the basestation cannot keep the radio up.
+        if (opts.backoff_cost > 0.0 &&
+            !energy_.Consume(opts.backoff_cost * attempt)) {
+          break;
+        }
+      }
+      const Radio::Delivery d = radio_.Transmit(bytes, energy_, mote->energy());
+      if (!d.delivered) continue;
+      if (!mote->ReceivePlanBytes(d.payload).ok()) {
+        CAQP_OBS_COUNTER_INC("net.base.corrupt_plans_rejected");
+        continue;
+      }
+      if (!opts.require_ack) {
+        ++installed;
+        break;
+      }
+      const Radio::Delivery ack =
+          radio_.Transmit(ack_msg, mote->energy(), energy_);
+      if (ack.delivered) {
+        ++installed;
+        break;
+      }
+      // Install happened but the ack was lost: retransmit so the
+      // basestation can confirm (installation is idempotent).
     }
   }
   CAQP_OBS_COUNTER_ADD("net.base.plans_installed", installed);
@@ -54,15 +84,24 @@ std::vector<Basestation::EpochReport> Basestation::RunContinuousQuery(
     EpochReport rep;
     rep.epoch = e;
     for (Mote* mote : motes) {
+      const size_t brownouts_before = mote->brownouts();
       const std::optional<ExecutionResult> res = mote->RunEpoch(e);
-      if (!res.has_value()) continue;
+      if (!res.has_value()) {
+        if (mote->brownouts() > brownouts_before) ++rep.browned_out;
+        continue;
+      }
       ++rep.motes_reporting;
       rep.acquisition_cost += res->cost;
+      if (!res->defined()) ++rep.unknown_verdicts;
       if (res->verdict) {
         // Matching tuples are shipped back to the basestation.
         const Radio::Delivery d =
             radio_.Transmit(result_msg, mote->energy(), energy_);
-        if (d.delivered) ++rep.matches;
+        if (d.delivered) {
+          ++rep.matches;
+        } else {
+          ++rep.unreachable;
+        }
       }
     }
     reports.push_back(rep);

@@ -41,10 +41,34 @@ class Basestation {
   /// exhaustion can all prevent installation).
   size_t Disseminate(const Plan& plan, std::vector<Mote*>& motes);
 
+  struct DisseminateOptions {
+    /// Total plan transmissions attempted per mote, including the first.
+    int max_attempts = 1;
+    /// When true, an install only counts once the mote's ack message makes
+    /// it back to the basestation; an unacknowledged install is retried
+    /// (plan installation is idempotent, so duplicate deliveries are safe).
+    bool require_ack = false;
+    /// Size of the ack message the mote sends after installing.
+    size_t ack_bytes = 4;
+    /// Energy charged to the basestation per re-attempt, scaled by the
+    /// attempt number (models idle listening during the backoff window).
+    double backoff_cost = 0.0;
+  };
+
+  /// Reliable dissemination: like the overload above, but retransmits per
+  /// `opts` when delivery (or, with require_ack, the ack) fails. Returns the
+  /// number of motes whose install was confirmed. Retransmissions are
+  /// counted on the `net.retransmissions` counter.
+  size_t Disseminate(const Plan& plan, std::vector<Mote*>& motes,
+                     const DisseminateOptions& opts);
+
   struct EpochReport {
     size_t epoch = 0;
     size_t motes_reporting = 0;  ///< motes that executed the plan this epoch
-    size_t matches = 0;          ///< plan verdicts that were true
+    size_t matches = 0;          ///< defined-true verdicts delivered back
+    size_t unknown_verdicts = 0; ///< executions degraded to Unknown/aborted
+    size_t browned_out = 0;      ///< motes that ran out of energy this epoch
+    size_t unreachable = 0;      ///< matching motes whose result msg was lost
     double acquisition_cost = 0; ///< summed over motes
   };
 

@@ -12,7 +12,7 @@ class EpochSource : public AcquisitionSource {
  public:
   EpochSource(const Mote::Sampler& sampler, size_t epoch)
       : sampler_(sampler), epoch_(epoch) {}
-  Value Acquire(AttrId attr) override { return sampler_(epoch_, attr); }
+  AcquiredValue Acquire(AttrId attr) override { return sampler_(epoch_, attr); }
 
  private:
   const Mote::Sampler& sampler_;
@@ -30,10 +30,16 @@ Status Mote::ReceivePlanBytes(const std::vector<uint8_t>& bytes) {
 
 std::optional<ExecutionResult> Mote::RunEpoch(size_t epoch) {
   if (!plan_.has_value()) return std::nullopt;
-  EpochSource source(sampler_, epoch);
-  const ExecutionResult res =
-      ExecutePlan(*plan_, schema_, cost_model_, source);
+  EpochSource base(sampler_, epoch);
+  ExecutionResult res;
+  if (fault_ != nullptr) {
+    FaultyAcquisitionSource source(base, *fault_);
+    res = ExecutePlan(*plan_, schema_, cost_model_, source, nullptr, policy_);
+  } else {
+    res = ExecutePlan(*plan_, schema_, cost_model_, base, nullptr, policy_);
+  }
   if (!energy_.Consume(res.cost)) {
+    ++brownouts_;
     CAQP_OBS_COUNTER_INC("net.mote.brownouts");
     return std::nullopt;
   }

@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "exec/executor.h"
+#include "fault/fault.h"
 #include "net/energy.h"
 #include "plan/plan.h"
 #include "plan/plan_serde.h"
@@ -40,10 +41,30 @@ class Mote {
 
   bool has_plan() const { return plan_.has_value(); }
 
+  /// The currently installed plan, or nullptr. Lets tests assert that a
+  /// plan surviving a lossy link is still well-formed.
+  const Plan* installed_plan() const {
+    return plan_.has_value() ? &*plan_ : nullptr;
+  }
+
   /// Runs one epoch: executes the installed plan over this epoch's readings,
   /// charging acquisition energy. Returns nullopt if no plan is installed or
   /// the energy budget is exhausted mid-epoch (the mote browns out).
   std::optional<ExecutionResult> RunEpoch(size_t epoch);
+
+  /// Routes every acquisition through `injector` (non-owning; nullptr
+  /// disables injection). The sampler stays the ground truth: it is only
+  /// consulted for attempts the injector lets through.
+  void SetFaultInjector(FaultInjector* injector) { fault_ = injector; }
+
+  /// Policy the executor uses when an acquisition fails on this mote.
+  void SetDegradationPolicy(const DegradationPolicy& policy) {
+    policy_ = policy;
+  }
+  const DegradationPolicy& degradation_policy() const { return policy_; }
+
+  /// Epochs aborted because the energy budget ran out mid-epoch.
+  size_t brownouts() const { return brownouts_; }
 
   int id() const { return id_; }
   EnergyMeter& energy() { return energy_; }
@@ -56,6 +77,9 @@ class Mote {
   Sampler sampler_;
   EnergyMeter energy_;
   std::optional<Plan> plan_;
+  FaultInjector* fault_ = nullptr;
+  DegradationPolicy policy_;
+  size_t brownouts_ = 0;
 };
 
 }  // namespace caqp

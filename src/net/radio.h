@@ -16,12 +16,22 @@ namespace caqp {
 class Radio {
  public:
   struct Options {
-    /// Energy units per byte, charged to sender and receiver alike.
+    /// Energy units per byte, charged per the contract on Transmit().
     double cost_per_byte = 0.05;
-    /// Probability an entire message is lost.
+    /// Probability an entire message is lost (good channel state).
     double drop_probability = 0.0;
     /// Per-byte bit-flip probability (corruption).
     double corruption_probability = 0.0;
+    /// Gilbert-Elliott burst loss: the channel is a two-state Markov chain.
+    /// In the good state messages drop with drop_probability; in the bad
+    /// state with burst_drop_probability. Before each message the state
+    /// transitions with the probabilities below. Burst modeling is off by
+    /// default (good_to_bad = 0 keeps the chain in the good state and, by
+    /// the Rng::Bernoulli(0) early-out, consumes no RNG draws, so existing
+    /// seeded streams are unchanged).
+    double burst_drop_probability = 0.0;
+    double good_to_bad = 0.0;
+    double bad_to_good = 1.0;
     uint64_t seed = 42;
   };
 
@@ -32,20 +42,33 @@ class Radio {
     std::vector<uint8_t> payload;  // possibly corrupted
   };
 
-  /// Transmits `bytes` from `sender` to `receiver`, charging both meters.
-  /// If either meter cannot afford the transmission the message is lost
-  /// (sender still pays what it could not complete? no: nothing is sent).
+  /// Transmits `bytes` from `sender` to `receiver`.
+  ///
+  /// Charging contract: the sender pays iff a transmission is attempted — a
+  /// sender that cannot afford the message never keys the radio and nothing
+  /// is charged anywhere. The receiver pays iff the message is actually
+  /// delivered to it: messages lost in the channel cost the receiver
+  /// nothing, and a receiver that cannot afford reception fails the
+  /// delivery without being charged (EnergyMeter::Consume is
+  /// all-or-nothing). A half-affordable transmission therefore charges only
+  /// the sender.
   Delivery Transmit(const std::vector<uint8_t>& bytes, EnergyMeter& sender,
                     EnergyMeter& receiver);
 
   size_t bytes_sent() const { return bytes_sent_; }
   size_t messages_dropped() const { return messages_dropped_; }
+  /// Messages lost while the Gilbert-Elliott chain was in the bad state.
+  size_t burst_drops() const { return burst_drops_; }
+  /// True when the burst chain is currently in the bad (lossy) state.
+  bool in_burst() const { return in_bad_state_; }
 
  private:
   Options options_;
   Rng rng_;
+  bool in_bad_state_ = false;
   size_t bytes_sent_ = 0;
   size_t messages_dropped_ = 0;
+  size_t burst_drops_ = 0;
 };
 
 }  // namespace caqp

@@ -1,5 +1,7 @@
 #include "plan/plan_serde.h"
 
+#include "plan/plan_verify.h"
+
 namespace caqp {
 
 namespace {
@@ -158,7 +160,14 @@ Result<Plan> DeserializePlan(const std::vector<uint8_t>& bytes,
   std::unique_ptr<PlanNode> root;
   CAQP_RETURN_IF_ERROR(ParseNode(&r, schema, 0, &root));
   if (!r.AtEnd()) return Status::DataLoss("trailing bytes after plan");
-  return Plan(std::move(root));
+  Plan plan(std::move(root));
+  // Field-level checks above catch most corruption; this closes the
+  // structural gaps (e.g. a generic leaf whose acquire order no longer
+  // covers its residual query, which would stall the executor).
+  if (!PlanIsWellFormed(plan, schema)) {
+    return Status::DataLoss("decoded plan fails well-formedness checks");
+  }
+  return plan;
 }
 
 }  // namespace caqp

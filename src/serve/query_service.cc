@@ -43,28 +43,60 @@ QueryService::QueryService(const Schema& schema,
 
 QueryService::~QueryService() = default;  // pool_ drains first (last member)
 
-std::future<QueryService::Response> QueryService::Submit(Query query,
-                                                         Tuple tuple) {
+std::future<QueryService::Response> QueryService::Submit(
+    Query query, Tuple tuple, double deadline_seconds) {
   auto state = std::make_shared<std::promise<Response>>();
   std::future<Response> result = state->get_future();
-  pool_->Submit([this, state, query = std::move(query),
+
+  if (options_.max_queue_depth > 0) {
+    // Load shedding: admit-or-reject before touching the worker queue so a
+    // saturated service fails fast instead of growing unbounded backlog.
+    const size_t depth = pending_.fetch_add(1, std::memory_order_acq_rel);
+    if (depth >= options_.max_queue_depth) {
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      CAQP_OBS_COUNTER_INC("serve.shed");
+      Response r;
+      r.status = Status::Unavailable("queue depth limit reached");
+      state->set_value(std::move(r));
+      return result;
+    }
+  } else {
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  const double relative = deadline_seconds < 0.0
+                              ? options_.default_deadline_seconds
+                              : deadline_seconds;
+  // Absolute pickup deadline; 0 disables the check.
+  const double deadline = relative > 0.0 ? NowSeconds() + relative : 0.0;
+  pool_->Submit([this, state, deadline, query = std::move(query),
                  tuple = std::move(tuple)](size_t worker_id) {
-    state->set_value(Handle(worker_id, query, tuple));
+    state->set_value(Handle(worker_id, query, tuple, deadline));
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
   });
   return result;
 }
 
-QueryService::Response QueryService::SubmitAndWait(Query query, Tuple tuple) {
-  return Submit(std::move(query), std::move(tuple)).get();
+QueryService::Response QueryService::SubmitAndWait(Query query, Tuple tuple,
+                                                   double deadline_seconds) {
+  return Submit(std::move(query), std::move(tuple), deadline_seconds).get();
 }
 
 QueryService::Response QueryService::Handle(size_t worker_id,
                                             const Query& query,
-                                            const Tuple& tuple) {
+                                            const Tuple& tuple,
+                                            double deadline) {
   const double start = NowSeconds();
   CAQP_OBS_COUNTER_INC("serve.requests");
 
   Response r;
+  if (deadline > 0.0 && start > deadline) {
+    // The request aged out in the queue; planning/executing now would only
+    // burn worker time on an answer the client has abandoned.
+    r.status = Status::DeadlineExceeded("deadline passed before worker pickup");
+    CAQP_OBS_COUNTER_INC("serve.deadline_exceeded");
+    return r;
+  }
   r.query_sig = QuerySignature(query);
   r.estimator_version = estimator_version_.load(std::memory_order_acquire);
   PlanBuilder& builder = *builders_[worker_id];
@@ -80,13 +112,28 @@ QueryService::Response QueryService::Handle(size_t worker_id,
     if (r.plan != nullptr) {
       r.cache_hit = true;
     } else {
-      SingleFlight::Result flight = flight_.Do(key, [&] {
-        auto plan = std::make_shared<const Plan>(builder.Build(query));
-        cache_.Put(key, plan);
-        return plan;
-      });
-      r.plan = std::move(flight.plan);
-      r.planned = flight.leader;
+      const double follower_wait = options_.planner_timeout_seconds > 0.0
+                                       ? options_.planner_timeout_seconds
+                                       : -1.0;
+      SingleFlight::Result flight = flight_.Do(
+          key,
+          [&] {
+            auto plan = std::make_shared<const Plan>(builder.Build(query));
+            cache_.Put(key, plan);
+            return plan;
+          },
+          follower_wait);
+      if (flight.timed_out) {
+        // The leader is still planning; answer from the cheap fallback plan
+        // rather than blocking past the timeout. The fallback is NOT cached:
+        // the leader's (better) plan lands in the cache when it finishes.
+        CAQP_OBS_COUNTER_INC("serve.planner_timeouts");
+        r.plan = std::make_shared<const Plan>(builder.BuildFallback(query));
+        r.fallback = true;
+      } else {
+        r.plan = std::move(flight.plan);
+        r.planned = flight.leader;
+      }
     }
   }
 

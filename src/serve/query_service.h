@@ -33,6 +33,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "core/query.h"
 #include "core/schema.h"
 #include "exec/executor.h"
@@ -53,6 +54,14 @@ class PlanBuilder {
  public:
   virtual ~PlanBuilder() = default;
   virtual Plan Build(const Query& query) = 0;
+  /// Cheap plan used when the service cannot wait for Build (a follower
+  /// timed out on the single-flight leader, see Options::
+  /// planner_timeout_seconds). Implementations should return something
+  /// orders of magnitude cheaper to construct than Build — e.g. a
+  /// sequential plan from GreedySeqSolver — at the price of a worse
+  /// expected acquisition cost. Must still be a correct plan for `query`.
+  /// Defaults to Build, which makes the timeout a no-op.
+  virtual Plan BuildFallback(const Query& query) { return Build(query); }
   /// Stable fingerprint of the planner kind + options + training-data
   /// identity. Part of the cache key, so two services (or one service after
   /// a config change) never alias each other's plans. All bundles from one
@@ -85,19 +94,41 @@ class QueryService {
     /// bench_serve compares against).
     size_t cache_capacity = 1024;
     size_t cache_shards = 8;
+    /// Deadline applied to requests submitted without an explicit one.
+    /// <= 0 means no deadline. A request whose deadline has already passed
+    /// when a worker picks it up is answered kDeadlineExceeded without
+    /// planning or executing.
+    double default_deadline_seconds = 0.0;
+    /// How long a single-flight follower waits for the leader's plan before
+    /// degrading to PlanBuilder::BuildFallback. <= 0 waits forever. The
+    /// leader is unaffected; its plan still lands in the cache.
+    double planner_timeout_seconds = 0.0;
+    /// Load shedding: requests submitted while this many are already
+    /// pending are answered kUnavailable immediately, without touching the
+    /// worker queue. 0 disables shedding.
+    size_t max_queue_depth = 0;
   };
 
   struct Response {
+    /// kOk, or why the request was not served: kDeadlineExceeded (deadline
+    /// passed before worker pickup) / kUnavailable (load shed). On a
+    /// non-OK status, plan is nullptr and exec is default-constructed.
+    Status status;
     uint64_t query_sig = 0;
     uint64_t estimator_version = 0;
     bool cache_hit = false;
     /// True iff this request ran BuildPlan (cache miss + single-flight
     /// leader, or caching disabled).
     bool planned = false;
+    /// True iff this request timed out waiting on the planning leader and
+    /// was answered from PlanBuilder::BuildFallback instead.
+    bool fallback = false;
     std::shared_ptr<const Plan> plan;
     ExecutionResult exec;
     /// Wall-clock seconds from worker pickup to completion.
     double latency_seconds = 0.0;
+
+    bool ok() const { return status.ok(); }
   };
 
   /// `schema` and `cost_model` must outlive the service. `factory` is
@@ -111,13 +142,18 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  /// Admits one request. The returned future resolves on a worker thread.
-  /// The query need not be canonicalized; the tuple must be valid for the
-  /// schema.
-  std::future<Response> Submit(Query query, Tuple tuple);
+  /// Admits one request. The returned future resolves on a worker thread
+  /// (or immediately, when the request is load-shed). The query need not be
+  /// canonicalized; the tuple must be valid for the schema.
+  /// `deadline_seconds` is relative to submission: requests not picked up
+  /// by a worker within it are answered kDeadlineExceeded. Negative uses
+  /// Options::default_deadline_seconds; 0 means no deadline.
+  std::future<Response> Submit(Query query, Tuple tuple,
+                               double deadline_seconds = -1.0);
 
   /// Convenience synchronous form.
-  Response SubmitAndWait(Query query, Tuple tuple);
+  Response SubmitAndWait(Query query, Tuple tuple,
+                         double deadline_seconds = -1.0);
 
   /// Estimator refresh: bumps the version component of future cache keys
   /// and eagerly drops all cached plans. A request racing with the bump may
@@ -141,7 +177,8 @@ class QueryService {
   obs::StreamingStat LatencyStats() const;
 
  private:
-  Response Handle(size_t worker_id, const Query& query, const Tuple& tuple);
+  Response Handle(size_t worker_id, const Query& query, const Tuple& tuple,
+                  double deadline);
 
   const Schema& schema_;
   const AcquisitionCostModel& cost_model_;
@@ -151,6 +188,8 @@ class QueryService {
   ShardedPlanCache cache_;
   SingleFlight flight_;
   std::atomic<uint64_t> estimator_version_{0};
+  /// Requests admitted but not yet completed; drives load shedding.
+  std::atomic<size_t> pending_{0};
 
   /// StreamingStat is single-writer; serialize Record across workers.
   mutable std::mutex latency_mu_;

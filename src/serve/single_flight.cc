@@ -1,5 +1,7 @@
 #include "serve/single_flight.h"
 
+#include <chrono>
+
 #include "common/check.h"
 #include "obs/registry.h"
 
@@ -7,7 +9,8 @@ namespace caqp {
 namespace serve {
 
 SingleFlight::Result SingleFlight::Do(const PlanCacheKey& key,
-                                      const BuildFn& build) {
+                                      const BuildFn& build,
+                                      double follower_wait_seconds) {
   std::shared_ptr<Flight> flight;
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -19,6 +22,13 @@ SingleFlight::Result SingleFlight::Do(const PlanCacheKey& key,
           it->second->future;
       lock.unlock();
       CAQP_OBS_COUNTER_INC("serve.single_flight.followers");
+      if (follower_wait_seconds >= 0.0) {
+        const auto wait = std::chrono::duration<double>(follower_wait_seconds);
+        if (future.wait_for(wait) != std::future_status::ready) {
+          CAQP_OBS_COUNTER_INC("serve.single_flight.follower_timeouts");
+          return {nullptr, /*leader=*/false, /*timed_out=*/true};
+        }
+      }
       return {future.get(), /*leader=*/false};
     }
     flight = std::make_shared<Flight>();

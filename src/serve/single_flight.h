@@ -33,12 +33,23 @@ class SingleFlight {
     std::shared_ptr<const Plan> plan;
     /// True iff this caller ran `build` (it was the leader).
     bool leader = false;
+    /// True iff this caller was a follower that gave up waiting (plan is
+    /// nullptr in that case). The leader keeps building regardless; its
+    /// result still lands in the plan cache for later requests.
+    bool timed_out = false;
   };
 
   /// Returns build() for the leader, and the leader's result for every
   /// follower that arrives before the leader finishes. `build` must not
   /// return nullptr and must not re-enter Do() for the same key.
-  Result Do(const PlanCacheKey& key, const BuildFn& build);
+  ///
+  /// `follower_wait_seconds` bounds how long a follower blocks on the
+  /// leader: negative waits forever; otherwise a follower that is still
+  /// waiting after the timeout returns {nullptr, false, timed_out=true} so
+  /// the caller can degrade (e.g. serve a cheap fallback plan). A leader is
+  /// never preempted — it owns the build and always runs it to completion.
+  Result Do(const PlanCacheKey& key, const BuildFn& build,
+            double follower_wait_seconds = -1.0);
 
   /// Keys currently being planned (for metrics/tests).
   size_t InFlight() const;

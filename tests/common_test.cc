@@ -32,6 +32,18 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
   EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
                "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+}
+
+TEST(StatusTest, ServingErrorFactories) {
+  const Status u = Status::Unavailable("shedding load");
+  EXPECT_EQ(u.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(u.ToString(), "Unavailable: shedding load");
+  const Status d = Status::DeadlineExceeded("past deadline");
+  EXPECT_EQ(d.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(d.ToString(), "DeadlineExceeded: past deadline");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -17,7 +17,7 @@ using testing_util::SmallSchema;
 class RecordingSource : public AcquisitionSource {
  public:
   explicit RecordingSource(const Tuple& t) : tuple_(t) {}
-  Value Acquire(AttrId attr) override {
+  AcquiredValue Acquire(AttrId attr) override {
     order_.push_back(attr);
     return tuple_[attr];
   }

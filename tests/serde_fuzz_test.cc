@@ -1,0 +1,145 @@
+// Deterministic byte-mutation fuzzing of the plan wire format: plans arrive
+// over a lossy, corrupting radio, so DeserializePlan must reject or safely
+// accept ANY mutation of a valid encoding — never crash, never install a
+// malformed plan. Run under ASan in scripts/check.sh to catch OOB reads the
+// Status paths might hide.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "net/mote.h"
+#include "opt/greedyseq.h"
+#include "opt/optseq.h"
+#include "plan/plan_serde.h"
+#include "plan/plan_verify.h"
+#include "test_util.h"
+
+namespace caqp {
+namespace {
+
+using testing_util::CorrelatedDataset;
+using testing_util::SmallSchema;
+
+/// Applies one seeded mutation (bit flips, truncation, or extension) to a
+/// copy of `bytes`.
+std::vector<uint8_t> Mutate(const std::vector<uint8_t>& bytes, Rng& rng) {
+  std::vector<uint8_t> out = bytes;
+  switch (rng.UniformInt(0, 2)) {
+    case 0: {  // flip 1-4 random bits
+      const int flips = static_cast<int>(rng.UniformInt(1, 4));
+      for (int i = 0; i < flips && !out.empty(); ++i) {
+        const size_t pos = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(out.size()) - 1));
+        out[pos] ^= static_cast<uint8_t>(1u << rng.UniformInt(0, 7));
+      }
+      break;
+    }
+    case 1: {  // truncate to a random prefix
+      out.resize(static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(out.size()))));
+      break;
+    }
+    default: {  // append random garbage
+      const int extra = static_cast<int>(rng.UniformInt(1, 16));
+      for (int i = 0; i < extra; ++i) {
+        out.push_back(static_cast<uint8_t>(rng.UniformInt(0, 255)));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+/// A small corpus of structurally diverse valid plans.
+std::vector<Plan> BuildCorpus(const Schema& schema) {
+  std::vector<Plan> corpus;
+  corpus.emplace_back(PlanNode::Verdict(true));
+  corpus.emplace_back(PlanNode::Sequential(
+      {Predicate(0, 1, 2), Predicate(2, 0, 1), Predicate(3, 2, 4, true)}));
+  corpus.emplace_back(PlanNode::Split(
+      0, 2,
+      PlanNode::Sequential({Predicate(2, 1, 3)}),
+      PlanNode::Split(1, 3, PlanNode::Verdict(false),
+                      PlanNode::Sequential({Predicate(3, 0, 2)}))));
+  const Query q =
+      Query::Conjunction({Predicate(1, 1, 4), Predicate(2, 0, 2)});
+  corpus.emplace_back(PlanNode::Generic(q, {1, 2}));
+  (void)schema;
+  return corpus;
+}
+
+TEST(SerdeFuzzTest, MutatedPlanBytesNeverCrashOrInstallMalformedPlans) {
+  const Schema schema = SmallSchema();
+  PerAttributeCostModel cm(schema);
+  const std::vector<Plan> corpus = BuildCorpus(schema);
+
+  size_t accepted = 0, rejected = 0;
+  for (uint64_t seed = 1; seed <= 64; ++seed) {
+    Rng rng(seed);
+    for (const Plan& plan : corpus) {
+      const std::vector<uint8_t> bytes = SerializePlan(plan);
+      for (int round = 0; round < 40; ++round) {
+        const std::vector<uint8_t> mutated = Mutate(bytes, rng);
+        Mote mote(0, schema, cm, [](size_t, AttrId) { return Value{0}; });
+        const Status st = mote.ReceivePlanBytes(mutated);
+        if (st.ok()) {
+          ++accepted;
+          // Whatever survived decoding must be a fully valid plan...
+          ASSERT_TRUE(mote.has_plan());
+          ASSERT_NE(mote.installed_plan(), nullptr);
+          EXPECT_TRUE(PlanIsWellFormed(*mote.installed_plan(), schema));
+          // ...and executable without tripping any executor invariant.
+          EXPECT_TRUE(mote.RunEpoch(0).has_value());
+        } else {
+          ++rejected;
+          EXPECT_FALSE(mote.has_plan());
+        }
+      }
+    }
+  }
+  // The corpus and mutation mix must actually exercise both paths.
+  EXPECT_GT(accepted, 0u);  // some bit flips still decode to valid plans
+  EXPECT_GT(rejected, 500u);
+}
+
+TEST(SerdeFuzzTest, RejectedBytesKeepThePreviousPlan) {
+  const Schema schema = SmallSchema();
+  PerAttributeCostModel cm(schema);
+  Mote mote(0, schema, cm, [](size_t, AttrId) { return Value{1}; });
+  const Plan good(PlanNode::Sequential({Predicate(0, 1, 1)}));
+  ASSERT_TRUE(mote.ReceivePlanBytes(SerializePlan(good)).ok());
+
+  Rng rng(5);
+  const std::vector<uint8_t> bytes = SerializePlan(good);
+  size_t rejections = 0;
+  for (int round = 0; round < 200; ++round) {
+    const std::vector<uint8_t> mutated = Mutate(bytes, rng);
+    if (!mote.ReceivePlanBytes(mutated).ok()) {
+      ++rejections;
+      // The pre-mutation plan stays active and keeps producing verdicts.
+      ASSERT_TRUE(mote.has_plan());
+      EXPECT_TRUE(PlanIsWellFormed(*mote.installed_plan(), schema));
+    }
+  }
+  EXPECT_GT(rejections, 0u);
+  // A mutation may have legitimately replaced the plan with another valid
+  // one, so assert executability rather than a specific verdict.
+  EXPECT_TRUE(mote.RunEpoch(0).has_value());
+}
+
+TEST(SerdeFuzzTest, EmptyAndTinyInputsAreRejected) {
+  const Schema schema = SmallSchema();
+  EXPECT_FALSE(DeserializePlan({}, schema).ok());
+  for (int b = 0; b < 256; ++b) {
+    const std::vector<uint8_t> one = {static_cast<uint8_t>(b)};
+    const Result<Plan> r = DeserializePlan(one, schema);
+    if (r.ok()) {
+      EXPECT_TRUE(PlanIsWellFormed(*r, schema));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace caqp

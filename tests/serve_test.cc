@@ -575,5 +575,143 @@ TEST(ServeStressTest, SingleFlightUnderContention) {
   EXPECT_EQ(flight.InFlight(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Robustness: deadlines, load shedding, planner-timeout fallback
+// ---------------------------------------------------------------------------
+
+/// Builder whose Build sleeps (a stand-in for an expensive planner) while
+/// BuildFallback returns a cheap-but-correct generic plan immediately.
+class SlowBuilder : public serve::PlanBuilder {
+ public:
+  SlowBuilder(double build_sleep_seconds, std::atomic<size_t>& builds,
+              std::atomic<size_t>& fallbacks)
+      : sleep_(build_sleep_seconds), builds_(builds), fallbacks_(fallbacks) {}
+
+  Plan Build(const Query& query) override {
+    builds_.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::duration<double>(sleep_));
+    return GenericPlanFor(query);
+  }
+  Plan BuildFallback(const Query& query) override {
+    fallbacks_.fetch_add(1);
+    return GenericPlanFor(query);
+  }
+  uint64_t ConfigFingerprint() const override { return 99; }
+
+ private:
+  static Plan GenericPlanFor(const Query& query) {
+    return Plan(PlanNode::Generic(query, query.ReferencedAttributes()));
+  }
+
+  double sleep_;
+  std::atomic<size_t>& builds_;
+  std::atomic<size_t>& fallbacks_;
+};
+
+struct SlowServiceFixture {
+  Schema schema = testing_util::SmallSchema();
+  PerAttributeCostModel cm{schema};
+  std::atomic<size_t> builds{0};
+  std::atomic<size_t> fallbacks{0};
+
+  QueryService MakeService(QueryService::Options opts,
+                           double build_sleep_seconds) {
+    return QueryService(
+        schema, cm,
+        [this, build_sleep_seconds] {
+          return std::make_unique<SlowBuilder>(build_sleep_seconds, builds,
+                                               fallbacks);
+        },
+        opts);
+  }
+};
+
+TEST(ServeRobustnessTest, DeadlinePassedBeforePickupIsRejected) {
+  SlowServiceFixture fx;
+  QueryService::Options opts;
+  opts.num_workers = 1;
+  QueryService svc = fx.MakeService(opts, /*build_sleep_seconds=*/0.3);
+  const Tuple t = {1, 1, 1, 1};
+
+  // Occupy the single worker with a slow uncached plan...
+  std::future<QueryService::Response> blocker =
+      svc.Submit(Query::Conjunction({Predicate(0, 1, 2)}), t);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // ...so this request's 20ms deadline expires while it sits in the queue.
+  QueryService::Response late = svc.SubmitAndWait(
+      Query::Conjunction({Predicate(1, 1, 2)}), t, /*deadline_seconds=*/0.02);
+  EXPECT_FALSE(late.ok());
+  EXPECT_EQ(late.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(late.plan, nullptr);
+
+  const QueryService::Response first = blocker.get();
+  EXPECT_TRUE(first.ok());
+  EXPECT_TRUE(first.exec.verdict);
+}
+
+TEST(ServeRobustnessTest, LoadSheddingAnswersUnavailableImmediately) {
+  SlowServiceFixture fx;
+  QueryService::Options opts;
+  opts.num_workers = 1;
+  opts.max_queue_depth = 1;
+  QueryService svc = fx.MakeService(opts, /*build_sleep_seconds=*/0.15);
+  const Tuple t = {1, 1, 1, 1};
+
+  std::vector<std::future<QueryService::Response>> futures;
+  for (int i = 0; i < 6; ++i) {
+    // Distinct attrs => distinct cache keys => every request must plan.
+    futures.push_back(
+        svc.Submit(Query::Conjunction({Predicate(i % 4, 1, 2)}), t));
+  }
+  size_t ok = 0, shed = 0;
+  for (auto& f : futures) {
+    const QueryService::Response r = f.get();
+    if (r.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(r.status.code(), StatusCode::kUnavailable);
+      EXPECT_EQ(r.plan, nullptr);
+      ++shed;
+    }
+  }
+  EXPECT_GE(ok, 1u);   // the admitted request(s) complete normally
+  EXPECT_GE(shed, 1u); // the burst exceeded the queue depth
+}
+
+TEST(ServeRobustnessTest, PlannerTimeoutFollowerServesFallback) {
+  SlowServiceFixture fx;
+  QueryService::Options opts;
+  opts.num_workers = 2;
+  opts.planner_timeout_seconds = 0.02;
+  QueryService svc = fx.MakeService(opts, /*build_sleep_seconds=*/0.4);
+  const Query q = Query::Conjunction({Predicate(0, 1, 2)});
+  const Tuple t = {1, 0, 0, 0};
+
+  std::future<QueryService::Response> a = svc.Submit(q, t);
+  std::future<QueryService::Response> b = svc.Submit(q, t);
+  const QueryService::Response ra = a.get();
+  const QueryService::Response rb = b.get();
+
+  // Both answered, both correct, despite the leader planning for 400ms.
+  EXPECT_TRUE(ra.ok());
+  EXPECT_TRUE(rb.ok());
+  EXPECT_TRUE(ra.exec.verdict);
+  EXPECT_TRUE(rb.exec.verdict);
+  // Exactly one leader planned; the other either degraded to the fallback
+  // (timed out on the leader) or, if scheduling delayed it past the
+  // leader's finish, hit the cache.
+  EXPECT_EQ(static_cast<int>(ra.planned) + static_cast<int>(rb.planned), 1);
+  const QueryService::Response& follower = ra.planned ? rb : ra;
+  EXPECT_TRUE(follower.fallback || follower.cache_hit);
+  if (follower.fallback) {
+    EXPECT_GE(fx.fallbacks.load(), 1u);
+  }
+
+  // The fallback is never cached: the next request gets the leader's plan.
+  const QueryService::Response after = svc.SubmitAndWait(q, t);
+  EXPECT_TRUE(after.cache_hit);
+  EXPECT_EQ(fx.builds.load(), 1u);
+}
+
 }  // namespace
 }  // namespace caqp

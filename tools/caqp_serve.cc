@@ -23,6 +23,13 @@
 // --max-splits K       greedy split budget (default 5)
 // --cache-capacity N   plan-cache entries (default 1024)
 // --no-cache           plan-per-query baseline (capacity 0, no single-flight)
+// --deadline-ms D      per-request deadline; requests still queued when it
+//                      expires answer kDeadlineExceeded (default 0 = none)
+// --planner-timeout-ms T   cap on how long a request waits for another
+//                      thread's in-flight planning before serving a cheap
+//                      sequential fallback plan (default 0 = wait forever)
+// --max-queue-depth N  shed load: admissions beyond N queued requests answer
+//                      kUnavailable immediately (default 0 = unbounded)
 // --metrics-out PATH   write the obs metrics registry as JSON
 // --seed S             workload RNG seed (default 20050405)
 
@@ -68,6 +75,9 @@ struct Config {
   std::string planner = "greedy";
   size_t max_splits = 5;
   size_t cache_capacity = 1024;
+  double deadline_ms = 0.0;
+  double planner_timeout_ms = 0.0;
+  size_t max_queue_depth = 0;
   std::string metrics_out;
   uint64_t seed = 20050405;
 };
@@ -108,7 +118,7 @@ class WorkloadPlanBuilder : public serve::PlanBuilder {
   WorkloadPlanBuilder(const Dataset& train,
                       const AcquisitionCostModel& cost_model,
                       const SplitPointSet& splits, const Config& cfg)
-      : estimator_(train) {
+      : estimator_(train), cost_model_(&cost_model) {
     if (cfg.planner == "greedy") {
       GreedyPlanner::Options gopts;
       gopts.split_points = &splits;
@@ -134,10 +144,21 @@ class WorkloadPlanBuilder : public serve::PlanBuilder {
   Plan Build(const Query& query) override {
     return planner_->BuildPlan(query);
   }
+
+  /// Served when the configured planner overruns --planner-timeout-ms: a
+  /// split-free sequential plan is orders of magnitude cheaper to build and
+  /// still correct, just less energy-optimal.
+  Plan BuildFallback(const Query& query) override {
+    SequentialPlanner fallback(estimator_, *cost_model_, greedyseq_,
+                               "GreedySeqFallback");
+    return fallback.BuildPlan(query);
+  }
+
   uint64_t ConfigFingerprint() const override { return fingerprint_; }
 
  private:
   DatasetEstimator estimator_;
+  const AcquisitionCostModel* cost_model_;
   GreedySeqSolver greedyseq_;
   OptSeqSolver optseq_;
   std::unique_ptr<Planner> planner_;
@@ -179,6 +200,12 @@ int main(int argc, char** argv) {
       cfg.cache_capacity = next_num();
     } else if (arg == "--no-cache") {
       cfg.cache_capacity = 0;
+    } else if (arg == "--deadline-ms") {
+      cfg.deadline_ms = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--planner-timeout-ms") {
+      cfg.planner_timeout_ms = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--max-queue-depth") {
+      cfg.max_queue_depth = next_num();
     } else if (arg == "--metrics-out") {
       cfg.metrics_out = next();
     } else if (arg == "--seed") {
@@ -219,6 +246,9 @@ int main(int argc, char** argv) {
   serve::QueryService::Options sopts;
   sopts.num_workers = cfg.workers;
   sopts.cache_capacity = cfg.cache_capacity;
+  sopts.default_deadline_seconds = cfg.deadline_ms / 1000.0;
+  sopts.planner_timeout_seconds = cfg.planner_timeout_ms / 1000.0;
+  sopts.max_queue_depth = cfg.max_queue_depth;
   serve::QueryService service(
       schema, cost_model,
       [&] {
@@ -230,6 +260,8 @@ int main(int argc, char** argv) {
   std::vector<std::thread> clients;
   std::vector<size_t> matches(cfg.clients, 0);
   std::vector<size_t> verdict_errors(cfg.clients, 0);
+  std::vector<size_t> rejected(cfg.clients, 0);
+  std::vector<size_t> fallbacks(cfg.clients, 0);
   const auto t0 = std::chrono::steady_clock::now();
   for (size_t c = 0; c < cfg.clients; ++c) {
     clients.emplace_back([&, c] {
@@ -247,6 +279,11 @@ int main(int argc, char** argv) {
         const bool expected = q.Matches(tuple);
         const serve::QueryService::Response resp =
             service.SubmitAndWait(std::move(q), std::move(tuple));
+        if (!resp.ok()) {  // deadline exceeded or shed under --max-queue-depth
+          ++rejected[c];
+          continue;
+        }
+        fallbacks[c] += resp.fallback;
         matches[c] += resp.exec.verdict;
         verdict_errors[c] += resp.exec.verdict != expected;
       }
@@ -258,9 +295,12 @@ int main(int argc, char** argv) {
           .count();
 
   size_t total_matches = 0, total_errors = 0;
+  size_t total_rejected = 0, total_fallbacks = 0;
   for (size_t c = 0; c < cfg.clients; ++c) {
     total_matches += matches[c];
     total_errors += verdict_errors[c];
+    total_rejected += rejected[c];
+    total_fallbacks += fallbacks[c];
   }
   const serve::ShardedPlanCache::Stats cs = service.cache().stats();
   const obs::StreamingStat lat = service.LatencyStats();
@@ -272,6 +312,11 @@ int main(int argc, char** argv) {
               elapsed, rps);
   std::printf("matches: %zu   verdict errors: %zu\n", total_matches,
               total_errors);
+  if (cfg.deadline_ms > 0 || cfg.max_queue_depth > 0 ||
+      cfg.planner_timeout_ms > 0) {
+    std::printf("rejected (deadline/shed): %zu   fallback plans: %zu\n",
+                total_rejected, total_fallbacks);
+  }
   std::printf(
       "cache: %llu hits / %llu misses (%.1f%% hit rate), %llu inserts, "
       "%llu evictions\n",

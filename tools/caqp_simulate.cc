@@ -14,17 +14,27 @@
 // --max-splits K                   heuristic split budget (default 5)
 // --drop-prob P                    radio message loss (default 0)
 // --limit N                        stop after N matches (LIMIT query mode)
+// --fault-profile SPEC             inject sensor faults on the mote, e.g.
+//                                  "transient=0.1,stuck=0.01,spike=0.05,
+//                                  spike_mult=3,seed=7" (see FaultSpec::Parse)
+// --policy unknown|retry|abort     degradation policy under faults
+//                                  (default retry)
+// --max-retries N                  attempts per acquisition for --policy
+//                                  retry, including the first (default 3)
 // --metrics-out PATH               write the run's metrics registry
 //                                  (radio/mote/basestation counters, energy
 //                                  stats) as JSON; a markdown summary is
 //                                  printed to stdout
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "data/garden_gen.h"
+#include "fault/fault.h"
 #include "obs/export.h"
 #include "obs/registry.h"
 #include "data/lab_gen.h"
@@ -52,6 +62,8 @@ struct Config {
   size_t max_splits = 5;
   double drop_prob = 0.0;
   size_t limit = 0;  // 0: continuous query
+  FaultSpec fault;
+  DegradationPolicy policy = DegradationPolicy::Retry(3);
   std::string metrics_out;
 };
 
@@ -111,6 +123,14 @@ double RunOnce(const char* label, const Plan& plan, const Schema& schema,
         return live.at(static_cast<RowId>(epoch % live.num_rows()), attr);
       }));
   ptrs.push_back(motes.back().get());
+  // A fresh injector per run replays the identical fault stream for every
+  // planner, so the energy comparison stays apples-to-apples under faults.
+  std::optional<FaultInjector> injector;
+  if (cfg.fault.any()) {
+    injector.emplace(cfg.fault);
+    motes[0]->SetFaultInjector(&*injector);
+    motes[0]->SetDegradationPolicy(cfg.policy);
+  }
   const size_t installed = base.Disseminate(plan, ptrs);
   if (installed == 0) {
     std::printf("%-12s plan lost in transit (drop-prob too high?)\n", label);
@@ -127,15 +147,24 @@ double RunOnce(const char* label, const Plan& plan, const Schema& schema,
   }
   const auto reports = base.RunContinuousQuery(ptrs, cfg.epochs);
   double acquisition = 0;
-  size_t matches = 0;
+  size_t matches = 0, unknowns = 0;
   for (const auto& rep : reports) {
     acquisition += rep.acquisition_cost;
     matches += rep.matches;
+    unknowns += rep.unknown_verdicts;
   }
   std::printf("%-12s %zu epochs: %zu matches, plan=%zuB, acquisition=%.0f, "
               "mote energy=%.0f\n",
               label, cfg.epochs, matches, PlanSizeBytes(plan), acquisition,
               motes[0]->energy().spent());
+  if (injector) {
+    std::printf("%-12s faults injected=%llu, unknown verdicts=%zu "
+                "(%.2f%% of epochs)\n",
+                "", static_cast<unsigned long long>(injector->injected()),
+                unknowns,
+                100.0 * static_cast<double>(unknowns) /
+                    static_cast<double>(std::max<size_t>(1, cfg.epochs)));
+  }
   return motes[0]->energy().spent();
 }
 
@@ -162,6 +191,25 @@ int main(int argc, char** argv) {
       cfg.drop_prob = std::strtod(next().c_str(), nullptr);
     } else if (arg == "--limit") {
       cfg.limit = static_cast<size_t>(std::strtoul(next().c_str(), nullptr, 10));
+    } else if (arg == "--fault-profile") {
+      const Result<FaultSpec> spec = FaultSpec::Parse(next());
+      if (!spec.ok()) Die("bad --fault-profile: " + spec.status().message());
+      cfg.fault = *spec;
+    } else if (arg == "--policy") {
+      const std::string p = next();
+      if (p == "unknown") {
+        cfg.policy = DegradationPolicy::UnknownVerdict();
+      } else if (p == "retry") {
+        cfg.policy = DegradationPolicy::Retry(cfg.policy.max_attempts);
+      } else if (p == "abort") {
+        cfg.policy = DegradationPolicy::Abort();
+      } else {
+        Die("unknown --policy " + p + " (want unknown|retry|abort)");
+      }
+    } else if (arg == "--max-retries") {
+      const int n = static_cast<int>(std::strtol(next().c_str(), nullptr, 10));
+      if (n < 1) Die("--max-retries must be >= 1");
+      cfg.policy.max_attempts = n;
     } else if (arg == "--metrics-out") {
       cfg.metrics_out = next();
     } else if (arg == "--help" || arg == "-h") {
