@@ -1,0 +1,220 @@
+// Executor hot path: CompiledPlan flat iteration vs Plan tree recursion.
+//
+// The CompiledPlan refactor exists so motes and the serve layer never walk a
+// pointer tree per tuple. This bench quantifies that on the garden workload
+// (the paper's deployment scenario): plan every query with the heuristic
+// planner, then execute the test split both ways --
+//
+//   tree   ExecutePlan(const Plan&)        recursive, pointer-chasing,
+//                                          AttrSet dedup on every split
+//   flat   ExecuteBatch(const CompiledPlan&)  iterative over the node array,
+//                                          first-acquisition flags, reused
+//                                          scratch across tuples
+//
+// The acceptance bar is flat >= 1.5x tree on per-tuple latency. A second
+// section replays a repeated-query workload through a cached QueryService
+// and asserts the hot path performs zero PlanNode clones end to end.
+//
+// --json-out <path> writes the obs metrics registry (bench_util.h).
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/garden_gen.h"
+#include "data/workload.h"
+#include "exec/executor.h"
+#include "obs/registry.h"
+#include "opt/greedy_plan.h"
+#include "opt/greedyseq.h"
+#include "plan/compiled_plan.h"
+#include "prob/dataset_estimator.h"
+#include "serve/query_service.h"
+
+using namespace caqp;
+
+namespace {
+
+constexpr size_t kQueries = 12;
+constexpr size_t kReps = 5;  ///< timed passes over the test split, best-of
+constexpr uint64_t kSeed = 20050405;
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct ExecTiming {
+  double tree_ns_per_tuple = 0.0;
+  double flat_ns_per_tuple = 0.0;
+  double checksum = 0.0;  ///< anti-DCE sink; also a tree/flat agreement check
+};
+
+/// Times one plan both ways over every test tuple, best-of-kReps.
+ExecTiming TimePlan(const Plan& tree, const CompiledPlan& flat,
+                    const Dataset& test, const AcquisitionCostModel& cm) {
+  const Schema& schema = test.schema();
+  const size_t rows = test.num_rows();
+  std::vector<RowId> ids(rows);
+  for (RowId r = 0; r < rows; ++r) ids[r] = r;
+
+  ExecTiming out;
+  double tree_best = 1e300, flat_best = 1e300;
+  double tree_cost = 0.0, flat_cost = 0.0;
+  for (size_t rep = 0; rep < kReps; ++rep) {
+    tree_cost = 0.0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (RowId r = 0; r < rows; ++r) {
+      const Tuple t = test.GetTuple(r);
+      TupleSource src(t);
+      tree_cost += ExecutePlan(tree, schema, cm, src).cost;
+    }
+    tree_best = std::min(tree_best, Seconds(t0));
+
+    t0 = std::chrono::steady_clock::now();
+    const BatchExecutionStats stats = ExecuteBatch(flat, test, ids, cm);
+    flat_best = std::min(flat_best, Seconds(t0));
+    flat_cost = stats.total_cost;
+  }
+  out.tree_ns_per_tuple = tree_best * 1e9 / static_cast<double>(rows);
+  out.flat_ns_per_tuple = flat_best * 1e9 / static_cast<double>(rows);
+  out.checksum = tree_cost - flat_cost;  // identical semantics => 0
+  return out;
+}
+
+class BenchPlanBuilder : public serve::PlanBuilder {
+ public:
+  BenchPlanBuilder(CondProbEstimator& est, const AcquisitionCostModel& cm,
+                   const SplitPointSet& splits, const SequentialSolver& solver)
+      : est_(est) {
+    GreedyPlanner::Options gopts;
+    gopts.split_points = &splits;
+    gopts.seq_solver = &solver;
+    gopts.max_splits = 5;
+    planner_ = std::make_unique<GreedyPlanner>(est_, cm, gopts);
+  }
+  Plan Build(const Query& query) override { return planner_->BuildPlan(query); }
+  uint64_t ConfigFingerprint() const override { return 0x65'78'65'63ULL; }
+
+ private:
+  CondProbEstimator& est_;
+  std::unique_ptr<GreedyPlanner> planner_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::InitBench("bench_exec", argc, argv);
+  bench::Banner("executor: CompiledPlan flat iteration vs Plan tree walk");
+
+  GardenDataOptions gopts;
+  gopts.num_motes = 5;
+  gopts.epochs = 20000;
+  const Dataset all = GenerateGardenData(gopts);
+  const auto [train, test] = all.SplitFraction(0.6);
+  const Schema& schema = all.schema();
+  const GardenAttrs attrs = ResolveGardenAttrs(schema);
+
+  GardenQueryOptions qopts;
+  qopts.num_queries = kQueries;
+  const std::vector<Query> queries = GenerateGardenQueries(
+      schema, attrs.temperature, attrs.humidity, qopts);
+
+  DatasetEstimator est(train);
+  PerAttributeCostModel cm(schema);
+  const SplitPointSet splits = SplitPointSet::FromLog10Spsf(
+      schema, static_cast<double>(schema.num_attributes()));
+  GreedySeqSolver greedyseq;
+  GreedyPlanner::Options hopts;
+  hopts.split_points = &splits;
+  hopts.seq_solver = &greedyseq;
+  hopts.max_splits = 5;
+  GreedyPlanner heuristic(est, cm, hopts);
+
+  std::printf("%zu garden attributes; %zu queries; %zu test tuples; "
+              "best of %zu passes\n\n",
+              schema.num_attributes(), queries.size(), test.num_rows(), kReps);
+
+  std::printf("%5s %6s %6s %12s %12s %8s\n", "query", "nodes", "depth",
+              "tree ns/tup", "flat ns/tup", "speedup");
+  std::vector<std::string> rows;
+  double tree_total = 0.0, flat_total = 0.0, checksum = 0.0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Plan plan = heuristic.BuildPlan(queries[i]);
+    const CompiledPlan compiled = CompiledPlan::Compile(plan);
+    const ExecTiming t = TimePlan(plan, compiled, test, cm);
+    tree_total += t.tree_ns_per_tuple;
+    flat_total += t.flat_ns_per_tuple;
+    checksum += t.checksum;
+    std::printf("%5zu %6zu %6zu %12.0f %12.0f %7.2fx\n", i,
+                compiled.NumNodes(), compiled.Depth(), t.tree_ns_per_tuple,
+                t.flat_ns_per_tuple, t.tree_ns_per_tuple / t.flat_ns_per_tuple);
+    rows.push_back(std::to_string(i) + "," +
+                   std::to_string(compiled.NumNodes()) + "," +
+                   std::to_string(t.tree_ns_per_tuple) + "," +
+                   std::to_string(t.flat_ns_per_tuple));
+  }
+  const double speedup = tree_total / flat_total;
+  std::printf("\nmean per-tuple latency: tree %.0f ns, flat %.0f ns -> "
+              "%.2fx (bar: >= 1.5x)\n",
+              tree_total / static_cast<double>(queries.size()),
+              flat_total / static_cast<double>(queries.size()), speedup);
+  if (checksum != 0.0) {
+    std::printf("ERROR: tree and flat execution disagree on total cost "
+                "(delta %.17g)\n", checksum);
+  }
+
+  // -------------------------------------------------------------------------
+  // Cached serving end to end: after the single-flight leader compiles the
+  // plan into the cache, repeat requests must clone zero PlanNodes.
+  // -------------------------------------------------------------------------
+  serve::QueryService::Options sopts;
+  sopts.num_workers = 4;
+  sopts.cache_capacity = 256;
+  serve::QueryService service(
+      schema, cm,
+      [&] {
+        return std::make_unique<BenchPlanBuilder>(est, cm, splits, greedyseq);
+      },
+      sopts);
+
+  std::mt19937_64 rng(kSeed);
+  for (const Query& q : queries) {  // warm: one build per distinct query
+    service.SubmitAndWait(q, test.GetTuple(0));
+  }
+  const uint64_t clones_before =
+      obs::DefaultRegistry().GetCounter("plan.node_clones").value();
+  constexpr size_t kServeRequests = 20000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t r = 0; r < kServeRequests; ++r) {
+    service.SubmitAndWait(
+        queries[rng() % queries.size()],
+        test.GetTuple(static_cast<RowId>(rng() % test.num_rows())));
+  }
+  const double serve_elapsed = Seconds(t0);
+  const uint64_t hot_clones =
+      obs::DefaultRegistry().GetCounter("plan.node_clones").value() -
+      clones_before;
+  const double serve_rps = static_cast<double>(kServeRequests) / serve_elapsed;
+  std::printf("\ncached serve: %zu requests in %.3fs (%.0f r/s), "
+              "%llu PlanNode clones on the hot path (bar: 0)\n",
+              kServeRequests, serve_elapsed, serve_rps,
+              static_cast<unsigned long long>(hot_clones));
+
+  CAQP_OBS_GAUGE_SET("bench_exec.tree_ns_per_tuple",
+                     tree_total / static_cast<double>(queries.size()));
+  CAQP_OBS_GAUGE_SET("bench_exec.flat_ns_per_tuple",
+                     flat_total / static_cast<double>(queries.size()));
+  CAQP_OBS_GAUGE_SET("bench_exec.speedup", speedup);
+  CAQP_OBS_GAUGE_SET("bench_exec.cached_serve_rps", serve_rps);
+  CAQP_OBS_GAUGE_SET("bench_exec.hot_path_clones",
+                     static_cast<double>(hot_clones));
+
+  bench::WriteCsv("exec_latency", "query,nodes,tree_ns_per_tuple,"
+                  "flat_ns_per_tuple", rows);
+  bench::FinishBench();
+  return speedup >= 1.5 && hot_clones == 0 && checksum == 0.0 ? 0 : 1;
+}

@@ -79,9 +79,10 @@ int main() {
 
   std::printf("%-12s %18s\n", "planner", "mean latency (ms)");
   for (const auto& [name, plan] :
-       {std::pair<const char*, Plan>{"Naive", naive.BuildPlan(query)},
-        {"CorrSeq", corrseq.BuildPlan(query)},
-        {"Heuristic-6", p_heur}}) {
+       {std::pair<const char*, CompiledPlan>{
+            "Naive", CompiledPlan::Compile(naive.BuildPlan(query))},
+        {"CorrSeq", CompiledPlan::Compile(corrseq.BuildPlan(query))},
+        {"Heuristic-6", CompiledPlan::Compile(p_heur)}}) {
     const auto res = EmpiricalPlanCost(plan, test, query, latency);
     std::printf("%-12s %18.1f\n", name, res.mean_cost);
   }

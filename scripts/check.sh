@@ -32,6 +32,6 @@ echo "== TSan build + concurrency and fault suites =="
 cmake -B build-tsan -S . -DCAQP_SANITIZE=thread
 cmake --build build-tsan -j
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-  -R '^Serve|^Adaptive|^Fault|^SerdeFuzz'
+  -R '^Serve|^Adaptive|^Fault|^SerdeFuzz|^CompiledPlan'
 
 echo "== all checks passed =="

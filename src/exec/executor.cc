@@ -141,17 +141,152 @@ ExecutionResult ExecutePlanImpl(const Plan& plan, const Schema& schema,
   return out;
 }
 
-}  // namespace
+// Flat-form twin of ExecutePlanImpl. Kept textually parallel on purpose:
+// the two must stay semantically identical bit for bit (the tree↔flat
+// equivalence property test in tests/compiled_plan_test.cc enforces it
+// across planners, workloads, and fault profiles).
+template <bool kTraced>
+ExecutionResult ExecuteCompiledImpl(const CompiledPlan& plan,
+                                    const Schema& schema,
+                                    const AcquisitionCostModel& cost_model,
+                                    AcquisitionSource& source,
+                                    TraceSink* trace,
+                                    const DegradationPolicy& policy) {
+  ExecutionResult out;
+  // AttrSet bounds schemas to 64 attributes library-wide, so a fixed scratch
+  // buffer replaces the tree path's per-call vector; valid where
+  // out.acquired has the bit set.
+  CAQP_DCHECK(schema.num_attributes() <= 64);
+  Value values[64];
+  const int max_attempts =
+      policy.mode == DegradationPolicy::Mode::kRetry
+          ? std::max(1, policy.max_attempts)
+          : 1;
 
-ExecutionResult ExecutePlan(const Plan& plan, const Schema& schema,
-                            const AcquisitionCostModel& cost_model,
-                            AcquisitionSource& source, TraceSink* trace,
-                            const DegradationPolicy& policy) {
-  ExecutionResult out =
-      trace ? ExecutePlanImpl<true>(plan, schema, cost_model, source, trace,
-                                    policy)
-            : ExecutePlanImpl<false>(plan, schema, cost_model, source, nullptr,
-                                     policy);
+  // Attempt loop for an attribute known to be neither acquired nor failed
+  // yet (first-acquisition splits branch here directly, with no set lookup).
+  auto attempt = [&](AttrId a, Value* v) -> bool {
+    for (int att = 0; att < max_attempts; ++att) {
+      const AcquiredValue av = source.Acquire(a);
+      double marginal = cost_model.Cost(a, out.acquired) * av.cost_multiplier;
+      if (att > 0) {
+        marginal *= policy.retry_cost_multiplier;
+        ++out.retries;
+      }
+      out.cost += marginal;
+      if (av.ok) {
+        out.acquired.Insert(a);
+        ++out.acquisitions;
+        values[a] = av.value;
+        if constexpr (kTraced) trace->OnAcquire(a, av.value, marginal);
+        *v = av.value;
+        return true;
+      }
+      if (av.permanent) break;  // stuck sensor: retrying cannot help
+    }
+    out.failed.Insert(a);
+    return false;
+  };
+
+  // Leaf-path acquisition: leaves may reference attributes the split walk
+  // already acquired (or failed), so the full checks remain here.
+  auto acquire = [&](AttrId a, Value* v) -> bool {
+    if (out.acquired.Contains(a)) {
+      *v = values[a];
+      return true;
+    }
+    if (out.failed.Contains(a)) return false;
+    return attempt(a, v);
+  };
+
+  auto degrade = [&]() -> bool {
+    out.verdict3 = Truth::kUnknown;
+    if (policy.mode == DegradationPolicy::Mode::kAbort) {
+      out.aborted = true;
+      return true;
+    }
+    return false;
+  };
+
+  uint32_t idx = 0;
+  const CompiledPlan::Node* n = &plan.node(0);
+  Value v = 0;
+  bool routed = true;
+  while (n->kind == CompiledPlan::Kind::kSplit) {
+    if (n->first_acquisition()) {
+      if (!attempt(n->attr, &v)) {
+        // A split cannot route without its attribute: no residual conjuncts
+        // are visible here, so the verdict degrades straight to Unknown.
+        (void)degrade();
+        routed = false;
+        break;
+      }
+    } else {
+      // A repeat split is only reachable when the first acquisition on this
+      // path succeeded (a failure ends the walk above): cached value, no
+      // set lookup.
+      v = values[n->attr];
+    }
+    const bool ge = v >= n->split_value;
+    if constexpr (kTraced) trace->OnBranch(n->attr, n->split_value, ge);
+    idx = ge ? n->a : idx + 1;
+    n = &plan.node(idx);
+  }
+
+  if (routed) {
+    switch (n->kind) {
+      case CompiledPlan::Kind::kVerdict:
+        out.verdict3 = n->verdict() ? Truth::kTrue : Truth::kFalse;
+        break;
+      case CompiledPlan::Kind::kSequential: {
+        Truth t = Truth::kTrue;
+        for (const Predicate& p : plan.sequence(*n)) {
+          if (!acquire(p.attr, &v)) {
+            if (degrade()) break;
+            t = Truth::kUnknown;
+            continue;
+          }
+          if (!p.Matches(v)) {
+            t = Truth::kFalse;
+            break;
+          }
+        }
+        if (!out.aborted) out.verdict3 = t;
+        break;
+      }
+      case CompiledPlan::Kind::kGeneric: {
+        const Query& query = plan.residual_query(*n);
+        RangeVec ranges = schema.FullRanges();
+        for (size_t a = 0; a < schema.num_attributes(); ++a) {
+          if (out.acquired.Contains(static_cast<AttrId>(a))) {
+            ranges[a] = ValueRange{values[a], values[a]};
+          }
+        }
+        Truth t = query.EvaluateOnRanges(ranges);
+        for (const AttrId a : plan.acquire_order(*n)) {
+          if (t != Truth::kUnknown) break;
+          if (!acquire(a, &v)) {
+            if (degrade()) break;
+            continue;  // range stays full; later attributes may still decide
+          }
+          ranges[a] = ValueRange{v, v};
+          t = query.EvaluateOnRanges(ranges);
+        }
+        // Without failures the acquisition order must resolve the query.
+        CAQP_CHECK(t != Truth::kUnknown || out.failed.Count() > 0);
+        if (!out.aborted) out.verdict3 = t;
+        break;
+      }
+      case CompiledPlan::Kind::kSplit:
+        CAQP_CHECK(false);
+    }
+  }
+  out.verdict = out.verdict3 == Truth::kTrue;
+  if constexpr (kTraced) trace->OnVerdict(out.verdict, out.cost);
+  return out;
+}
+
+void EmitExecObs(const ExecutionResult& out) {
   CAQP_OBS_COUNTER_INC("exec.tuples");
   CAQP_OBS_COUNTER_ADD("exec.acquisitions",
                        static_cast<uint64_t>(out.acquisitions));
@@ -167,7 +302,123 @@ ExecutionResult ExecutePlan(const Plan& plan, const Schema& schema,
   } else if (out.verdict3 == Truth::kUnknown) {
     CAQP_OBS_COUNTER_INC("exec.unknown_verdicts");
   }
+}
+
+}  // namespace
+
+ExecutionResult ExecutePlan(const Plan& plan, const Schema& schema,
+                            const AcquisitionCostModel& cost_model,
+                            AcquisitionSource& source, TraceSink* trace,
+                            const DegradationPolicy& policy) {
+  ExecutionResult out =
+      trace ? ExecutePlanImpl<true>(plan, schema, cost_model, source, trace,
+                                    policy)
+            : ExecutePlanImpl<false>(plan, schema, cost_model, source, nullptr,
+                                     policy);
+  EmitExecObs(out);
   return out;
+}
+
+ExecutionResult ExecutePlan(const CompiledPlan& plan, const Schema& schema,
+                            const AcquisitionCostModel& cost_model,
+                            AcquisitionSource& source, TraceSink* trace,
+                            const DegradationPolicy& policy) {
+  ExecutionResult out =
+      trace ? ExecuteCompiledImpl<true>(plan, schema, cost_model, source,
+                                        trace, policy)
+            : ExecuteCompiledImpl<false>(plan, schema, cost_model, source,
+                                         nullptr, policy);
+  EmitExecObs(out);
+  return out;
+}
+
+BatchExecutionStats ExecuteBatch(const CompiledPlan& plan, const Dataset& data,
+                                 std::span<const RowId> rows,
+                                 const AcquisitionCostModel& cost_model,
+                                 std::vector<bool>* verdicts) {
+  const Schema& schema = data.schema();
+  CAQP_DCHECK(schema.num_attributes() <= 64);
+  BatchExecutionStats stats;
+  stats.tuples = rows.size();
+  if (verdicts != nullptr) {
+    verdicts->clear();
+    verdicts->reserve(rows.size());
+  }
+  Value values[64];
+  for (const RowId row : rows) {
+    AttrSet acquired;
+    double cost = 0.0;
+    // Infallible, dedup'd read of attribute `a` for this row.
+    auto acquire = [&](AttrId a) -> Value {
+      if (!acquired.Contains(a)) {
+        cost += cost_model.Cost(a, acquired);
+        acquired.Insert(a);
+        ++stats.total_acquisitions;
+        values[a] = data.at(row, a);
+      }
+      return values[a];
+    };
+
+    uint32_t idx = 0;
+    const CompiledPlan::Node* n = &plan.node(0);
+    while (n->kind == CompiledPlan::Kind::kSplit) {
+      Value v;
+      if (n->first_acquisition()) {
+        cost += cost_model.Cost(n->attr, acquired);
+        acquired.Insert(n->attr);
+        ++stats.total_acquisitions;
+        v = values[n->attr] = data.at(row, n->attr);
+      } else {
+        v = values[n->attr];
+      }
+      idx = (v >= n->split_value) ? n->a : idx + 1;
+      n = &plan.node(idx);
+    }
+
+    bool verdict = false;
+    switch (n->kind) {
+      case CompiledPlan::Kind::kVerdict:
+        verdict = n->verdict();
+        break;
+      case CompiledPlan::Kind::kSequential:
+        verdict = true;
+        for (const Predicate& p : plan.sequence(*n)) {
+          if (!p.Matches(acquire(p.attr))) {
+            verdict = false;
+            break;
+          }
+        }
+        break;
+      case CompiledPlan::Kind::kGeneric: {
+        const Query& query = plan.residual_query(*n);
+        RangeVec ranges = schema.FullRanges();
+        for (size_t a = 0; a < schema.num_attributes(); ++a) {
+          if (acquired.Contains(static_cast<AttrId>(a))) {
+            ranges[a] = ValueRange{values[a], values[a]};
+          }
+        }
+        Truth t = query.EvaluateOnRanges(ranges);
+        for (const AttrId a : plan.acquire_order(*n)) {
+          if (t != Truth::kUnknown) break;
+          const Value v = acquire(a);
+          ranges[a] = ValueRange{v, v};
+          t = query.EvaluateOnRanges(ranges);
+        }
+        CAQP_CHECK(t != Truth::kUnknown);
+        verdict = (t == Truth::kTrue);
+        break;
+      }
+      case CompiledPlan::Kind::kSplit:
+        CAQP_CHECK(false);
+    }
+    stats.total_cost += cost;
+    if (verdict) ++stats.matches;
+    if (verdicts != nullptr) verdicts->push_back(verdict);
+  }
+  CAQP_OBS_COUNTER_ADD("exec.tuples", static_cast<uint64_t>(stats.tuples));
+  CAQP_OBS_COUNTER_ADD("exec.acquisitions",
+                       static_cast<uint64_t>(stats.total_acquisitions));
+  return stats;
 }
 
 }  // namespace caqp

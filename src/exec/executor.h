@@ -25,11 +25,14 @@
 #ifndef CAQP_EXEC_EXECUTOR_H_
 #define CAQP_EXEC_EXECUTOR_H_
 
+#include <span>
 #include <vector>
 
+#include "core/dataset.h"
 #include "core/schema.h"
 #include "obs/trace.h"
 #include "opt/cost_model.h"
+#include "plan/compiled_plan.h"
 #include "plan/plan.h"
 #include "prob/subproblem.h"
 
@@ -129,6 +132,34 @@ ExecutionResult ExecutePlan(const Plan& plan, const Schema& schema,
                             AcquisitionSource& source,
                             TraceSink* trace = nullptr,
                             const DegradationPolicy& policy = {});
+
+/// Flat-form hot path: identical semantics (and bit-identical results) to
+/// the tree overload, but iterates over the CompiledPlan node array — no
+/// recursion, no pointer chasing, no per-tuple allocation, and no
+/// acquired-set lookups on the split walk (the compiler precomputed the
+/// first-acquisition flags). This is what motes and the serve layer run.
+ExecutionResult ExecutePlan(const CompiledPlan& plan, const Schema& schema,
+                            const AcquisitionCostModel& cost_model,
+                            AcquisitionSource& source,
+                            TraceSink* trace = nullptr,
+                            const DegradationPolicy& policy = {});
+
+/// Aggregate outcome of ExecuteBatch.
+struct BatchExecutionStats {
+  size_t tuples = 0;
+  size_t matches = 0;            ///< verdicts that came back true
+  size_t total_acquisitions = 0;
+  double total_cost = 0.0;
+};
+
+/// Executes the plan over the given dataset rows with infallible, dedup'd
+/// acquisition (ground truth straight from the dataset) and reused scratch
+/// across tuples — the simulator / bench inner loop. If `verdicts` is
+/// non-null it is resized to rows.size() with the per-row verdicts.
+BatchExecutionStats ExecuteBatch(const CompiledPlan& plan, const Dataset& data,
+                                 std::span<const RowId> rows,
+                                 const AcquisitionCostModel& cost_model,
+                                 std::vector<bool>* verdicts = nullptr);
 
 }  // namespace caqp
 

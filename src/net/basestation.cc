@@ -27,11 +27,23 @@ Plan Basestation::TrainPlan(const Query& query, const SplitPointSet& splits,
   return planner.BuildPlan(query);
 }
 
-size_t Basestation::Disseminate(const Plan& plan, std::vector<Mote*>& motes) {
+size_t Basestation::Disseminate(const CompiledPlan& plan,
+                                std::vector<Mote*>& motes) {
   return Disseminate(plan, motes, DisseminateOptions{});
 }
 
+size_t Basestation::Disseminate(const Plan& plan, std::vector<Mote*>& motes) {
+  return Disseminate(CompiledPlan::Compile(plan), motes,
+                     DisseminateOptions{});
+}
+
 size_t Basestation::Disseminate(const Plan& plan, std::vector<Mote*>& motes,
+                                const DisseminateOptions& opts) {
+  return Disseminate(CompiledPlan::Compile(plan), motes, opts);
+}
+
+size_t Basestation::Disseminate(const CompiledPlan& plan,
+                                std::vector<Mote*>& motes,
                                 const DisseminateOptions& opts) {
   const std::vector<uint8_t> bytes = SerializePlan(plan);
   const std::vector<uint8_t> ack_msg(opts.ack_bytes, 0xA5);

@@ -38,7 +38,9 @@ class Basestation {
 
   /// Serializes `plan` and transmits it to every mote; returns how many
   /// motes installed it successfully (radio loss/corruption and energy
-  /// exhaustion can all prevent installation).
+  /// exhaustion can all prevent installation). The compiled form serializes
+  /// without any tree walk or clone; the tree form compiles once first.
+  size_t Disseminate(const CompiledPlan& plan, std::vector<Mote*>& motes);
   size_t Disseminate(const Plan& plan, std::vector<Mote*>& motes);
 
   struct DisseminateOptions {
@@ -59,6 +61,8 @@ class Basestation {
   /// `opts` when delivery (or, with require_ack, the ack) fails. Returns the
   /// number of motes whose install was confirmed. Retransmissions are
   /// counted on the `net.retransmissions` counter.
+  size_t Disseminate(const CompiledPlan& plan, std::vector<Mote*>& motes,
+                     const DisseminateOptions& opts);
   size_t Disseminate(const Plan& plan, std::vector<Mote*>& motes,
                      const DisseminateOptions& opts);
 

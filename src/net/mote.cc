@@ -22,7 +22,7 @@ class EpochSource : public AcquisitionSource {
 }  // namespace
 
 Status Mote::ReceivePlanBytes(const std::vector<uint8_t>& bytes) {
-  Result<Plan> plan = DeserializePlan(bytes, schema_);
+  Result<CompiledPlan> plan = DeserializeCompiledPlan(bytes, schema_);
   if (!plan.ok()) return plan.status();
   plan_ = std::move(plan).value();
   return Status::OK();

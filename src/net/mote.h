@@ -1,8 +1,9 @@
 // Simulated sensor mote: holds a received (deserialized) plan and executes
 // it once per epoch against its local sensor readings, paying acquisition
 // energy per the cost model. Matches the paper's architecture (Figure 4):
-// motes only ever run the cheap tree-traversal executor; planning happens at
-// the basestation.
+// motes only ever run the cheap flat-plan executor over the CompiledPlan IR
+// (the form the radio bytes decode straight into); planning happens at the
+// basestation.
 
 #ifndef CAQP_NET_MOTE_H_
 #define CAQP_NET_MOTE_H_
@@ -13,6 +14,7 @@
 #include "exec/executor.h"
 #include "fault/fault.h"
 #include "net/energy.h"
+#include "plan/compiled_plan.h"
 #include "plan/plan.h"
 #include "plan/plan_serde.h"
 
@@ -37,13 +39,16 @@ class Mote {
   Status ReceivePlanBytes(const std::vector<uint8_t>& bytes);
 
   /// Installs a plan directly (tests / local simulation).
-  void InstallPlan(Plan plan) { plan_ = std::move(plan); }
+  void InstallPlan(CompiledPlan plan) { plan_ = std::move(plan); }
+  void InstallPlan(const Plan& plan) {
+    plan_ = CompiledPlan::Compile(plan);
+  }
 
   bool has_plan() const { return plan_.has_value(); }
 
   /// The currently installed plan, or nullptr. Lets tests assert that a
   /// plan surviving a lossy link is still well-formed.
-  const Plan* installed_plan() const {
+  const CompiledPlan* installed_plan() const {
     return plan_.has_value() ? &*plan_ : nullptr;
   }
 
@@ -76,7 +81,7 @@ class Mote {
   const AcquisitionCostModel& cost_model_;
   Sampler sampler_;
   EnergyMeter energy_;
-  std::optional<Plan> plan_;
+  std::optional<CompiledPlan> plan_;
   FaultInjector* fault_ = nullptr;
   DegradationPolicy policy_;
   size_t brownouts_ = 0;

@@ -30,8 +30,6 @@
 #ifndef CAQP_OPT_EXHAUSTIVE_H_
 #define CAQP_OPT_EXHAUSTIVE_H_
 
-#include <unordered_map>
-
 #include "opt/optseq.h"
 #include "opt/planner.h"
 #include "opt/split_points.h"
@@ -78,29 +76,28 @@ class ExhaustivePlanner : public Planner {
                      obs::PlannerStats& stats) const override;
 
  private:
-  struct CacheEntry {
-    double cost = 0.0;
-    std::unique_ptr<PlanNode> node;
-  };
+  /// Per-build scratch (defined in exhaustive.cc): the DP memo table, the
+  /// node arena the recursion builds into, split/verdict interning tables,
+  /// and counters. Lives on the BuildPlan stack so concurrent builds on one
+  /// instance never share mutable state. The DP never allocates PlanNode
+  /// trees: subplans are uint32 handles into the arena, a memo hit returns
+  /// the cached handle itself (O(1), no deep clones), and the winning root
+  /// is materialized into a pointer tree exactly once at the end. Memo-hit
+  /// structural identity therefore holds by construction -- two hits on one
+  /// subproblem yield the same node, not equal copies.
+  struct BuildContext;
 
-  /// Per-build scratch: the DP memo table and counters live here (on the
-  /// BuildPlan stack) so concurrent builds on one instance never share
-  /// mutable state.
-  struct BuildContext {
-    std::unordered_map<RangeVec, CacheEntry, RangeVectorHash> cache;
-    Stats stats;
-  };
-
-  /// Solves a subproblem exactly; results are memoized by range vector.
-  std::pair<double, std::unique_ptr<PlanNode>> Solve(const Query& query,
-                                                     const RangeVec& ranges,
-                                                     BuildContext& ctx) const;
+  /// Solves a subproblem exactly; returns (expected cost, arena handle).
+  /// Results are memoized by range vector.
+  std::pair<double, uint32_t> Solve(const Query& query, const RangeVec& ranges,
+                                    BuildContext& ctx) const;
 
   /// Zero-or-known-cost completion leaf once splits are no longer useful:
   /// the optimal sequential plan (conjunctive) or a generic acquire-and-test
   /// leaf (DNF), with its expected cost under the estimator.
-  std::pair<double, std::unique_ptr<PlanNode>> CompletionLeaf(
-      const Query& query, const RangeVec& ranges) const;
+  std::pair<double, uint32_t> CompletionLeaf(const Query& query,
+                                             const RangeVec& ranges,
+                                             BuildContext& ctx) const;
 
   CondProbEstimator& estimator_;
   const AcquisitionCostModel& cost_model_;

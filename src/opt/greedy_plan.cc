@@ -281,7 +281,8 @@ Plan GreedyPlanner::BuildPlanImpl(const Query& query,
       // Section 2.4: size-aware expansion. `delta` is the marginal
       // serialized cost of replacing this leaf with a split node.
       const size_t before = LeafBytes(*node);
-      const size_t split_header = 1 + 2 + 2;  // kind + attr + value varints
+      // kind + attr + value + ">="-child-index varints (flat wire format).
+      const size_t split_header = 1 + 2 + 2 + 2;
       const size_t after =
           split_header + LeafBytes(*node->lt) + LeafBytes(*node->ge);
       const double delta =

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+#include "obs/registry.h"
+
 namespace caqp {
 
 std::unique_ptr<PlanNode> PlanNode::Verdict(bool v) {
@@ -43,6 +46,9 @@ std::unique_ptr<PlanNode> PlanNode::Generic(Query q,
 }
 
 std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  // Counted so the serve/net hot paths can assert they never deep-copy a
+  // plan (bench_exec and serve_test watch this stay flat across requests).
+  CAQP_OBS_COUNTER_INC("plan.node_clones");
   auto n = std::make_unique<PlanNode>();
   n->kind = kind;
   n->attr = attr;

@@ -82,11 +82,14 @@ class Plan {
 
   Plan(Plan&&) = default;
   Plan& operator=(Plan&&) = default;
-  Plan(const Plan& o) : root_(o.root_->Clone()) {}
-  Plan& operator=(const Plan& o) {
-    if (this != &o) root_ = o.root_->Clone();
-    return *this;
-  }
+  // Deep copies are expensive (a full subtree clone per node) and were easy
+  // to make by accident — pass plans by reference / move them, or ask for a
+  // copy explicitly.
+  Plan(const Plan&) = delete;
+  Plan& operator=(const Plan&) = delete;
+
+  /// Explicit deep copy.
+  Plan Clone() const { return Plan(root_->Clone()); }
 
   const PlanNode& root() const { return *root_; }
   PlanNode* mutable_root() { return root_.get(); }

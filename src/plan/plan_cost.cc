@@ -6,18 +6,20 @@ namespace {
 
 class ExpectedCoster {
  public:
-  ExpectedCoster(CondProbEstimator& est, const AcquisitionCostModel& cm)
-      : est_(est), cm_(cm), schema_(est.schema()) {}
+  ExpectedCoster(const CompiledPlan& plan, CondProbEstimator& est,
+                 const AcquisitionCostModel& cm)
+      : plan_(plan), est_(est), cm_(cm), schema_(est.schema()) {}
 
-  double Cost(const PlanNode& node, const RangeVec& ranges) {
+  double Cost(uint32_t index, const RangeVec& ranges) {
+    const CompiledPlan::Node& node = plan_.node(index);
     switch (node.kind) {
-      case PlanNode::Kind::kVerdict:
+      case CompiledPlan::Kind::kVerdict:
         return 0.0;
-      case PlanNode::Kind::kSequential:
-        return SequentialCost(node.sequence, ranges);
-      case PlanNode::Kind::kGeneric:
+      case CompiledPlan::Kind::kSequential:
+        return SequentialCost(plan_.sequence(node), ranges);
+      case CompiledPlan::Kind::kGeneric:
         return GenericCost(node, 0, ranges);
-      case PlanNode::Kind::kSplit:
+      case CompiledPlan::Kind::kSplit:
         break;
     }
     const AttrSet acquired = AcquiredAttrs(schema_, ranges);
@@ -26,27 +28,31 @@ class ExpectedCoster {
     const ValueRange r = ranges[node.attr];
     // Degenerate splits (possible after deserializing a foreign plan): the
     // whole mass goes to one side.
-    if (node.split_value <= r.lo) return observe + Cost(*node.ge, ranges);
-    if (node.split_value > r.hi) return observe + Cost(*node.lt, ranges);
+    if (node.split_value <= r.lo) return observe + Cost(node.a, ranges);
+    if (node.split_value > r.hi) {
+      return observe + Cost(CompiledPlan::LtChild(index), ranges);
+    }
 
     const ValueRange lt_r{r.lo, static_cast<Value>(node.split_value - 1)};
     const ValueRange ge_r{node.split_value, r.hi};
     const double p_lt = est_.RangeProbability(ranges, node.attr, lt_r);
     double cost = observe;
     if (p_lt > 0) {
-      cost += p_lt * Cost(*node.lt, Refined(ranges, node.attr, lt_r));
+      cost += p_lt * Cost(CompiledPlan::LtChild(index),
+                          Refined(ranges, node.attr, lt_r));
     }
     if (p_lt < 1.0) {
-      cost += (1.0 - p_lt) * Cost(*node.ge, Refined(ranges, node.attr, ge_r));
+      cost += (1.0 - p_lt) * Cost(node.a, Refined(ranges, node.attr, ge_r));
     }
     return cost;
   }
 
  private:
-  double SequentialCost(const std::vector<Predicate>& seq,
+  double SequentialCost(std::span<const Predicate> seq,
                         const RangeVec& ranges) {
     if (seq.empty()) return 0.0;
-    const MaskDistribution masks = est_.PredicateMasks(ranges, seq);
+    const std::vector<Predicate> preds(seq.begin(), seq.end());
+    const MaskDistribution masks = est_.PredicateMasks(ranges, preds);
     if (masks.total() <= 0) return 0.0;
     AttrSet acquired = AcquiredAttrs(schema_, ranges);
     double cost = 0.0;
@@ -64,12 +70,15 @@ class ExpectedCoster {
     return cost;
   }
 
-  double GenericCost(const PlanNode& node, size_t k, const RangeVec& ranges) {
-    if (node.residual_query.EvaluateOnRanges(ranges) != Truth::kUnknown) {
+  double GenericCost(const CompiledPlan::Node& node, size_t k,
+                     const RangeVec& ranges) {
+    const Query& query = plan_.residual_query(node);
+    if (query.EvaluateOnRanges(ranges) != Truth::kUnknown) {
       return 0.0;
     }
-    if (k >= node.acquire_order.size()) return 0.0;
-    const AttrId attr = node.acquire_order[k];
+    const std::span<const AttrId> order = plan_.acquire_order(node);
+    if (k >= order.size()) return 0.0;
+    const AttrId attr = order[k];
     const AttrSet acquired = AcquiredAttrs(schema_, ranges);
     double cost =
         acquired.Contains(attr) ? 0.0 : cm_.Cost(attr, acquired);
@@ -85,6 +94,7 @@ class ExpectedCoster {
     return cost;
   }
 
+  const CompiledPlan& plan_;
   CondProbEstimator& est_;
   const AcquisitionCostModel& cm_;
   const Schema& schema_;
@@ -92,17 +102,30 @@ class ExpectedCoster {
 
 }  // namespace
 
+double ExpectedPlanCost(const CompiledPlan& plan, CondProbEstimator& estimator,
+                        const AcquisitionCostModel& cost_model) {
+  return ExpectedSubplanCost(plan, 0, estimator.schema().FullRanges(),
+                             estimator, cost_model);
+}
+
 double ExpectedPlanCost(const Plan& plan, CondProbEstimator& estimator,
                         const AcquisitionCostModel& cost_model) {
-  return ExpectedSubplanCost(plan.root(), estimator.schema().FullRanges(),
-                             estimator, cost_model);
+  return ExpectedPlanCost(CompiledPlan::Compile(plan), estimator, cost_model);
+}
+
+double ExpectedSubplanCost(const CompiledPlan& plan, uint32_t index,
+                           const RangeVec& ranges,
+                           CondProbEstimator& estimator,
+                           const AcquisitionCostModel& cost_model) {
+  ExpectedCoster coster(plan, estimator, cost_model);
+  return coster.Cost(index, ranges);
 }
 
 double ExpectedSubplanCost(const PlanNode& node, const RangeVec& ranges,
                            CondProbEstimator& estimator,
                            const AcquisitionCostModel& cost_model) {
-  ExpectedCoster coster(estimator, cost_model);
-  return coster.Cost(node, ranges);
+  return ExpectedSubplanCost(CompiledPlan::Compile(node), 0, ranges, estimator,
+                             cost_model);
 }
 
 namespace {
@@ -115,7 +138,7 @@ struct TupleRun {
   bool verdict = false;
 };
 
-TupleRun RunTuple(const PlanNode& root, const Schema& schema,
+TupleRun RunTuple(const CompiledPlan& plan, const Schema& schema,
                   const Dataset& data, RowId row,
                   const AcquisitionCostModel& cm, TraceSink* trace) {
   TupleRun out;
@@ -131,20 +154,22 @@ TupleRun RunTuple(const PlanNode& root, const Schema& schema,
     return data.at(row, a);
   };
 
-  const PlanNode* n = &root;
-  while (n->kind == PlanNode::Kind::kSplit) {
+  uint32_t idx = 0;
+  const CompiledPlan::Node* n = &plan.node(idx);
+  while (n->kind == CompiledPlan::Kind::kSplit) {
     const Value v = acquire(n->attr);
     const bool ge = v >= n->split_value;
     if (trace) trace->OnBranch(n->attr, n->split_value, ge);
-    n = ge ? n->ge.get() : n->lt.get();
+    idx = ge ? n->a : CompiledPlan::LtChild(idx);
+    n = &plan.node(idx);
   }
   switch (n->kind) {
-    case PlanNode::Kind::kVerdict:
-      out.verdict = n->verdict;
+    case CompiledPlan::Kind::kVerdict:
+      out.verdict = n->verdict();
       break;
-    case PlanNode::Kind::kSequential: {
+    case CompiledPlan::Kind::kSequential: {
       out.verdict = true;
-      for (const Predicate& p : n->sequence) {
+      for (const Predicate& p : plan.sequence(*n)) {
         if (!p.Matches(acquire(p.attr))) {
           out.verdict = false;
           break;
@@ -152,7 +177,7 @@ TupleRun RunTuple(const PlanNode& root, const Schema& schema,
       }
       break;
     }
-    case PlanNode::Kind::kGeneric: {
+    case CompiledPlan::Kind::kGeneric: {
       RangeVec ranges = schema.FullRanges();
       // Narrow ranges to the values acquired on the split path so the
       // residual query can resolve without re-acquisition.
@@ -162,19 +187,20 @@ TupleRun RunTuple(const PlanNode& root, const Schema& schema,
           ranges[a] = ValueRange{v, v};
         }
       }
-      Truth t = n->residual_query.EvaluateOnRanges(ranges);
-      for (size_t k = 0; t == Truth::kUnknown && k < n->acquire_order.size();
-           ++k) {
-        const AttrId a = n->acquire_order[k];
+      const Query& query = plan.residual_query(*n);
+      const std::span<const AttrId> order = plan.acquire_order(*n);
+      Truth t = query.EvaluateOnRanges(ranges);
+      for (size_t k = 0; t == Truth::kUnknown && k < order.size(); ++k) {
+        const AttrId a = order[k];
         const Value v = acquire(a);
         ranges[a] = ValueRange{v, v};
-        t = n->residual_query.EvaluateOnRanges(ranges);
+        t = query.EvaluateOnRanges(ranges);
       }
       CAQP_CHECK(t != Truth::kUnknown);
       out.verdict = (t == Truth::kTrue);
       break;
     }
-    case PlanNode::Kind::kSplit:
+    case CompiledPlan::Kind::kSplit:
       CAQP_CHECK(false);
   }
   if (trace) trace->OnVerdict(out.verdict, out.cost);
@@ -183,8 +209,8 @@ TupleRun RunTuple(const PlanNode& root, const Schema& schema,
 
 }  // namespace
 
-EmpiricalCostResult EmpiricalPlanCost(const Plan& plan, const Dataset& data,
-                                      const Query& query,
+EmpiricalCostResult EmpiricalPlanCost(const CompiledPlan& plan,
+                                      const Dataset& data, const Query& query,
                                       const AcquisitionCostModel& cost_model,
                                       TraceSink* trace) {
   EmpiricalCostResult res;
@@ -192,7 +218,7 @@ EmpiricalCostResult EmpiricalPlanCost(const Plan& plan, const Dataset& data,
   size_t total_acq = 0;
   for (RowId r = 0; r < data.num_rows(); ++r) {
     const TupleRun run =
-        RunTuple(plan.root(), data.schema(), data, r, cost_model, trace);
+        RunTuple(plan, data.schema(), data, r, cost_model, trace);
     res.total_cost += run.cost;
     total_acq += run.acquisitions;
     const bool truth = query.Matches(data.GetTuple(r));
@@ -203,6 +229,14 @@ EmpiricalCostResult EmpiricalPlanCost(const Plan& plan, const Dataset& data,
     res.mean_acquisitions = static_cast<double>(total_acq) / res.tuples;
   }
   return res;
+}
+
+EmpiricalCostResult EmpiricalPlanCost(const Plan& plan, const Dataset& data,
+                                      const Query& query,
+                                      const AcquisitionCostModel& cost_model,
+                                      TraceSink* trace) {
+  return EmpiricalPlanCost(CompiledPlan::Compile(plan), data, query,
+                           cost_model, trace);
 }
 
 }  // namespace caqp

@@ -8,6 +8,10 @@
 //    over a concrete dataset (the paper's test-set evaluation), plus verdict
 //    accuracy against the original query (always 1.0 for our planners; the
 //    paper stresses its plans never err, unlike approximate predicate work).
+//
+// Both cost walks run over the CompiledPlan flat form; the Plan/PlanNode
+// entry points compile once and delegate, so the arithmetic (and hence the
+// floating-point result) is identical whichever form the caller holds.
 
 #ifndef CAQP_PLAN_PLAN_COST_H_
 #define CAQP_PLAN_PLAN_COST_H_
@@ -16,6 +20,7 @@
 #include "core/query.h"
 #include "obs/trace.h"
 #include "opt/cost_model.h"
+#include "plan/compiled_plan.h"
 #include "plan/plan.h"
 #include "prob/estimator.h"
 
@@ -26,13 +31,21 @@ namespace caqp {
 /// `cost_model` (an attribute is charged the first time its range narrows on
 /// a root-to-leaf path; sequential leaves charge per-predicate with
 /// conditional pass probabilities).
+double ExpectedPlanCost(const CompiledPlan& plan, CondProbEstimator& estimator,
+                        const AcquisitionCostModel& cost_model);
+/// Tree convenience form: compiles once, then costs the flat form.
 double ExpectedPlanCost(const Plan& plan, CondProbEstimator& estimator,
                         const AcquisitionCostModel& cost_model);
 
-/// Expected completion cost of a subtree, conditioned on the plan having
-/// reached `node` with the attribute ranges implied by the splits above it.
-/// ExpectedPlanCost(plan, ...) == ExpectedSubplanCost(plan.root(),
+/// Expected completion cost of the subtree rooted at `index`, conditioned on
+/// the plan having reached it with the attribute ranges implied by the splits
+/// above. ExpectedPlanCost(plan, ...) == ExpectedSubplanCost(plan, 0,
 /// schema.FullRanges(), ...). Used by the EXPLAIN printer.
+double ExpectedSubplanCost(const CompiledPlan& plan, uint32_t index,
+                           const RangeVec& ranges,
+                           CondProbEstimator& estimator,
+                           const AcquisitionCostModel& cost_model);
+/// Tree convenience form: compiles the subtree at `node`, then costs it.
 double ExpectedSubplanCost(const PlanNode& node, const RangeVec& ranges,
                            CondProbEstimator& estimator,
                            const AcquisitionCostModel& cost_model);
@@ -49,6 +62,11 @@ struct EmpiricalCostResult {
 /// checks each verdict against `query`. If `trace` is non-null it receives
 /// the execution events of every tuple (e.g. an obs::AttributeProfile to
 /// collect per-attribute acquisition histograms).
+EmpiricalCostResult EmpiricalPlanCost(const CompiledPlan& plan,
+                                      const Dataset& data, const Query& query,
+                                      const AcquisitionCostModel& cost_model,
+                                      TraceSink* trace = nullptr);
+/// Tree convenience form: compiles once, then runs the flat form.
 EmpiricalCostResult EmpiricalPlanCost(const Plan& plan, const Dataset& data,
                                       const Query& query,
                                       const AcquisitionCostModel& cost_model,

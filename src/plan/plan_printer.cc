@@ -9,73 +9,86 @@ namespace caqp {
 
 namespace {
 
-void PrintNode(const PlanNode& n, const Schema& schema, int indent,
-               const char* label, std::string* out) {
+void PrintNode(const CompiledPlan& plan, uint32_t index, const Schema& schema,
+               int indent, const char* label, std::string* out) {
   for (int i = 0; i < indent; ++i) *out += "  ";
   if (*label) {
     *out += label;
     *out += " ";
   }
+  const CompiledPlan::Node& n = plan.node(index);
   char buf[160];
   switch (n.kind) {
-    case PlanNode::Kind::kSplit:
+    case CompiledPlan::Kind::kSplit:
       std::snprintf(buf, sizeof(buf), "if %s >= %u:",
                     schema.name(n.attr).c_str(),
                     static_cast<unsigned>(n.split_value));
       *out += buf;
       *out += "\n";
-      PrintNode(*n.ge, schema, indent + 1, "then", out);
-      PrintNode(*n.lt, schema, indent + 1, "else", out);
+      PrintNode(plan, n.a, schema, indent + 1, "then", out);
+      PrintNode(plan, CompiledPlan::LtChild(index), schema, indent + 1, "else",
+                out);
       break;
-    case PlanNode::Kind::kVerdict:
-      *out += n.verdict ? "=> PASS" : "=> FAIL";
+    case CompiledPlan::Kind::kVerdict:
+      *out += n.verdict() ? "=> PASS" : "=> FAIL";
       *out += "\n";
       break;
-    case PlanNode::Kind::kSequential:
+    case CompiledPlan::Kind::kSequential: {
       *out += "eval:";
-      if (n.sequence.empty()) {
+      const std::span<const Predicate> seq = plan.sequence(n);
+      if (seq.empty()) {
         *out += " (nothing) => PASS";
       } else {
-        for (const Predicate& p : n.sequence) {
+        for (const Predicate& p : seq) {
           *out += " [" + p.ToString(schema) + "]";
         }
       }
       *out += "\n";
       break;
-    case PlanNode::Kind::kGeneric:
+    }
+    case CompiledPlan::Kind::kGeneric: {
       *out += "acquire {";
-      for (size_t i = 0; i < n.acquire_order.size(); ++i) {
+      const std::span<const AttrId> order = plan.acquire_order(n);
+      for (size_t i = 0; i < order.size(); ++i) {
         if (i) *out += ", ";
-        *out += schema.name(n.acquire_order[i]);
+        *out += schema.name(order[i]);
       }
-      *out += "} until " + n.residual_query.ToString(schema) + " resolves\n";
+      *out +=
+          "} until " + plan.residual_query(n).ToString(schema) + " resolves\n";
       break;
+    }
   }
 }
 
 }  // namespace
 
-std::string PrintPlan(const Plan& plan, const Schema& schema) {
+std::string PrintPlan(const CompiledPlan& plan, const Schema& schema) {
   std::string out;
-  PrintNode(plan.root(), schema, 0, "", &out);
+  PrintNode(plan, 0, schema, 0, "", &out);
   return out;
+}
+
+std::string PrintPlan(const Plan& plan, const Schema& schema) {
+  return PrintPlan(CompiledPlan::Compile(plan), schema);
 }
 
 namespace {
 
-void ExplainNode(const PlanNode& n, const RangeVec& ranges, double reach,
-                 CondProbEstimator& est, const AcquisitionCostModel& cm,
-                 int indent, const char* label, std::string* out) {
+void ExplainNode(const CompiledPlan& plan, uint32_t index,
+                 const RangeVec& ranges, double reach, CondProbEstimator& est,
+                 const AcquisitionCostModel& cm, int indent, const char* label,
+                 std::string* out) {
   for (int i = 0; i < indent; ++i) *out += "  ";
   if (*label) {
     *out += label;
     *out += " ";
   }
   const Schema& schema = est.schema();
+  const CompiledPlan::Node& n = plan.node(index);
   char buf[192];
-  const double cost = ExpectedSubplanCost(n, ranges, est, cm);
+  const double cost = ExpectedSubplanCost(plan, index, ranges, est, cm);
   switch (n.kind) {
-    case PlanNode::Kind::kSplit: {
+    case CompiledPlan::Kind::kSplit: {
       const ValueRange r = ranges[n.attr];
       const ValueRange lt_r{r.lo, static_cast<Value>(n.split_value - 1)};
       const ValueRange ge_r{n.split_value, r.hi};
@@ -97,29 +110,29 @@ void ExplainNode(const PlanNode& n, const RangeVec& ranges, double reach,
           (n.split_value > r.lo && n.split_value <= r.hi)
               ? Refined(ranges, n.attr, lt_r)
               : ranges;
-      ExplainNode(*n.ge, ge_ranges, reach * (1.0 - p_lt), est, cm, indent + 1,
-                  "then", out);
-      ExplainNode(*n.lt, lt_ranges, reach * p_lt, est, cm, indent + 1, "else",
-                  out);
+      ExplainNode(plan, n.a, ge_ranges, reach * (1.0 - p_lt), est, cm,
+                  indent + 1, "then", out);
+      ExplainNode(plan, CompiledPlan::LtChild(index), lt_ranges, reach * p_lt,
+                  est, cm, indent + 1, "else", out);
       break;
     }
-    case PlanNode::Kind::kVerdict:
+    case CompiledPlan::Kind::kVerdict:
       std::snprintf(buf, sizeof(buf), "=> %s  [reach=%.3f]",
-                    n.verdict ? "PASS" : "FAIL", reach);
+                    n.verdict() ? "PASS" : "FAIL", reach);
       *out += buf;
       *out += "\n";
       break;
-    case PlanNode::Kind::kSequential: {
+    case CompiledPlan::Kind::kSequential: {
       std::snprintf(buf, sizeof(buf), "eval  [reach=%.3f cost=%.2f]:", reach,
                     cost);
       *out += buf;
-      for (const Predicate& p : n.sequence) {
+      for (const Predicate& p : plan.sequence(n)) {
         *out += " [" + p.ToString(schema) + "]";
       }
       *out += "\n";
       break;
     }
-    case PlanNode::Kind::kGeneric:
+    case CompiledPlan::Kind::kGeneric:
       std::snprintf(buf, sizeof(buf),
                     "acquire-until-resolved  [reach=%.3f cost=%.2f]\n", reach,
                     cost);
@@ -130,19 +143,82 @@ void ExplainNode(const PlanNode& n, const RangeVec& ranges, double reach,
 
 }  // namespace
 
-std::string ExplainPlan(const Plan& plan, CondProbEstimator& estimator,
+std::string ExplainPlan(const CompiledPlan& plan, CondProbEstimator& estimator,
                         const AcquisitionCostModel& cost_model) {
   std::string out;
-  ExplainNode(plan.root(), estimator.schema().FullRanges(), 1.0, estimator,
+  ExplainNode(plan, 0, estimator.schema().FullRanges(), 1.0, estimator,
               cost_model, 0, "", &out);
   return out;
 }
 
-std::string PlanSummary(const Plan& plan) {
+std::string ExplainPlan(const Plan& plan, CondProbEstimator& estimator,
+                        const AcquisitionCostModel& cost_model) {
+  return ExplainPlan(CompiledPlan::Compile(plan), estimator, cost_model);
+}
+
+std::string PlanSummary(const CompiledPlan& plan) {
   char buf[96];
   std::snprintf(buf, sizeof(buf), "splits=%zu depth=%zu size=%zuB",
-                plan.NumSplits(), plan.Depth(), PlanSizeBytes(plan));
+                static_cast<size_t>(plan.NumSplits()),
+                static_cast<size_t>(plan.Depth()), PlanSizeBytes(plan));
   return buf;
+}
+
+std::string PlanSummary(const Plan& plan) {
+  return PlanSummary(CompiledPlan::Compile(plan));
+}
+
+std::string DumpCompiledPlan(const CompiledPlan& plan, const Schema& schema) {
+  std::string out;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "CompiledPlan nodes=%zu splits=%zu depth=%zu size=%zuB\n",
+                static_cast<size_t>(plan.NumNodes()),
+                static_cast<size_t>(plan.NumSplits()),
+                static_cast<size_t>(plan.Depth()), PlanSizeBytes(plan));
+  out += buf;
+  for (uint32_t i = 0; i < plan.NumNodes(); ++i) {
+    const CompiledPlan::Node& n = plan.node(i);
+    switch (n.kind) {
+      case CompiledPlan::Kind::kSplit:
+        std::snprintf(buf, sizeof(buf),
+                      "%4u: split   %s >= %u  lt=%u ge=%u%s\n", i,
+                      schema.name(n.attr).c_str(),
+                      static_cast<unsigned>(n.split_value),
+                      CompiledPlan::LtChild(i), n.a,
+                      n.first_acquisition() ? "  [first-acq]" : "");
+        out += buf;
+        break;
+      case CompiledPlan::Kind::kVerdict:
+        std::snprintf(buf, sizeof(buf), "%4u: verdict %s\n", i,
+                      n.verdict() ? "PASS" : "FAIL");
+        out += buf;
+        break;
+      case CompiledPlan::Kind::kSequential: {
+        std::snprintf(buf, sizeof(buf), "%4u: seq     preds[%u..%u):", i, n.a,
+                      n.a + n.b);
+        out += buf;
+        for (const Predicate& p : plan.sequence(n)) {
+          out += " [" + p.ToString(schema) + "]";
+        }
+        out += "\n";
+        break;
+      }
+      case CompiledPlan::Kind::kGeneric: {
+        std::snprintf(buf, sizeof(buf), "%4u: generic query=%u order={", i,
+                      static_cast<unsigned>(n.aux));
+        out += buf;
+        const std::span<const AttrId> order = plan.acquire_order(n);
+        for (size_t k = 0; k < order.size(); ++k) {
+          if (k) out += ", ";
+          out += schema.name(order[k]);
+        }
+        out += "} " + plan.residual_query(n).ToString(schema) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace caqp

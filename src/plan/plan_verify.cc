@@ -18,7 +18,7 @@ uint64_t DomainProduct(const Schema& schema, uint64_t cap) {
 
 }  // namespace
 
-PlanVerificationResult VerifyPlanExhaustive(const Plan& plan,
+PlanVerificationResult VerifyPlanExhaustive(const CompiledPlan& plan,
                                             const Query& query,
                                             const Schema& schema,
                                             uint64_t max_tuples) {
@@ -44,7 +44,16 @@ PlanVerificationResult VerifyPlanExhaustive(const Plan& plan,
   return res;
 }
 
-PlanVerificationResult VerifyPlanSampled(const Plan& plan, const Query& query,
+PlanVerificationResult VerifyPlanExhaustive(const Plan& plan,
+                                            const Query& query,
+                                            const Schema& schema,
+                                            uint64_t max_tuples) {
+  return VerifyPlanExhaustive(CompiledPlan::Compile(plan), query, schema,
+                              max_tuples);
+}
+
+PlanVerificationResult VerifyPlanSampled(const CompiledPlan& plan,
+                                         const Query& query,
                                          const Schema& schema,
                                          uint64_t samples, uint64_t seed) {
   CAQP_CHECK(query.ValidFor(schema));
@@ -64,6 +73,13 @@ PlanVerificationResult VerifyPlanSampled(const Plan& plan, const Query& query,
     }
   }
   return res;
+}
+
+PlanVerificationResult VerifyPlanSampled(const Plan& plan, const Query& query,
+                                         const Schema& schema,
+                                         uint64_t samples, uint64_t seed) {
+  return VerifyPlanSampled(CompiledPlan::Compile(plan), query, schema, samples,
+                           seed);
 }
 
 namespace {
@@ -107,6 +123,45 @@ bool NodeWellFormed(const PlanNode& n, const Schema& schema) {
 
 bool PlanIsWellFormed(const Plan& plan, const Schema& schema) {
   return NodeWellFormed(plan.root(), schema);
+}
+
+bool PlanIsWellFormed(const CompiledPlan& plan, const Schema& schema) {
+  // Same field-level checks as the tree walk, over the flat node array (the
+  // preorder topology itself is validated by construction / deserialization).
+  for (uint32_t i = 0; i < plan.NumNodes(); ++i) {
+    const CompiledPlan::Node& n = plan.node(i);
+    switch (n.kind) {
+      case CompiledPlan::Kind::kSplit:
+        if (n.attr >= schema.num_attributes()) return false;
+        if (n.split_value < 1 ||
+            n.split_value >= schema.domain_size(n.attr)) {
+          return false;
+        }
+        break;
+      case CompiledPlan::Kind::kVerdict:
+        break;
+      case CompiledPlan::Kind::kSequential:
+        for (const Predicate& p : plan.sequence(n)) {
+          if (p.attr >= schema.num_attributes()) return false;
+          if (p.lo > p.hi || p.hi >= schema.domain_size(p.attr)) return false;
+        }
+        break;
+      case CompiledPlan::Kind::kGeneric: {
+        const Query& query = plan.residual_query(n);
+        if (!query.ValidFor(schema)) return false;
+        AttrSet in_order;
+        for (AttrId a : plan.acquire_order(n)) {
+          if (a >= schema.num_attributes()) return false;
+          in_order.Insert(a);
+        }
+        for (AttrId a : query.ReferencedAttributes()) {
+          if (!in_order.Contains(a)) return false;
+        }
+        break;
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace caqp

@@ -13,6 +13,7 @@
 
 #include "core/query.h"
 #include "core/schema.h"
+#include "plan/compiled_plan.h"
 #include "plan/plan.h"
 
 namespace caqp {
@@ -30,6 +31,11 @@ struct PlanVerificationResult {
 /// (the domain product is checked against `max_tuples` and the call aborts
 /// verification -- returning correct=false with no counterexample is never
 /// possible; instead the function CHECKs the budget).
+PlanVerificationResult VerifyPlanExhaustive(const CompiledPlan& plan,
+                                            const Query& query,
+                                            const Schema& schema,
+                                            uint64_t max_tuples = 10'000'000);
+/// Tree convenience form: compiles once, then verifies the flat form.
 PlanVerificationResult VerifyPlanExhaustive(const Plan& plan,
                                             const Query& query,
                                             const Schema& schema,
@@ -38,6 +44,11 @@ PlanVerificationResult VerifyPlanExhaustive(const Plan& plan,
 /// Randomized verification: checks `samples` uniformly random tuples.
 /// Misses nothing with probability growing in the sample count; suited to
 /// schemas whose domain product is too large to enumerate.
+PlanVerificationResult VerifyPlanSampled(const CompiledPlan& plan,
+                                         const Query& query,
+                                         const Schema& schema,
+                                         uint64_t samples, uint64_t seed = 1);
+/// Tree convenience form: compiles once, then verifies the flat form.
 PlanVerificationResult VerifyPlanSampled(const Plan& plan, const Query& query,
                                          const Schema& schema,
                                          uint64_t samples, uint64_t seed = 1);
@@ -46,6 +57,7 @@ PlanVerificationResult VerifyPlanSampled(const Plan& plan, const Query& query,
 /// within schema, sequential/generic leaves reference valid predicates.
 /// Deserialization already enforces this; exposed for plans built in-process.
 bool PlanIsWellFormed(const Plan& plan, const Schema& schema);
+bool PlanIsWellFormed(const CompiledPlan& plan, const Schema& schema);
 
 }  // namespace caqp
 

@@ -29,7 +29,7 @@ ShardedPlanCache::Shard& ShardedPlanCache::ShardFor(const PlanCacheKey& key) {
   return *shards_[x % shards_.size()];
 }
 
-std::shared_ptr<const Plan> ShardedPlanCache::Get(const PlanCacheKey& key) {
+std::shared_ptr<const CompiledPlan> ShardedPlanCache::Get(const PlanCacheKey& key) {
   if (options_.capacity == 0) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     CAQP_OBS_COUNTER_INC("serve.cache.misses");
@@ -50,7 +50,7 @@ std::shared_ptr<const Plan> ShardedPlanCache::Get(const PlanCacheKey& key) {
 }
 
 void ShardedPlanCache::Put(const PlanCacheKey& key,
-                           std::shared_ptr<const Plan> plan) {
+                           std::shared_ptr<const CompiledPlan> plan) {
   CAQP_CHECK(plan != nullptr);
   if (options_.capacity == 0) return;
   Shard& shard = ShardFor(key);

@@ -13,7 +13,7 @@
 //    options + training-data identity, so services with different planner
 //    configs never alias plans.
 //
-// Values are shared_ptr<const Plan>: a hit hands out a reference to the
+// Values are shared_ptr<const CompiledPlan>: a hit hands out a reference to the
 // immutable compiled plan, never a deep copy, and eviction cannot free a
 // plan still executing on another thread.
 //
@@ -35,7 +35,7 @@
 #include <vector>
 
 #include "core/types.h"
-#include "plan/plan.h"
+#include "plan/compiled_plan.h"
 
 namespace caqp {
 namespace serve {
@@ -76,11 +76,11 @@ class ShardedPlanCache {
   explicit ShardedPlanCache(Options options);
 
   /// Returns the cached plan and refreshes its LRU position, or nullptr.
-  std::shared_ptr<const Plan> Get(const PlanCacheKey& key);
+  std::shared_ptr<const CompiledPlan> Get(const PlanCacheKey& key);
 
   /// Inserts (or replaces) the plan for `key`, evicting the shard's
   /// least-recently-used entries if over budget.
-  void Put(const PlanCacheKey& key, std::shared_ptr<const Plan> plan);
+  void Put(const PlanCacheKey& key, std::shared_ptr<const CompiledPlan> plan);
 
   /// Eagerly drops every entry (estimator refresh). Version-bumped keys
   /// would age out anyway; this frees their memory immediately.
@@ -95,10 +95,10 @@ class ShardedPlanCache {
   struct Shard {
     mutable std::mutex mu;
     /// Front = most recently used.
-    std::list<std::pair<PlanCacheKey, std::shared_ptr<const Plan>>> lru;
+    std::list<std::pair<PlanCacheKey, std::shared_ptr<const CompiledPlan>>> lru;
     std::unordered_map<PlanCacheKey,
                        std::list<std::pair<PlanCacheKey,
-                                           std::shared_ptr<const Plan>>>::
+                                           std::shared_ptr<const CompiledPlan>>>::
                            iterator,
                        PlanCacheKeyHash>
         index;

@@ -105,7 +105,8 @@ QueryService::Response QueryService::Handle(size_t worker_id,
 
   if (options_.cache_capacity == 0) {
     // Plan-per-query baseline: no cache, no deduplication.
-    r.plan = std::make_shared<const Plan>(builder.Build(query));
+    r.plan = std::make_shared<const CompiledPlan>(
+        CompiledPlan::Compile(builder.Build(query)));
     r.planned = true;
   } else {
     r.plan = cache_.Get(key);
@@ -118,7 +119,10 @@ QueryService::Response QueryService::Handle(size_t worker_id,
       SingleFlight::Result flight = flight_.Do(
           key,
           [&] {
-            auto plan = std::make_shared<const Plan>(builder.Build(query));
+            // Compile once at insert time: every cached-path execution after
+            // this runs the flat IR with zero PlanNode clones or copies.
+            auto plan = std::make_shared<const CompiledPlan>(
+                CompiledPlan::Compile(builder.Build(query)));
             cache_.Put(key, plan);
             return plan;
           },
@@ -128,7 +132,8 @@ QueryService::Response QueryService::Handle(size_t worker_id,
         // rather than blocking past the timeout. The fallback is NOT cached:
         // the leader's (better) plan lands in the cache when it finishes.
         CAQP_OBS_COUNTER_INC("serve.planner_timeouts");
-        r.plan = std::make_shared<const Plan>(builder.BuildFallback(query));
+        r.plan = std::make_shared<const CompiledPlan>(
+            CompiledPlan::Compile(builder.BuildFallback(query)));
         r.fallback = true;
       } else {
         r.plan = std::move(flight.plan);

@@ -123,7 +123,7 @@ class QueryService {
     /// True iff this request timed out waiting on the planning leader and
     /// was answered from PlanBuilder::BuildFallback instead.
     bool fallback = false;
-    std::shared_ptr<const Plan> plan;
+    std::shared_ptr<const CompiledPlan> plan;
     ExecutionResult exec;
     /// Wall-clock seconds from worker pickup to completion.
     double latency_seconds = 0.0;

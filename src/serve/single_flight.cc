@@ -18,7 +18,7 @@ SingleFlight::Result SingleFlight::Do(const PlanCacheKey& key,
     if (it != flights_.end()) {
       // Follower: block on the leader's shared future, outside the lock so
       // the leader can publish and deregister.
-      std::shared_future<std::shared_ptr<const Plan>> future =
+      std::shared_future<std::shared_ptr<const CompiledPlan>> future =
           it->second->future;
       lock.unlock();
       CAQP_OBS_COUNTER_INC("serve.single_flight.followers");
@@ -40,7 +40,7 @@ SingleFlight::Result SingleFlight::Do(const PlanCacheKey& key,
   // this key that arrive after the erase re-plan — by then the plan is in
   // the cache, so they hit there instead.
   CAQP_OBS_COUNTER_INC("serve.single_flight.leaders");
-  std::shared_ptr<const Plan> plan = build();
+  std::shared_ptr<const CompiledPlan> plan = build();
   CAQP_CHECK(plan != nullptr);
   flight->promise.set_value(plan);
   {

@@ -19,7 +19,7 @@
 #include <mutex>
 #include <unordered_map>
 
-#include "plan/plan.h"
+#include "plan/compiled_plan.h"
 #include "serve/plan_cache.h"
 
 namespace caqp {
@@ -27,10 +27,10 @@ namespace serve {
 
 class SingleFlight {
  public:
-  using BuildFn = std::function<std::shared_ptr<const Plan>()>;
+  using BuildFn = std::function<std::shared_ptr<const CompiledPlan>()>;
 
   struct Result {
-    std::shared_ptr<const Plan> plan;
+    std::shared_ptr<const CompiledPlan> plan;
     /// True iff this caller ran `build` (it was the leader).
     bool leader = false;
     /// True iff this caller was a follower that gave up waiting (plan is
@@ -56,8 +56,8 @@ class SingleFlight {
 
  private:
   struct Flight {
-    std::promise<std::shared_ptr<const Plan>> promise;
-    std::shared_future<std::shared_ptr<const Plan>> future;
+    std::promise<std::shared_ptr<const CompiledPlan>> promise;
+    std::shared_future<std::shared_ptr<const CompiledPlan>> future;
   };
 
   mutable std::mutex mu_;

@@ -43,9 +43,9 @@ TEST(PlanTest, VerdictForFollowsSplits) {
   EXPECT_FALSE(p.VerdictFor({3, 0, 2, 0}));
 }
 
-TEST(PlanTest, CopySemanticsDeep) {
+TEST(PlanTest, CloneIsDeep) {
   const Plan p = SamplePlan();
-  Plan copy = p;  // deep clone
+  const Plan copy = p.Clone();  // explicit deep clone; copy ctor is deleted
   EXPECT_EQ(copy.NumNodes(), p.NumNodes());
   EXPECT_NE(&copy.root(), &p.root());
   EXPECT_TRUE(copy.VerdictFor({1, 0, 2, 0}));
@@ -103,7 +103,8 @@ TEST(PlanSerdeTest, RoundtripGenericLeaf) {
 
 TEST(PlanSerdeTest, SizeIsCompact) {
   const Plan p = SamplePlan();
-  // 1 split (1+1+1 bytes) + verdict leaf (2) + seq leaf (2 + 4 per pred).
+  // Flat encoding: version + node count + split (kind/attr/value/ge-index)
+  // + verdict leaf (2) + seq leaf (2 + 4 per predicate).
   EXPECT_LE(PlanSizeBytes(p), 16u);
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/query_signature.h"
+#include "obs/registry.h"
 #include "opt/adaptive.h"
 #include "opt/greedy_plan.h"
 #include "opt/greedyseq.h"
@@ -114,8 +115,9 @@ TEST(ServeSignatureTest, CanonicalizeIsIdempotent) {
 // Sharded plan cache
 // ---------------------------------------------------------------------------
 
-std::shared_ptr<const Plan> LeafPlan(bool verdict) {
-  return std::make_shared<const Plan>(Plan(PlanNode::Verdict(verdict)));
+std::shared_ptr<const CompiledPlan> LeafPlan(bool verdict) {
+  return std::make_shared<const CompiledPlan>(
+      CompiledPlan::Compile(*PlanNode::Verdict(verdict)));
 }
 
 TEST(ServePlanCacheTest, HitAndMiss) {
@@ -183,7 +185,7 @@ TEST(ServePlanCacheTest, HoldsEntryAliveAcrossEviction) {
   plan = cache.Get({1, 0, 0});
   cache.Put({2, 0, 0}, LeafPlan(false));  // evicts key 1
   ASSERT_NE(plan, nullptr);               // still safe to use
-  EXPECT_TRUE(plan->root().verdict);
+  EXPECT_TRUE(plan->root().verdict());
 }
 
 // ---------------------------------------------------------------------------
@@ -231,7 +233,7 @@ TEST(ServeSingleFlightTest, ConcurrentSameKeyBuildsOnce) {
   std::atomic<int> arrived{0};
 
   std::vector<std::thread> threads;
-  std::vector<std::shared_ptr<const Plan>> results(kThreads);
+  std::vector<std::shared_ptr<const CompiledPlan>> results(kThreads);
   for (int i = 0; i < kThreads; ++i) {
     threads.emplace_back([&, i] {
       arrived.fetch_add(1);
@@ -356,6 +358,29 @@ TEST(ServeQueryServiceTest, ShuffledPredicatesHitTheSameEntry) {
   EXPECT_FALSE(first.cache_hit);
   EXPECT_TRUE(second.cache_hit);
   EXPECT_EQ(second.plan, first.plan);
+  EXPECT_EQ(fx.builds.load(), 1u);
+}
+
+TEST(ServeQueryServiceTest, CachedRequestPathClonesNoPlanNodes) {
+  ServiceFixture fx;
+  QueryService service = fx.MakeService();
+  const Query q = fx.MidQuery();
+  // Warm the cache: the single-flight leader plans once and compiles the
+  // tree into the shared CompiledPlan at insert time.
+  service.SubmitAndWait(q, fx.data.GetTuple(0));
+
+  // Every subsequent request runs the flat IR straight out of the cache:
+  // zero PlanNode clones (and zero tree copies of any kind) on the hot path.
+  const uint64_t clones_before =
+      obs::DefaultRegistry().GetCounter("plan.node_clones").value();
+  for (RowId r = 1; r < 100; ++r) {
+    const QueryService::Response resp =
+        service.SubmitAndWait(q, fx.data.GetTuple(r));
+    ASSERT_TRUE(resp.cache_hit);
+  }
+  const uint64_t clones_after =
+      obs::DefaultRegistry().GetCounter("plan.node_clones").value();
+  EXPECT_EQ(clones_after - clones_before, 0u);
   EXPECT_EQ(fx.builds.load(), 1u);
 }
 

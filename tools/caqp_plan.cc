@@ -14,6 +14,9 @@
 // --spsf LOG10              split-point budget (default: all points)
 // --train-frac F            head fraction used for training (default 0.6)
 // --explain                 annotate the plan with reach/cost estimates
+// --emit tree|flat          plan rendering: pretty tree (default) or the
+//                           compiled flat IR, one node per line in index
+//                           order (also accepts --emit=flat)
 // --trace-out PATH          JSONL execution trace of the test run: one line
 //                           per tuple (acquisition order, branch path,
 //                           charged costs, verdict) plus a summary line with
@@ -141,6 +144,7 @@ int main(int argc, char** argv) {
   double train_frac = 0.6;
   double spsf_log10 = -1.0;  // <0: all points
   bool explain = false;
+  std::string emit = "tree";
   std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
@@ -180,6 +184,10 @@ int main(int argc, char** argv) {
       spsf_log10 = std::strtod(next().c_str(), nullptr);
     } else if (arg == "--explain") {
       explain = true;
+    } else if (arg == "--emit") {
+      emit = next();
+    } else if (arg.rfind("--emit=", 0) == 0) {
+      emit = arg.substr(7);
     } else if (arg == "--trace-out") {
       trace_out = next();
     } else if (arg == "--help" || arg == "-h") {
@@ -195,6 +203,7 @@ int main(int argc, char** argv) {
   if (train_frac <= 0.0 || train_frac >= 1.0) {
     Die("--train-frac must be in (0,1)");
   }
+  if (emit != "tree" && emit != "flat") Die("--emit expects tree or flat");
 
   // --- Load and discretize ------------------------------------------------
   Result<CsvTable> table = LoadCsvFile(csv_path);
@@ -258,9 +267,14 @@ int main(int argc, char** argv) {
     Die("unknown --planner " + planner_name);
   }
 
-  std::printf("plan (%s):\n%s\n", PlanSummary(plan).c_str(),
-              explain ? ExplainPlan(plan, estimator, cost_model).c_str()
-                      : PrintPlan(plan, schema).c_str());
+  if (emit == "flat") {
+    const CompiledPlan compiled = CompiledPlan::Compile(plan);
+    std::printf("%s\n", DumpCompiledPlan(compiled, schema).c_str());
+  } else {
+    std::printf("plan (%s):\n%s\n", PlanSummary(plan).c_str(),
+                explain ? ExplainPlan(plan, estimator, cost_model).c_str()
+                        : PrintPlan(plan, schema).c_str());
+  }
 
   // --- Costs --------------------------------------------------------------
   const Plan naive_plan = naive.BuildPlan(query);
