@@ -5,7 +5,8 @@
 # ASan catches OOB reads the Status paths might otherwise hide), then a
 # ThreadSanitizer build (-DCAQP_SANITIZE=thread) running the
 # concurrency-sensitive suites (caqp::serve incl. deadline/shedding paths,
-# the adaptive replanner) plus the fault suites again.
+# the adaptive replanner, the obs v2 span/histogram/shard/flight-recorder
+# suites) plus the fault suites again.
 # Usage: scripts/check.sh [--skip-sanitizers]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,6 +33,6 @@ echo "== TSan build + concurrency and fault suites =="
 cmake -B build-tsan -S . -DCAQP_SANITIZE=thread
 cmake --build build-tsan -j
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-  -R '^Serve|^Adaptive|^Fault|^SerdeFuzz|^CompiledPlan'
+  -R '^Serve|^Adaptive|^Fault|^SerdeFuzz|^CompiledPlan|^Span|^Histogram|^ShardedRegistry|^FlightRecorder'
 
 echo "== all checks passed =="

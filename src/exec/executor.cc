@@ -4,20 +4,23 @@
 
 #include "obs/obs.h"
 #include "obs/registry.h"
+#include "obs/span.h"
 
 namespace caqp {
-
-namespace {
+namespace internal {
 
 // Templating on kTraced lets the no-trace instantiation drop every event
 // hook at compile time: ExecutePlan with a null sink runs the exact same
 // code as an uninstrumented executor (bench/bench_obs_overhead.cc measures
-// the residual dispatch cost).
+// the residual dispatch cost). aligned(64): these are the library's hottest
+// loops, and cache-line-aligned entry keeps their per-tuple cost stable
+// across otherwise-unrelated link-order changes — the overhead bench
+// compares them against equally aligned mirrors at ns/tuple resolution.
 template <bool kTraced>
-ExecutionResult ExecutePlanImpl(const Plan& plan, const Schema& schema,
-                                const AcquisitionCostModel& cost_model,
-                                AcquisitionSource& source, TraceSink* trace,
-                                const DegradationPolicy& policy) {
+__attribute__((aligned(64))) ExecutionResult ExecutePlanImpl(
+    const Plan& plan, const Schema& schema,
+    const AcquisitionCostModel& cost_model, AcquisitionSource& source,
+    TraceSink* trace, const DegradationPolicy& policy) {
   ExecutionResult out;
   // Cache of acquired values; valid where out.acquired has the bit set.
   std::vector<Value> values(schema.num_attributes(), 0);
@@ -146,12 +149,10 @@ ExecutionResult ExecutePlanImpl(const Plan& plan, const Schema& schema,
 // equivalence property test in tests/compiled_plan_test.cc enforces it
 // across planners, workloads, and fault profiles).
 template <bool kTraced>
-ExecutionResult ExecuteCompiledImpl(const CompiledPlan& plan,
-                                    const Schema& schema,
-                                    const AcquisitionCostModel& cost_model,
-                                    AcquisitionSource& source,
-                                    TraceSink* trace,
-                                    const DegradationPolicy& policy) {
+__attribute__((aligned(64))) ExecutionResult ExecuteCompiledImpl(
+    const CompiledPlan& plan, const Schema& schema,
+    const AcquisitionCostModel& cost_model, AcquisitionSource& source,
+    TraceSink* trace, const DegradationPolicy& policy) {
   ExecutionResult out;
   // AttrSet bounds schemas to 64 attributes library-wide, so a fixed scratch
   // buffer replaces the tree path's per-call vector; valid where
@@ -286,7 +287,29 @@ ExecutionResult ExecuteCompiledImpl(const CompiledPlan& plan,
   return out;
 }
 
+// The inline ExecutePlan wrappers (executor.h) call these instantiations
+// directly when there is no trace sink and instrumentation is
+// runtime-disabled, so the disabled path is the uninstrumented executor
+// plus one inline load and a branch in the caller (bench_obs_overhead
+// holds it under 5% per tuple).
+template ExecutionResult ExecutePlanImpl<false>(
+    const Plan& plan, const Schema& schema,
+    const AcquisitionCostModel& cost_model, AcquisitionSource& source,
+    TraceSink* trace, const DegradationPolicy& policy);
+template ExecutionResult ExecuteCompiledImpl<false>(
+    const CompiledPlan& plan, const Schema& schema,
+    const AcquisitionCostModel& cost_model, AcquisitionSource& source,
+    TraceSink* trace, const DegradationPolicy& policy);
+
+}  // namespace internal
+
+namespace {
+
 void EmitExecObs(const ExecutionResult& out) {
+  // One gate for the whole emission: per-tuple cost when disabled is a
+  // single relaxed load + branch instead of one per counter site (the flat
+  // executor's <5% obs-off budget in bench_obs_overhead is only ~1.5 ns).
+  if (!obs::Enabled()) return;
   CAQP_OBS_COUNTER_INC("exec.tuples");
   CAQP_OBS_COUNTER_ADD("exec.acquisitions",
                        static_cast<uint64_t>(out.acquisitions));
@@ -306,10 +329,24 @@ void EmitExecObs(const ExecutionResult& out) {
 
 }  // namespace
 
-ExecutionResult ExecutePlan(const Plan& plan, const Schema& schema,
-                            const AcquisitionCostModel& cost_model,
-                            AcquisitionSource& source, TraceSink* trace,
-                            const DegradationPolicy& policy) {
+namespace internal {
+
+ExecutionResult ExecutePlanObs(const Plan& plan, const Schema& schema,
+                               const AcquisitionCostModel& cost_model,
+                               AcquisitionSource& source, TraceSink* trace,
+                               const DegradationPolicy& policy) {
+  // Reached when instrumentation is enabled or a trace sink is present. The
+  // whole obs block — the request-tracing span and the counter emission —
+  // still sits behind one relaxed load, so a traced-but-disabled run pays
+  // no obs cost. Spans additionally require the thread to be bound to a
+  // serve request scope (obs/span.h).
+  if (!obs::Enabled()) {
+    return trace ? ExecutePlanImpl<true>(plan, schema, cost_model, source,
+                                         trace, policy)
+                 : ExecutePlanImpl<false>(plan, schema, cost_model, source,
+                                          nullptr, policy);
+  }
+  CAQP_OBS_SPAN(exec_span, "exec");
   ExecutionResult out =
       trace ? ExecutePlanImpl<true>(plan, schema, cost_model, source, trace,
                                     policy)
@@ -319,10 +356,20 @@ ExecutionResult ExecutePlan(const Plan& plan, const Schema& schema,
   return out;
 }
 
-ExecutionResult ExecutePlan(const CompiledPlan& plan, const Schema& schema,
-                            const AcquisitionCostModel& cost_model,
-                            AcquisitionSource& source, TraceSink* trace,
-                            const DegradationPolicy& policy) {
+ExecutionResult ExecuteCompiledObs(const CompiledPlan& plan,
+                                   const Schema& schema,
+                                   const AcquisitionCostModel& cost_model,
+                                   AcquisitionSource& source, TraceSink* trace,
+                                   const DegradationPolicy& policy) {
+  // Same structure as the tree overload above; the flat path is ~2x faster
+  // per tuple, so its disabled-obs budget is even tighter.
+  if (!obs::Enabled()) {
+    return trace ? ExecuteCompiledImpl<true>(plan, schema, cost_model, source,
+                                             trace, policy)
+                 : ExecuteCompiledImpl<false>(plan, schema, cost_model,
+                                              source, nullptr, policy);
+  }
+  CAQP_OBS_SPAN(exec_span, "exec");
   ExecutionResult out =
       trace ? ExecuteCompiledImpl<true>(plan, schema, cost_model, source,
                                         trace, policy)
@@ -332,10 +379,13 @@ ExecutionResult ExecutePlan(const CompiledPlan& plan, const Schema& schema,
   return out;
 }
 
+}  // namespace internal
+
 BatchExecutionStats ExecuteBatch(const CompiledPlan& plan, const Dataset& data,
                                  std::span<const RowId> rows,
                                  const AcquisitionCostModel& cost_model,
                                  std::vector<bool>* verdicts) {
+  CAQP_OBS_SPAN(batch_span, "exec.batch");
   const Schema& schema = data.schema();
   CAQP_DCHECK(schema.num_attributes() <= 64);
   BatchExecutionStats stats;

@@ -30,6 +30,7 @@
 
 #include "core/dataset.h"
 #include "core/schema.h"
+#include "obs/obs.h"
 #include "obs/trace.h"
 #include "opt/cost_model.h"
 #include "plan/compiled_plan.h"
@@ -122,27 +123,89 @@ struct ExecutionResult {
   bool defined() const { return !aborted && verdict3 != Truth::kUnknown; }
 };
 
+namespace internal {
+// Out-of-line halves of the inline ExecutePlan wrappers below. The Impl
+// templates (defined and explicitly instantiated for kTraced=false in
+// executor.cc) are the executors themselves; calling Impl<false> straight
+// from the inline wrapper keeps the common disabled-instrumentation case at
+// one call, exactly like an uninstrumented build. Obs wraps execution in
+// the "exec" span and counter emission (and handles the
+// obs-disabled-but-traced case).
+template <bool kTraced>
+ExecutionResult ExecutePlanImpl(const Plan& plan, const Schema& schema,
+                                const AcquisitionCostModel& cost_model,
+                                AcquisitionSource& source, TraceSink* trace,
+                                const DegradationPolicy& policy);
+extern template ExecutionResult ExecutePlanImpl<false>(
+    const Plan& plan, const Schema& schema,
+    const AcquisitionCostModel& cost_model, AcquisitionSource& source,
+    TraceSink* trace, const DegradationPolicy& policy);
+
+template <bool kTraced>
+ExecutionResult ExecuteCompiledImpl(const CompiledPlan& plan,
+                                    const Schema& schema,
+                                    const AcquisitionCostModel& cost_model,
+                                    AcquisitionSource& source,
+                                    TraceSink* trace,
+                                    const DegradationPolicy& policy);
+extern template ExecutionResult ExecuteCompiledImpl<false>(
+    const CompiledPlan& plan, const Schema& schema,
+    const AcquisitionCostModel& cost_model, AcquisitionSource& source,
+    TraceSink* trace, const DegradationPolicy& policy);
+
+ExecutionResult ExecutePlanObs(const Plan& plan, const Schema& schema,
+                               const AcquisitionCostModel& cost_model,
+                               AcquisitionSource& source, TraceSink* trace,
+                               const DegradationPolicy& policy);
+ExecutionResult ExecuteCompiledObs(const CompiledPlan& plan,
+                                   const Schema& schema,
+                                   const AcquisitionCostModel& cost_model,
+                                   AcquisitionSource& source, TraceSink* trace,
+                                   const DegradationPolicy& policy);
+}  // namespace internal
+
 /// Evaluates `plan` for one tuple, acquiring attributes lazily from `source`
 /// and charging `cost_model` for each acquisition attempt. Failed
 /// acquisitions degrade per `policy`. If `trace` is non-null it receives
 /// acquisition / branch / verdict events in traversal order (obs/trace.h);
 /// the default null sink costs one untaken branch per event site.
-ExecutionResult ExecutePlan(const Plan& plan, const Schema& schema,
-                            const AcquisitionCostModel& cost_model,
-                            AcquisitionSource& source,
-                            TraceSink* trace = nullptr,
-                            const DegradationPolicy& policy = {});
+///
+/// Inline so the common case — no per-tuple trace, instrumentation
+/// runtime-disabled — dispatches straight to the uninstrumented executor
+/// for one relaxed load and a branch in the caller. This is a per-tuple
+/// call; an extra out-of-line gating frame here costs measurable percent
+/// (bench_obs_overhead holds the disabled path under 5%).
+inline ExecutionResult ExecutePlan(const Plan& plan, const Schema& schema,
+                                   const AcquisitionCostModel& cost_model,
+                                   AcquisitionSource& source,
+                                   TraceSink* trace = nullptr,
+                                   const DegradationPolicy& policy = {}) {
+  if (trace == nullptr && !obs::Enabled()) {
+    return internal::ExecutePlanImpl<false>(plan, schema, cost_model, source,
+                                            nullptr, policy);
+  }
+  return internal::ExecutePlanObs(plan, schema, cost_model, source, trace,
+                                  policy);
+}
 
 /// Flat-form hot path: identical semantics (and bit-identical results) to
 /// the tree overload, but iterates over the CompiledPlan node array — no
 /// recursion, no pointer chasing, no per-tuple allocation, and no
 /// acquired-set lookups on the split walk (the compiler precomputed the
 /// first-acquisition flags). This is what motes and the serve layer run.
-ExecutionResult ExecutePlan(const CompiledPlan& plan, const Schema& schema,
-                            const AcquisitionCostModel& cost_model,
-                            AcquisitionSource& source,
-                            TraceSink* trace = nullptr,
-                            const DegradationPolicy& policy = {});
+inline ExecutionResult ExecutePlan(const CompiledPlan& plan,
+                                   const Schema& schema,
+                                   const AcquisitionCostModel& cost_model,
+                                   AcquisitionSource& source,
+                                   TraceSink* trace = nullptr,
+                                   const DegradationPolicy& policy = {}) {
+  if (trace == nullptr && !obs::Enabled()) {
+    return internal::ExecuteCompiledImpl<false>(plan, schema, cost_model,
+                                                source, nullptr, policy);
+  }
+  return internal::ExecuteCompiledObs(plan, schema, cost_model, source, trace,
+                                      policy);
+}
 
 /// Aggregate outcome of ExecuteBatch.
 struct BatchExecutionStats {

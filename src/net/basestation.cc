@@ -2,6 +2,7 @@
 
 #include "obs/obs.h"
 #include "obs/registry.h"
+#include "obs/span.h"
 #include "prob/dataset_estimator.h"
 
 namespace caqp {
@@ -45,6 +46,9 @@ size_t Basestation::Disseminate(const Plan& plan, std::vector<Mote*>& motes,
 size_t Basestation::Disseminate(const CompiledPlan& plan,
                                 std::vector<Mote*>& motes,
                                 const DisseminateOptions& opts) {
+  // Request-tracing span (obs/span.h): no-op unless the calling thread is
+  // bound to a serve request scope.
+  CAQP_OBS_SPAN(disseminate_span, "net.disseminate");
   const std::vector<uint8_t> bytes = SerializePlan(plan);
   const std::vector<uint8_t> ack_msg(opts.ack_bytes, 0xA5);
   CAQP_OBS_COUNTER_INC("net.base.disseminations");

@@ -175,7 +175,93 @@ void WriteRegistrySnapshot(JsonWriter& w, const RegistrySnapshot& snap) {
     w.EndObject();
   }
   w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& h : snap.histograms) {
+    w.Key(h.name);
+    WriteHistogram(w, h.hist);
+  }
   w.EndObject();
+  w.EndObject();
+}
+
+void WriteHistogram(JsonWriter& w, const HistogramSnapshot& hist) {
+  w.BeginObject();
+  w.Key("count").UInt(hist.count);
+  w.Key("sum").Double(hist.sum);
+  w.Key("min").Double(hist.min);
+  w.Key("max").Double(hist.max);
+  w.Key("mean").Double(hist.mean());
+  w.Key("p50").Double(hist.p50());
+  w.Key("p90").Double(hist.p90());
+  w.Key("p99").Double(hist.p99());
+  w.Key("p999").Double(hist.p999());
+  w.Key("buckets").BeginArray();
+  for (size_t i = 0; i < kHistNumBuckets; ++i) {
+    if (hist.buckets[i] == 0) continue;
+    w.BeginArray().UInt(i).UInt(hist.buckets[i]).EndArray();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+namespace {
+
+void WriteTraceEvent(JsonWriter& w, const SpanEvent& ev) {
+  w.BeginObject();
+  w.Key("name").String(ev.name);
+  w.Key("cat").String("caqp");
+  w.Key("ph").String("X");
+  // Trace-event timestamps are microseconds; keep sub-us precision as a
+  // fractional part so short executor spans stay visible.
+  w.Key("ts").Double(static_cast<double>(ev.start_ns) / 1e3);
+  w.Key("dur").Double(static_cast<double>(ev.dur_ns) / 1e3);
+  w.Key("pid").Int(1);
+  w.Key("tid").Int(static_cast<int64_t>(ev.worker));
+  w.Key("args").BeginObject();
+  w.Key("trace_id").UInt(ev.trace_id);
+  w.Key("span_id").UInt(ev.span_id);
+  w.Key("parent_id").UInt(ev.parent_id);
+  w.EndObject();
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string TraceEventsToJson(const TraceRecorder& recorder) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("traceEvents").BeginArray();
+  // Thread-name metadata turns raw tids into "worker N" rows in the viewer.
+  for (size_t worker = 0; worker < recorder.num_workers(); ++worker) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "worker %zu", worker);
+    w.BeginObject();
+    w.Key("name").String("thread_name");
+    w.Key("ph").String("M");
+    w.Key("pid").Int(1);
+    w.Key("tid").Int(static_cast<int64_t>(worker));
+    w.Key("args").BeginObject().Key("name").String(name).EndObject();
+    w.EndObject();
+  }
+  for (const SpanEvent& ev : recorder.Events()) WriteTraceEvent(w, ev);
+  w.EndArray();
+  w.Key("caqpFlightRecorder").BeginArray();
+  for (const TraceRecorder::Incident& incident : recorder.Incidents()) {
+    w.BeginObject();
+    w.Key("trace_id").UInt(incident.trace_id);
+    w.Key("reason").String(incident.reason);
+    w.Key("worker").Int(static_cast<int64_t>(incident.worker));
+    w.Key("at_us").Double(static_cast<double>(incident.at_ns) / 1e3);
+    w.Key("events").BeginArray();
+    for (const SpanEvent& ev : incident.events) WriteTraceEvent(w, ev);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("caqpDroppedSpanEvents").UInt(recorder.dropped_events());
+  w.EndObject();
+  return w.TakeString();
 }
 
 void WritePlannerStats(JsonWriter& w, const PlannerStats& stats) {
@@ -255,6 +341,19 @@ std::string RegistryToMarkdown(const MetricsRegistry& registry) {
                     "| %s | %zu | %g | %g | %g | %g | %g | %g |\n",
                     s.name.c_str(), s.count, s.mean, std::sqrt(s.variance),
                     s.min, s.p50, s.p95, s.max);
+      out += buf;
+    }
+  }
+  if (!snap.histograms.empty()) {
+    out +=
+        "\n| histogram | count | mean | min | p50 | p90 | p99 | p99.9 | max "
+        "|\n|---|---|---|---|---|---|---|---|---|\n";
+    for (const auto& h : snap.histograms) {
+      std::snprintf(buf, sizeof(buf),
+                    "| %s | %" PRIu64 " | %g | %g | %g | %g | %g | %g | %g |\n",
+                    h.name.c_str(), h.hist.count, h.hist.mean(), h.hist.min,
+                    h.hist.p50(), h.hist.p90(), h.hist.p99(), h.hist.p999(),
+                    h.hist.max);
       out += buf;
     }
   }

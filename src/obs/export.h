@@ -11,8 +11,10 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/histogram.h"
 #include "obs/planner_stats.h"
 #include "obs/registry.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace caqp {
@@ -54,9 +56,32 @@ class JsonWriter {
 /// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
 std::string EscapeJson(std::string_view s);
 
-/// Emits `snap` as {"counters":{...},"gauges":{...},"stats":{name:{...}}}.
-/// Writer must be positioned where a value is expected.
+/// Emits `snap` as {"counters":{...},"gauges":{...},"stats":{name:{...}},
+/// "histograms":{name:{...}}}. Writer must be positioned where a value is
+/// expected.
 void WriteRegistrySnapshot(JsonWriter& w, const RegistrySnapshot& snap);
+
+/// Emits a histogram snapshot as an object:
+///   {"count":N,"sum":S,"min":m,"max":M,"mean":mu,
+///    "p50":...,"p90":...,"p99":...,"p999":...,
+///    "buckets":[[idx,count],...]}          // sparse: only non-empty buckets
+/// Because every Histogram shares the fixed bucket layout (histogram.h), the
+/// sparse [index,count] pairs plus count/sum/min/max reconstruct the
+/// snapshot exactly (round-trip tested in tests/obs_test.cc).
+void WriteHistogram(JsonWriter& w, const HistogramSnapshot& hist);
+
+/// Serializes a TraceRecorder as Chrome/Perfetto trace-event JSON
+/// (https://ui.perfetto.dev opens it directly):
+///   {"displayTimeUnit":"ms",
+///    "traceEvents":[{"name","cat":"caqp","ph":"X","ts":us,"dur":us,
+///                    "pid":1,"tid":worker,
+///                    "args":{"trace_id","span_id","parent_id"}},...],
+///    "caqpFlightRecorder":[{"trace_id","reason","worker","at_us",
+///                           "events":[...]},...],
+///    "caqpDroppedSpanEvents":N}
+/// Spans nest in the viewer by time containment within a tid ("X" complete
+/// events); args carry the exact parentage for programmatic consumers.
+std::string TraceEventsToJson(const TraceRecorder& recorder);
 
 /// Emits `stats` as an object of its non-identifying fields.
 void WritePlannerStats(JsonWriter& w, const PlannerStats& stats);

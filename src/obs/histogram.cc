@@ -1,0 +1,139 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace caqp {
+namespace obs {
+
+size_t HistogramBucketIndex(double v) {
+  if (!(v >= std::ldexp(1.0, kHistMinExp))) return 0;  // NaN/negative too
+  if (v >= std::ldexp(1.0, kHistMaxExp)) return kHistNumBuckets - 1;
+  int exp = 0;
+  const double mant = std::frexp(v, &exp);  // v = mant * 2^exp, mant in [0.5,1)
+  const int octave = (exp - 1) - kHistMinExp;  // lower bound 2^(exp-1)
+  int sub = static_cast<int>((mant - 0.5) * 2.0 * kHistSubBuckets);
+  sub = std::clamp(sub, 0, kHistSubBuckets - 1);
+  return 1 + static_cast<size_t>(octave) * kHistSubBuckets +
+         static_cast<size_t>(sub);
+}
+
+double HistogramBucketLowerBound(size_t idx) {
+  if (idx == 0) return 0.0;
+  if (idx >= kHistNumBuckets - 1) return std::ldexp(1.0, kHistMaxExp);
+  const size_t k = idx - 1;
+  const int octave = static_cast<int>(k / kHistSubBuckets);
+  const int sub = static_cast<int>(k % kHistSubBuckets);
+  return std::ldexp(1.0 + static_cast<double>(sub) / kHistSubBuckets,
+                    kHistMinExp + octave);
+}
+
+double HistogramBucketUpperBound(size_t idx) {
+  if (idx == 0) return std::ldexp(1.0, kHistMinExp);
+  if (idx >= kHistNumBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return HistogramBucketLowerBound(idx + 1);
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  min = count == 0 ? other.min : std::min(min, other.min);
+  max = count == 0 ? other.max : std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+  for (size_t i = 0; i < kHistNumBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank in [1, count]; walk the cumulative distribution to its bucket.
+  const double target = q * static_cast<double>(count);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kHistNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t prev = cum;
+    cum += buckets[i];
+    if (static_cast<double>(cum) < target) continue;
+    // Interpolate linearly inside the bucket; the under/overflow buckets
+    // have no finite width, so the min/max clamp below pins them.
+    const double frac =
+        (target - static_cast<double>(prev)) / static_cast<double>(buckets[i]);
+    double lo = HistogramBucketLowerBound(i);
+    double hi = HistogramBucketUpperBound(i);
+    lo = std::max(lo, min);
+    hi = std::min(hi, max);
+    if (!(hi > lo)) return std::clamp(lo, min, max);
+    return std::clamp(lo + frac * (hi - lo), min, max);
+  }
+  return max;
+}
+
+Histogram::Histogram()
+    : count_(0),
+      sum_(0.0),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::Record(double v) {
+  if (std::isnan(v)) return;
+  buckets_[HistogramBucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  double seen = min_.load(std::memory_order_relaxed);
+  while (v < seen &&
+         !min_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = snap.count ? min_.load(std::memory_order_relaxed) : 0.0;
+  snap.max = snap.count ? max_.load(std::memory_order_relaxed) : 0.0;
+  for (size_t i = 0; i < kHistNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::MergeFrom(const HistogramSnapshot& snap) {
+  if (snap.count == 0) return;
+  for (size_t i = 0; i < kHistNumBuckets; ++i) {
+    if (snap.buckets[i]) {
+      buckets_[i].fetch_add(snap.buckets[i], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(snap.count, std::memory_order_relaxed);
+  sum_.fetch_add(snap.sum, std::memory_order_relaxed);
+  double seen = min_.load(std::memory_order_relaxed);
+  while (snap.min < seen && !min_.compare_exchange_weak(
+                                seen, snap.min, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (snap.max > seen && !max_.compare_exchange_weak(
+                                seen, snap.max, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace caqp

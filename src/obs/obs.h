@@ -82,6 +82,15 @@ inline void SetEnabled(bool on) {
     }                                                                    \
   } while (0)
 
+#define CAQP_OBS_HIST_RECORD(name, v)                                    \
+  do {                                                                   \
+    if (::caqp::obs::Enabled()) {                                        \
+      static ::caqp::obs::Histogram& caqp_obs_h =                        \
+          ::caqp::obs::DefaultRegistry().GetHistogram(name);             \
+      caqp_obs_h.Record(v);                                              \
+    }                                                                    \
+  } while (0)
+
 #else  // !CAQP_OBS_ENABLED
 
 // sizeof() keeps the operands syntactically used (no -Wunused warnings for
@@ -98,6 +107,10 @@ inline void SetEnabled(bool on) {
     (void)sizeof(v);                \
   } while (0)
 #define CAQP_OBS_STAT_RECORD(name, v) \
+  do {                                \
+    (void)sizeof(v);                  \
+  } while (0)
+#define CAQP_OBS_HIST_RECORD(name, v) \
   do {                                \
     (void)sizeof(v);                  \
   } while (0)

@@ -60,6 +60,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   CAQP_DCHECK(gauges_.find(name) == gauges_.end());
   CAQP_DCHECK(stats_.find(name) == stats_.end());
+  CAQP_DCHECK(histograms_.find(name) == histograms_.end());
   std::unique_ptr<Counter>& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
@@ -69,6 +70,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   CAQP_DCHECK(counters_.find(name) == counters_.end());
   CAQP_DCHECK(stats_.find(name) == stats_.end());
+  CAQP_DCHECK(histograms_.find(name) == histograms_.end());
   std::unique_ptr<Gauge>& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -78,8 +80,19 @@ StreamingStat& MetricsRegistry::GetStat(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   CAQP_DCHECK(counters_.find(name) == counters_.end());
   CAQP_DCHECK(gauges_.find(name) == gauges_.end());
+  CAQP_DCHECK(histograms_.find(name) == histograms_.end());
   std::unique_ptr<StreamingStat>& slot = stats_[name];
   if (!slot) slot = std::make_unique<StreamingStat>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CAQP_DCHECK(counters_.find(name) == counters_.end());
+  CAQP_DCHECK(gauges_.find(name) == gauges_.end());
+  CAQP_DCHECK(stats_.find(name) == stats_.end());
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
@@ -99,6 +112,10 @@ RegistrySnapshot MetricsRegistry::Snapshot() const {
     snap.stats.push_back({name, s->count(), s->mean(), s->variance(),
                           s->min(), s->max(), s->p50(), s->p95()});
   }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.push_back({name, h->Snapshot()});
+  }
   return snap;
 }
 
@@ -107,6 +124,7 @@ void MetricsRegistry::ResetAll() {
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, s] : stats_) s->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
 }
 
 MetricsRegistry& DefaultRegistry() {

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.h"
 #include "obs/obs.h"
 
 namespace caqp {
@@ -110,9 +111,14 @@ struct RegistrySnapshot {
     double p50 = 0.0;
     double p95 = 0.0;
   };
-  std::vector<CounterValue> counters;  // sorted by name
-  std::vector<GaugeValue> gauges;      // sorted by name
-  std::vector<StatValue> stats;        // sorted by name
+  struct HistogramValue {
+    std::string name;
+    HistogramSnapshot hist;
+  };
+  std::vector<CounterValue> counters;      // sorted by name
+  std::vector<GaugeValue> gauges;          // sorted by name
+  std::vector<StatValue> stats;            // sorted by name
+  std::vector<HistogramValue> histograms;  // sorted by name
 };
 
 class MetricsRegistry {
@@ -123,6 +129,7 @@ class MetricsRegistry {
   Counter& GetCounter(const std::string& name);
   Gauge& GetGauge(const std::string& name);
   StreamingStat& GetStat(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
 
   RegistrySnapshot Snapshot() const;
 
@@ -136,6 +143,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<StreamingStat>> stats_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 /// The process-wide registry used by the CAQP_OBS_* macros.

@@ -12,6 +12,7 @@
 
 #include "core/query.h"
 #include "obs/planner_stats.h"
+#include "obs/span.h"
 #include "opt/cost_model.h"
 #include "opt/sequential.h"
 #include "plan/plan.h"
@@ -41,6 +42,9 @@ class Planner {
   /// Builds a plan for `query`. The query must be valid for the estimator's
   /// schema; sequential planners additionally require a conjunctive query.
   Plan BuildPlan(const Query& query) const {
+    // Span site for request tracing (obs/span.h): no-op unless the calling
+    // thread is inside a serve request scope.
+    CAQP_OBS_SPAN(build_span, "planner.build");
     obs::PlannerStats stats;
     stats.Reset(Name());
     Plan plan = BuildPlanImpl(query, stats);

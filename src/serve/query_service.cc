@@ -1,6 +1,7 @@
 #include "serve/query_service.h"
 
 #include <chrono>
+#include <optional>
 #include <utility>
 
 #include "common/check.h"
@@ -17,6 +18,8 @@ double NowSeconds() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+size_t NonZero(size_t n) { return n == 0 ? 1 : n; }
 }  // namespace
 
 QueryService::QueryService(const Schema& schema,
@@ -26,8 +29,14 @@ QueryService::QueryService(const Schema& schema,
       cost_model_(cost_model),
       options_(options),
       cache_(ShardedPlanCache::Options{options.cache_capacity,
-                                       options.cache_shards}) {
-  if (options_.num_workers == 0) options_.num_workers = 1;
+                                       options.cache_shards}),
+      metrics_(NonZero(options.num_workers)),
+      tracer_(NonZero(options.num_workers),
+              obs::TraceRecorder::Options{
+                  /*max_events_per_worker=*/size_t{1} << 15,
+                  /*flight_capacity=*/options.flight_capacity,
+                  /*max_incidents=*/8192}) {
+  options_.num_workers = NonZero(options_.num_workers);
   builders_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
     builders_.push_back(factory());
@@ -38,6 +47,22 @@ QueryService::QueryService(const Schema& schema,
     // A factory whose bundles disagree on config would alias cache entries.
     CAQP_CHECK(b->ConfigFingerprint() == planner_fingerprint_);
   }
+  // Prefetch every hot-path metric ref out of the per-worker shards: the
+  // request path below does no by-name lookups and each worker's updates
+  // land on lines no other worker writes.
+  worker_metrics_.resize(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    obs::MetricsRegistry& shard = metrics_.shard(i);
+    WorkerMetrics& wm = worker_metrics_[i];
+    wm.requests = &shard.GetCounter("serve.requests");
+    wm.ok = &shard.GetCounter("serve.ok");
+    wm.cache_hits = &shard.GetCounter("serve.cache_hits");
+    wm.planned = &shard.GetCounter("serve.planned");
+    wm.fallbacks = &shard.GetCounter("serve.fallbacks");
+    wm.deadline_exceeded = &shard.GetCounter("serve.deadline_exceeded");
+    wm.planner_timeouts = &shard.GetCounter("serve.planner_timeouts");
+    wm.latency = &shard.GetHistogram("serve.request_latency_seconds");
+  }
   pool_ = std::make_unique<ThreadPool>(options_.num_workers);
 }
 
@@ -47,6 +72,7 @@ std::future<QueryService::Response> QueryService::Submit(
     Query query, Tuple tuple, double deadline_seconds) {
   auto state = std::make_shared<std::promise<Response>>();
   std::future<Response> result = state->get_future();
+  const uint64_t trace_id = tracer_.NewTraceId();
 
   if (options_.max_queue_depth > 0) {
     // Load shedding: admit-or-reject before touching the worker queue so a
@@ -54,9 +80,16 @@ std::future<QueryService::Response> QueryService::Submit(
     const size_t depth = pending_.fetch_add(1, std::memory_order_acq_rel);
     if (depth >= options_.max_queue_depth) {
       pending_.fetch_sub(1, std::memory_order_acq_rel);
+      shed_.fetch_add(1, std::memory_order_relaxed);
       CAQP_OBS_COUNTER_INC("serve.shed");
+      if (tracing_on()) {
+        // Shed requests never reach a worker, so there is no span ring to
+        // dump — record a bare incident for the postmortem trail.
+        tracer_.RecordIncident(trace_id, "load_shed");
+      }
       Response r;
       r.status = Status::Unavailable("queue depth limit reached");
+      r.trace_id = trace_id;
       state->set_value(std::move(r));
       return result;
     }
@@ -69,9 +102,21 @@ std::future<QueryService::Response> QueryService::Submit(
                               : deadline_seconds;
   // Absolute pickup deadline; 0 disables the check.
   const double deadline = relative > 0.0 ? NowSeconds() + relative : 0.0;
-  pool_->Submit([this, state, deadline, query = std::move(query),
+  const uint64_t submit_ns = obs::MonotonicNowNs();
+  pool_->Submit([this, state, deadline, trace_id, submit_ns,
+                 query = std::move(query),
                  tuple = std::move(tuple)](size_t worker_id) {
-    state->set_value(Handle(worker_id, query, tuple, deadline));
+    Response r = Handle(worker_id, query, tuple, deadline, trace_id, submit_ns);
+    if (tracing_on()) {
+      // The request span is closed by now, so the flight ring holds the
+      // request's full span history when we dump it.
+      if (r.status.code() == StatusCode::kDeadlineExceeded) {
+        tracer_.DumpFlight(worker_id, trace_id, "deadline_exceeded");
+      } else if (r.fallback) {
+        tracer_.DumpFlight(worker_id, trace_id, "planner_timeout_fallback");
+      }
+    }
+    state->set_value(std::move(r));
     pending_.fetch_sub(1, std::memory_order_acq_rel);
   });
   return result;
@@ -85,16 +130,31 @@ QueryService::Response QueryService::SubmitAndWait(Query query, Tuple tuple,
 QueryService::Response QueryService::Handle(size_t worker_id,
                                             const Query& query,
                                             const Tuple& tuple,
-                                            double deadline) {
+                                            double deadline, uint64_t trace_id,
+                                            uint64_t submit_ns) {
   const double start = NowSeconds();
-  CAQP_OBS_COUNTER_INC("serve.requests");
+  WorkerMetrics& wm = worker_metrics_[worker_id];
+  wm.requests->Increment();
+
+  // scope binds this thread to the recorder; root is the whole-request span
+  // (backdated to submission so the queue wait is inside it). Declaration
+  // order matters: root must close while the scope is still bound.
+  std::optional<obs::TraceRecorder::RequestScope> scope;
+  std::optional<obs::ScopedSpan> root;
+  if (tracing_on()) {
+    scope.emplace(&tracer_, worker_id, trace_id);
+    root.emplace("request", submit_ns);
+    // The queue span ended the moment this worker picked the request up.
+    obs::RecordSpan("queue", submit_ns, obs::MonotonicNowNs());
+  }
 
   Response r;
+  r.trace_id = trace_id;
   if (deadline > 0.0 && start > deadline) {
     // The request aged out in the queue; planning/executing now would only
     // burn worker time on an answer the client has abandoned.
     r.status = Status::DeadlineExceeded("deadline passed before worker pickup");
-    CAQP_OBS_COUNTER_INC("serve.deadline_exceeded");
+    wm.deadline_exceeded->Increment();
     return r;
   }
   r.query_sig = QuerySignature(query);
@@ -103,56 +163,62 @@ QueryService::Response QueryService::Handle(size_t worker_id,
   const PlanCacheKey key{r.query_sig, r.estimator_version,
                          planner_fingerprint_};
 
-  if (options_.cache_capacity == 0) {
-    // Plan-per-query baseline: no cache, no deduplication.
-    r.plan = std::make_shared<const CompiledPlan>(
-        CompiledPlan::Compile(builder.Build(query)));
-    r.planned = true;
-  } else {
-    r.plan = cache_.Get(key);
-    if (r.plan != nullptr) {
-      r.cache_hit = true;
+  {
+    CAQP_OBS_SPAN(plan_span, "plan");
+    if (options_.cache_capacity == 0) {
+      // Plan-per-query baseline: no cache, no deduplication.
+      r.plan = std::make_shared<const CompiledPlan>(
+          CompiledPlan::Compile(builder.Build(query)));
+      r.planned = true;
     } else {
-      const double follower_wait = options_.planner_timeout_seconds > 0.0
-                                       ? options_.planner_timeout_seconds
-                                       : -1.0;
-      SingleFlight::Result flight = flight_.Do(
-          key,
-          [&] {
-            // Compile once at insert time: every cached-path execution after
-            // this runs the flat IR with zero PlanNode clones or copies.
-            auto plan = std::make_shared<const CompiledPlan>(
-                CompiledPlan::Compile(builder.Build(query)));
-            cache_.Put(key, plan);
-            return plan;
-          },
-          follower_wait);
-      if (flight.timed_out) {
-        // The leader is still planning; answer from the cheap fallback plan
-        // rather than blocking past the timeout. The fallback is NOT cached:
-        // the leader's (better) plan lands in the cache when it finishes.
-        CAQP_OBS_COUNTER_INC("serve.planner_timeouts");
-        r.plan = std::make_shared<const CompiledPlan>(
-            CompiledPlan::Compile(builder.BuildFallback(query)));
-        r.fallback = true;
+      r.plan = cache_.Get(key);
+      if (r.plan != nullptr) {
+        r.cache_hit = true;
       } else {
-        r.plan = std::move(flight.plan);
-        r.planned = flight.leader;
+        const double follower_wait = options_.planner_timeout_seconds > 0.0
+                                         ? options_.planner_timeout_seconds
+                                         : -1.0;
+        SingleFlight::Result flight = flight_.Do(
+            key,
+            [&] {
+              // Compile once at insert time: every cached-path execution
+              // after this runs the flat IR with zero PlanNode clones or
+              // copies.
+              auto plan = std::make_shared<const CompiledPlan>(
+                  CompiledPlan::Compile(builder.Build(query)));
+              cache_.Put(key, plan);
+              return plan;
+            },
+            follower_wait);
+        if (flight.timed_out) {
+          // The leader is still planning; answer from the cheap fallback
+          // plan rather than blocking past the timeout. The fallback is NOT
+          // cached: the leader's (better) plan lands in the cache when it
+          // finishes.
+          wm.planner_timeouts->Increment();
+          CAQP_OBS_SPAN(fallback_span, "plan.build_fallback");
+          r.plan = std::make_shared<const CompiledPlan>(
+              CompiledPlan::Compile(builder.BuildFallback(query)));
+          r.fallback = true;
+        } else {
+          r.plan = std::move(flight.plan);
+          r.planned = flight.leader;
+        }
       }
     }
   }
+  if (r.cache_hit) wm.cache_hits->Increment();
+  if (r.planned) wm.planned->Increment();
+  if (r.fallback) wm.fallbacks->Increment();
 
   TupleSource source(tuple);
   r.exec = ExecutePlan(*r.plan, schema_, cost_model_, source);
 
   r.latency_seconds = NowSeconds() - start;
-  {
-    // StreamingStat is single-writer; latency_mu_ serializes both the local
-    // stat and the registry stat across workers.
-    std::lock_guard<std::mutex> lock(latency_mu_);
-    latency_.Record(r.latency_seconds);
-    CAQP_OBS_STAT_RECORD("serve.request_latency_seconds", r.latency_seconds);
-  }
+  if (r.ok()) wm.ok->Increment();
+  // Lock-free worker-local histogram: the one place PR 2 funnelled every
+  // completion through a global mutex (latency_mu_).
+  wm.latency->Record(r.latency_seconds);
   return r;
 }
 
@@ -166,9 +232,27 @@ std::function<void()> QueryService::InvalidationHook() {
   return [this] { InvalidateCache(); };
 }
 
-obs::StreamingStat QueryService::LatencyStats() const {
-  std::lock_guard<std::mutex> lock(latency_mu_);
-  return latency_;
+ServeReport QueryService::Report() const {
+  const obs::RegistrySnapshot snap = metrics_.Snapshot();
+  auto counter = [&snap](const char* name) -> uint64_t {
+    for (const auto& c : snap.counters) {
+      if (c.name == name) return c.value;
+    }
+    return 0;
+  };
+  ServeReport rep;
+  rep.requests = counter("serve.requests");
+  rep.ok = counter("serve.ok");
+  rep.cache_hits = counter("serve.cache_hits");
+  rep.planned = counter("serve.planned");
+  rep.fallbacks = counter("serve.fallbacks");
+  rep.deadline_exceeded = counter("serve.deadline_exceeded");
+  rep.planner_timeouts = counter("serve.planner_timeouts");
+  rep.shed = shed_.load(std::memory_order_relaxed);
+  for (const auto& h : snap.histograms) {
+    if (h.name == "serve.request_latency_seconds") rep.latency = h.hist;
+  }
+  return rep;
 }
 
 }  // namespace serve

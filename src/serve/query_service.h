@@ -23,6 +23,17 @@
 // replanner via AdaptivePlanner::Options::on_plan_adopted =
 // service.InvalidationHook() so a detected distribution shift immediately
 // stops serving stale plans.
+//
+// Observability (caqp::obs v2): per-request metrics — counts and the
+// request-latency histogram behind Report() — are written to per-worker
+// shards of an obs::ShardedRegistry, so the cached-request hot path never
+// touches a cross-worker cache line (the PR 2 design funnelled every
+// completion through one mutex-guarded StreamingStat). With
+// Options::enable_tracing, each request also gets a SpanContext threaded
+// through queueing, single-flight planning, execution, and dissemination
+// (obs/span.h), and degraded requests (kDeadlineExceeded / kUnavailable /
+// planner-timeout fallback) dump the worker's flight-recorder ring for
+// postmortems. Export both with obs::TraceEventsToJson(trace_recorder()).
 
 #ifndef CAQP_SERVE_QUERY_SERVICE_H_
 #define CAQP_SERVE_QUERY_SERVICE_H_
@@ -37,7 +48,10 @@
 #include "core/query.h"
 #include "core/schema.h"
 #include "exec/executor.h"
+#include "obs/histogram.h"
 #include "obs/registry.h"
+#include "obs/sharded_registry.h"
+#include "obs/span.h"
 #include "opt/cost_model.h"
 #include "opt/planner.h"
 #include "serve/plan_cache.h"
@@ -85,6 +99,23 @@ class SharedPlannerBuilder : public PlanBuilder {
   uint64_t fingerprint_;
 };
 
+/// Aggregated view of the service's request stream, assembled from the
+/// per-worker metric shards (plus the submit-side shed count). Latency
+/// percentiles come from the merged obs::Histogram, so they reflect every
+/// completed request, not a sample.
+struct ServeReport {
+  uint64_t requests = 0;  ///< requests handled by a worker (excludes shed)
+  uint64_t ok = 0;
+  uint64_t cache_hits = 0;
+  uint64_t planned = 0;
+  uint64_t fallbacks = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t planner_timeouts = 0;
+  uint64_t shed = 0;  ///< rejected kUnavailable at Submit
+  /// Seconds from worker pickup to completion, every completed request.
+  obs::HistogramSnapshot latency;
+};
+
 class QueryService {
  public:
   struct Options {
@@ -107,6 +138,12 @@ class QueryService {
     /// pending are answered kUnavailable immediately, without touching the
     /// worker queue. 0 disables shedding.
     size_t max_queue_depth = 0;
+    /// Record per-request spans (queue / plan / exec / ...) into
+    /// trace_recorder() and flight-recorder dumps for degraded requests.
+    /// Off by default: tracing buffers whole-run span events.
+    bool enable_tracing = false;
+    /// Flight-recorder ring entries per worker (see obs/span.h).
+    size_t flight_capacity = 128;
   };
 
   struct Response {
@@ -116,6 +153,8 @@ class QueryService {
     Status status;
     uint64_t query_sig = 0;
     uint64_t estimator_version = 0;
+    /// Request identity in trace_recorder() span events and flight dumps.
+    uint64_t trace_id = 0;
     bool cache_hit = false;
     /// True iff this request ran BuildPlan (cache miss + single-flight
     /// leader, or caching disabled).
@@ -173,12 +212,35 @@ class QueryService {
   const ShardedPlanCache& cache() const { return cache_; }
   size_t num_workers() const { return pool_->num_threads(); }
 
-  /// Copy of the request-latency distribution (seconds) so far.
-  obs::StreamingStat LatencyStats() const;
+  /// Merged request-stream counts + latency histogram. Snapshot cost is
+  /// O(workers x metrics); safe to call concurrently with traffic.
+  ServeReport Report() const;
+
+  /// The per-worker metric shards behind Report(), for full JSON export.
+  const obs::ShardedRegistry& metrics() const { return metrics_; }
+
+  /// Span buffers + flight recorder. Populated only when
+  /// Options::enable_tracing; export with obs::TraceEventsToJson.
+  const obs::TraceRecorder& trace_recorder() const { return tracer_; }
 
  private:
+  /// Metric refs prefetched from one worker's shard at construction: the
+  /// hot path does zero by-name lookups and writes only worker-local lines.
+  struct WorkerMetrics {
+    obs::Counter* requests = nullptr;
+    obs::Counter* ok = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* planned = nullptr;
+    obs::Counter* fallbacks = nullptr;
+    obs::Counter* deadline_exceeded = nullptr;
+    obs::Counter* planner_timeouts = nullptr;
+    obs::Histogram* latency = nullptr;
+  };
+
   Response Handle(size_t worker_id, const Query& query, const Tuple& tuple,
-                  double deadline);
+                  double deadline, uint64_t trace_id, uint64_t submit_ns);
+
+  bool tracing_on() const { return options_.enable_tracing; }
 
   const Schema& schema_;
   const AcquisitionCostModel& cost_model_;
@@ -190,10 +252,12 @@ class QueryService {
   std::atomic<uint64_t> estimator_version_{0};
   /// Requests admitted but not yet completed; drives load shedding.
   std::atomic<size_t> pending_{0};
+  /// Shed happens on submitter threads, which own no shard; count it here.
+  std::atomic<uint64_t> shed_{0};
 
-  /// StreamingStat is single-writer; serialize Record across workers.
-  mutable std::mutex latency_mu_;
-  obs::StreamingStat latency_;  // guarded by latency_mu_
+  obs::ShardedRegistry metrics_;  // one shard per worker
+  std::vector<WorkerMetrics> worker_metrics_;
+  obs::TraceRecorder tracer_;
 
   /// Last member: its destructor drains the queue while everything the
   /// workers touch is still alive.

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "obs/registry.h"
+#include "obs/span.h"
 
 namespace caqp {
 namespace serve {
@@ -22,6 +23,7 @@ SingleFlight::Result SingleFlight::Do(const PlanCacheKey& key,
           it->second->future;
       lock.unlock();
       CAQP_OBS_COUNTER_INC("serve.single_flight.followers");
+      CAQP_OBS_SPAN(wait_span, "plan.wait_leader");
       if (follower_wait_seconds >= 0.0) {
         const auto wait = std::chrono::duration<double>(follower_wait_seconds);
         if (future.wait_for(wait) != std::future_status::ready) {
@@ -40,7 +42,11 @@ SingleFlight::Result SingleFlight::Do(const PlanCacheKey& key,
   // this key that arrive after the erase re-plan — by then the plan is in
   // the cache, so they hit there instead.
   CAQP_OBS_COUNTER_INC("serve.single_flight.leaders");
-  std::shared_ptr<const CompiledPlan> plan = build();
+  std::shared_ptr<const CompiledPlan> plan;
+  {
+    CAQP_OBS_SPAN(build_span, "plan.build_leader");
+    plan = build();
+  }
   CAQP_CHECK(plan != nullptr);
   flight->promise.set_value(plan);
   {

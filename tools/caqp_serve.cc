@@ -30,7 +30,14 @@
 //                      sequential fallback plan (default 0 = wait forever)
 // --max-queue-depth N  shed load: admissions beyond N queued requests answer
 //                      kUnavailable immediately (default 0 = unbounded)
-// --metrics-out PATH   write the obs metrics registry as JSON
+// --metrics-out PATH   write metrics as JSON: {"registry": <process-global
+//                      obs registry>, "serve": <the service's per-worker
+//                      metric shards, merged>}
+// --trace-out PATH     enable request tracing and write Chrome/Perfetto
+//                      trace-event JSON (open at https://ui.perfetto.dev):
+//                      per-request spans (queue -> plan -> exec) plus
+//                      flight-recorder dumps for every degraded request
+//                      (deadline exceeded / shed / planner-timeout fallback)
 // --seed S             workload RNG seed (default 20050405)
 
 #include <algorithm>
@@ -79,6 +86,7 @@ struct Config {
   double planner_timeout_ms = 0.0;
   size_t max_queue_depth = 0;
   std::string metrics_out;
+  std::string trace_out;
   uint64_t seed = 20050405;
 };
 
@@ -208,6 +216,8 @@ int main(int argc, char** argv) {
       cfg.max_queue_depth = next_num();
     } else if (arg == "--metrics-out") {
       cfg.metrics_out = next();
+    } else if (arg == "--trace-out") {
+      cfg.trace_out = next();
     } else if (arg == "--seed") {
       cfg.seed = next_num();
     } else if (arg == "--help" || arg == "-h") {
@@ -249,6 +259,7 @@ int main(int argc, char** argv) {
   sopts.default_deadline_seconds = cfg.deadline_ms / 1000.0;
   sopts.planner_timeout_seconds = cfg.planner_timeout_ms / 1000.0;
   sopts.max_queue_depth = cfg.max_queue_depth;
+  sopts.enable_tracing = !cfg.trace_out.empty();
   serve::QueryService service(
       schema, cost_model,
       [&] {
@@ -303,7 +314,7 @@ int main(int argc, char** argv) {
     total_fallbacks += fallbacks[c];
   }
   const serve::ShardedPlanCache::Stats cs = service.cache().stats();
-  const obs::StreamingStat lat = service.LatencyStats();
+  const serve::ServeReport report = service.Report();
   const double rps = static_cast<double>(cfg.requests) / elapsed;
   CAQP_OBS_GAUGE_SET("serve.replay.throughput_rps", rps);
   CAQP_OBS_GAUGE_SET("serve.replay.elapsed_seconds", elapsed);
@@ -326,20 +337,48 @@ int main(int argc, char** argv) {
           static_cast<double>(std::max<uint64_t>(1, cs.hits + cs.misses)),
       static_cast<unsigned long long>(cs.inserts),
       static_cast<unsigned long long>(cs.evictions));
+  // Percentiles come from the merged per-worker obs::Histogram shards —
+  // every completed request, not a reservoir sample.
   std::printf(
-      "latency: mean %.1fus  p50 %.1fus  p95 %.1fus  max %.1fus\n",
-      lat.mean() * 1e6, lat.p50() * 1e6, lat.p95() * 1e6, lat.max() * 1e6);
+      "latency: mean %.1fus  p50 %.1fus  p90 %.1fus  p99 %.1fus  "
+      "p99.9 %.1fus  max %.1fus\n",
+      report.latency.mean() * 1e6, report.latency.p50() * 1e6,
+      report.latency.p90() * 1e6, report.latency.p99() * 1e6,
+      report.latency.p999() * 1e6, report.latency.max * 1e6);
+  if (report.deadline_exceeded + report.shed + report.fallbacks > 0) {
+    std::printf(
+        "degraded: %llu deadline-exceeded, %llu shed, %llu fallbacks "
+        "(%zu flight-recorder dumps)\n",
+        static_cast<unsigned long long>(report.deadline_exceeded),
+        static_cast<unsigned long long>(report.shed),
+        static_cast<unsigned long long>(report.fallbacks),
+        service.trace_recorder().incident_count());
+  }
   if (total_errors != 0) {
     std::fprintf(stderr, "caqp_serve: verdict mismatches detected\n");
     return 1;
   }
 
+  if (!cfg.trace_out.empty()) {
+    const std::string trace_json =
+        obs::TraceEventsToJson(service.trace_recorder());
+    if (obs::WriteFileOrComplain(cfg.trace_out, trace_json)) {
+      std::printf("[wrote %s — open at https://ui.perfetto.dev]\n",
+                  cfg.trace_out.c_str());
+    }
+  }
   if (!cfg.metrics_out.empty()) {
-    const obs::MetricsRegistry& reg = obs::DefaultRegistry();
-    if (obs::WriteFileOrComplain(cfg.metrics_out, obs::RegistryToJson(reg))) {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("registry");
+    obs::WriteRegistrySnapshot(w, obs::DefaultRegistry().Snapshot());
+    w.Key("serve");
+    obs::WriteRegistrySnapshot(w, service.metrics().Snapshot());
+    w.EndObject();
+    if (obs::WriteFileOrComplain(cfg.metrics_out, w.TakeString())) {
       std::printf("[wrote %s]\n", cfg.metrics_out.c_str());
     }
-    std::printf("\n%s", obs::RegistryToMarkdown(reg).c_str());
+    std::printf("\n%s", obs::RegistryToMarkdown(obs::DefaultRegistry()).c_str());
   }
   return 0;
 }
