@@ -1,12 +1,14 @@
 // Measures the cost of the obs instrumentation on the executor hot paths —
 // both the tree-walking ExecutePlan and the flat CompiledPlan executor.
-// Four configurations per path over the same plan and tuples:
+// Five configurations per path over the same plan and tuples:
 //
 //   baseline   a local copy of the executor loop with no instrumentation
 //              at all (no trace pointer, no counter macros, no span site)
 //   obs-off    ExecutePlan with runtime instrumentation disabled
 //              (obs::SetEnabled(false)) and a null trace sink
 //   obs-on     ExecutePlan with counters enabled
+//   profiled   ExecutePlan with counters enabled and a per-node
+//              ExecutionProfile attached (the serve calibration path)
 //   traced     ExecutePlan with counters enabled and an ExecutionTrace sink
 //
 // The acceptance bar for the instrumentation is obs-off within 5% of
@@ -21,6 +23,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "exec/exec_profile.h"
 #include "exec/executor.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
@@ -117,7 +120,8 @@ __attribute__((noinline, aligned(64))) ExecutionResult ExecutePlanBare(
             t = Truth::kUnknown;
             continue;
           }
-          if (!p.Matches(v)) {
+          const bool match = p.Matches(v);
+          if (!match) {
             t = Truth::kFalse;
             break;
           }
@@ -241,7 +245,8 @@ __attribute__((noinline, aligned(64))) ExecutionResult ExecuteCompiledBare(
             t = Truth::kUnknown;
             continue;
           }
-          if (!p.Matches(v)) {
+          const bool match = p.Matches(v);
+          if (!match) {
             t = Truth::kFalse;
             break;
           }
@@ -279,16 +284,9 @@ __attribute__((noinline, aligned(64))) ExecutionResult ExecuteCompiledBare(
   return out;
 }
 
-using Runner = double (*)(const Plan&, const Schema&,
-                          const AcquisitionCostModel&,
-                          const std::vector<Tuple>&, TraceSink*);
-using FlatRunner = double (*)(const CompiledPlan&, const Schema&,
-                              const AcquisitionCostModel&,
-                              const std::vector<Tuple>&, TraceSink*);
-
 double RunBare(const Plan& plan, const Schema& schema,
                const AcquisitionCostModel& cm, const std::vector<Tuple>& rows,
-               TraceSink* /*trace*/) {
+               TraceSink* /*trace*/, ExecutionProfile* /*profile*/) {
   double sink = 0;
   const DegradationPolicy policy;
   for (const Tuple& t : rows) {
@@ -300,18 +298,20 @@ double RunBare(const Plan& plan, const Schema& schema,
 
 double RunInstrumented(const Plan& plan, const Schema& schema,
                        const AcquisitionCostModel& cm,
-                       const std::vector<Tuple>& rows, TraceSink* trace) {
+                       const std::vector<Tuple>& rows, TraceSink* trace,
+                       ExecutionProfile* profile) {
   double sink = 0;
   for (const Tuple& t : rows) {
     TupleSource src(t);
-    sink += ExecutePlan(plan, schema, cm, src, trace).cost;
+    sink += ExecutePlan(plan, schema, cm, src, trace, {}, profile).cost;
   }
   return sink;
 }
 
 double RunFlatBare(const CompiledPlan& plan, const Schema& schema,
                    const AcquisitionCostModel& cm,
-                   const std::vector<Tuple>& rows, TraceSink* /*trace*/) {
+                   const std::vector<Tuple>& rows, TraceSink* /*trace*/,
+                   ExecutionProfile* /*profile*/) {
   double sink = 0;
   const DegradationPolicy policy;
   for (const Tuple& t : rows) {
@@ -323,11 +323,12 @@ double RunFlatBare(const CompiledPlan& plan, const Schema& schema,
 
 double RunFlatInstrumented(const CompiledPlan& plan, const Schema& schema,
                            const AcquisitionCostModel& cm,
-                           const std::vector<Tuple>& rows, TraceSink* trace) {
+                           const std::vector<Tuple>& rows, TraceSink* trace,
+                           ExecutionProfile* profile) {
   double sink = 0;
   for (const Tuple& t : rows) {
     TupleSource src(t);
-    sink += ExecutePlan(plan, schema, cm, src, trace).cost;
+    sink += ExecutePlan(plan, schema, cm, src, trace, {}, profile).cost;
   }
   return sink;
 }
@@ -336,9 +337,9 @@ double RunFlatInstrumented(const CompiledPlan& plan, const Schema& schema,
 template <typename RunnerT, typename PlanT>
 double TimeOnce(RunnerT run, const PlanT& plan, const Schema& schema,
                 const AcquisitionCostModel& cm, const std::vector<Tuple>& rows,
-                TraceSink* trace) {
+                TraceSink* trace, ExecutionProfile* profile = nullptr) {
   const auto t0 = std::chrono::steady_clock::now();
-  volatile double keep = run(plan, schema, cm, rows, trace);
+  volatile double keep = run(plan, schema, cm, rows, trace, profile);
   (void)keep;
   const auto t1 = std::chrono::steady_clock::now();
   const double ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
@@ -349,6 +350,7 @@ struct PathReport {
   double bare = 1e300;
   double off = 1e300;
   double on = 1e300;
+  double profiled = 1e300;
   double traced = 1e300;
 
   double OffOverheadPct() const { return 100.0 * (off - bare) / bare; }
@@ -362,6 +364,8 @@ struct PathReport {
                 pct(off));
     std::printf("%-28s %10.1f ns/tuple  (%+.1f%%)\n", "obs enabled", on,
                 pct(on));
+    std::printf("%-28s %10.1f ns/tuple  (%+.1f%%)\n", "obs + node profile",
+                profiled, pct(profiled));
     std::printf("%-28s %10.1f ns/tuple  (%+.1f%%)\n", "obs + ExecutionTrace",
                 traced, pct(traced));
   }
@@ -393,10 +397,13 @@ int main() {
   // Interleave the configurations across repetitions so slow drift
   // (frequency scaling, noisy neighbours) hits them all equally; keep the
   // minimum per configuration as the least-noise estimate.
-  RunInstrumented(plan, data.schema(), cm, rows, nullptr);      // warm-up
-  RunFlatInstrumented(flat, data.schema(), cm, rows, nullptr);  // warm-up
+  RunInstrumented(plan, data.schema(), cm, rows, nullptr, nullptr);  // warm-up
+  RunFlatInstrumented(flat, data.schema(), cm, rows, nullptr,
+                      nullptr);  // warm-up
   PathReport tree, flat_path;
   ExecutionTrace trace;
+  // Shared by both paths: PlanNode ids are preorder, matching flat indices.
+  ExecutionProfile profile(flat.NumNodes());
   const Schema& schema = data.schema();
   // The estimator is a min, so extra reps can only tighten it: when a path
   // sits at the bar after the base reps, keep sampling before declaring
@@ -431,6 +438,13 @@ int main() {
     flat_path.on = std::min(
         flat_path.on, TimeOnce(&RunFlatInstrumented, flat, schema, cm, rows,
                                static_cast<TraceSink*>(nullptr)));
+    tree.profiled = std::min(
+        tree.profiled, TimeOnce(&RunInstrumented, plan, schema, cm, rows,
+                                static_cast<TraceSink*>(nullptr), &profile));
+    flat_path.profiled = std::min(
+        flat_path.profiled,
+        TimeOnce(&RunFlatInstrumented, flat, schema, cm, rows,
+                 static_cast<TraceSink*>(nullptr), &profile));
     tree.traced = std::min(
         tree.traced, TimeOnce(&RunInstrumented, plan, schema, cm, rows,
                               static_cast<TraceSink*>(&trace)));

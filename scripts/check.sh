@@ -6,7 +6,8 @@
 # ThreadSanitizer build (-DCAQP_SANITIZE=thread) running the
 # concurrency-sensitive suites (caqp::serve incl. deadline/shedding paths,
 # the adaptive replanner, the obs v2 span/histogram/shard/flight-recorder
-# suites) plus the fault suites again.
+# suites, the calibration aggregator and drift-policy suites) plus the
+# fault suites again.
 # Usage: scripts/check.sh [--skip-sanitizers]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -33,6 +34,6 @@ echo "== TSan build + concurrency and fault suites =="
 cmake -B build-tsan -S . -DCAQP_SANITIZE=thread
 cmake --build build-tsan -j
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-  -R '^Serve|^Adaptive|^Fault|^SerdeFuzz|^CompiledPlan|^Span|^Histogram|^ShardedRegistry|^FlightRecorder'
+  -R '^Serve|^Adaptive|^Fault|^SerdeFuzz|^CompiledPlan|^Span|^Histogram|^ShardedRegistry|^FlightRecorder|^Calibration|^Drift'
 
 echo "== all checks passed =="

@@ -1,0 +1,46 @@
+#include "exec/exec_profile.h"
+
+#include <algorithm>
+
+namespace caqp {
+
+void ExecutionProfileSnapshot::MergeFrom(
+    const ExecutionProfileSnapshot& other) {
+  if (other.nodes.size() > nodes.size()) nodes.resize(other.nodes.size());
+  for (size_t i = 0; i < other.nodes.size(); ++i) {
+    nodes[i].evals += other.nodes[i].evals;
+    nodes[i].passes += other.nodes[i].passes;
+    nodes[i].unknowns += other.nodes[i].unknowns;
+  }
+  for (size_t a = 0; a < attr_evals.size(); ++a) {
+    attr_evals[a] += other.attr_evals[a];
+    attr_passes[a] += other.attr_passes[a];
+  }
+  executions += other.executions;
+  unknown_executions += other.unknown_executions;
+  acquisitions += other.acquisitions;
+  realized_cost += other.realized_cost;
+}
+
+ExecutionProfileSnapshot ExecutionProfile::Snapshot() const {
+  ExecutionProfileSnapshot out;
+  out.nodes.resize(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    out.nodes[i].evals = nodes_[i].evals.load(std::memory_order_relaxed);
+    out.nodes[i].passes = nodes_[i].passes.load(std::memory_order_relaxed);
+    out.nodes[i].unknowns =
+        nodes_[i].unknowns.load(std::memory_order_relaxed);
+  }
+  for (size_t a = 0; a < attr_evals_.size(); ++a) {
+    out.attr_evals[a] = attr_evals_[a].load(std::memory_order_relaxed);
+    out.attr_passes[a] = attr_passes_[a].load(std::memory_order_relaxed);
+  }
+  out.executions = executions_.load(std::memory_order_relaxed);
+  out.unknown_executions =
+      unknown_executions_.load(std::memory_order_relaxed);
+  out.acquisitions = acquisitions_.load(std::memory_order_relaxed);
+  out.realized_cost = realized_cost_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace caqp

@@ -12,15 +12,17 @@ namespace internal {
 // Templating on kTraced lets the no-trace instantiation drop every event
 // hook at compile time: ExecutePlan with a null sink runs the exact same
 // code as an uninstrumented executor (bench/bench_obs_overhead.cc measures
-// the residual dispatch cost). aligned(64): these are the library's hottest
-// loops, and cache-line-aligned entry keeps their per-tuple cost stable
-// across otherwise-unrelated link-order changes — the overhead bench
+// the residual dispatch cost). kProfiled does the same for the calibration
+// counter hooks (exec/exec_profile.h). aligned(64): these are the library's
+// hottest loops, and cache-line-aligned entry keeps their per-tuple cost
+// stable across otherwise-unrelated link-order changes — the overhead bench
 // compares them against equally aligned mirrors at ns/tuple resolution.
-template <bool kTraced>
+template <bool kTraced, bool kProfiled>
 __attribute__((aligned(64))) ExecutionResult ExecutePlanImpl(
     const Plan& plan, const Schema& schema,
     const AcquisitionCostModel& cost_model, AcquisitionSource& source,
-    TraceSink* trace, const DegradationPolicy& policy) {
+    TraceSink* trace, const DegradationPolicy& policy,
+    ExecutionProfile* profile) {
   ExecutionResult out;
   // Cache of acquired values; valid where out.acquired has the bit set.
   std::vector<Value> values(schema.num_attributes(), 0);
@@ -76,19 +78,26 @@ __attribute__((aligned(64))) ExecutionResult ExecutePlanImpl(
   Value v = 0;
   bool routed = true;
   while (n->kind == PlanNode::Kind::kSplit) {
+    if constexpr (kProfiled) profile->NodeEval(n->id);
     if (!acquire(n->attr, &v)) {
       // A split cannot route without its attribute: no residual conjuncts
       // are visible here, so the verdict degrades straight to Unknown.
+      if constexpr (kProfiled) profile->NodeUnknown(n->id);
       (void)degrade();
       routed = false;
       break;
     }
     const bool ge = v >= n->split_value;
     if constexpr (kTraced) trace->OnBranch(n->attr, n->split_value, ge);
+    if constexpr (kProfiled) {
+      profile->PredEval(n->attr, ge);
+      if (ge) profile->NodePass(n->id);
+    }
     n = ge ? n->ge.get() : n->lt.get();
   }
 
   if (routed) {
+    if constexpr (kProfiled) profile->NodeEval(n->id);
     switch (n->kind) {
       case PlanNode::Kind::kVerdict:
         out.verdict3 = n->verdict ? Truth::kTrue : Truth::kFalse;
@@ -104,7 +113,9 @@ __attribute__((aligned(64))) ExecutionResult ExecutePlanImpl(
             t = Truth::kUnknown;
             continue;
           }
-          if (!p.Matches(v)) {
+          const bool match = p.Matches(v);
+          if constexpr (kProfiled) profile->PredEval(p.attr, match);
+          if (!match) {
             t = Truth::kFalse;
             break;
           }
@@ -138,9 +149,20 @@ __attribute__((aligned(64))) ExecutionResult ExecutePlanImpl(
       case PlanNode::Kind::kSplit:
         CAQP_CHECK(false);
     }
+    if constexpr (kProfiled) {
+      if (out.verdict3 == Truth::kTrue) {
+        profile->NodePass(n->id);
+      } else if (out.verdict3 == Truth::kUnknown) {
+        profile->NodeUnknown(n->id);
+      }
+    }
   }
   out.verdict = out.verdict3 == Truth::kTrue;
   if constexpr (kTraced) trace->OnVerdict(out.verdict, out.cost);
+  if constexpr (kProfiled) {
+    profile->EndExecution(out.cost, out.acquisitions,
+                          out.verdict3 == Truth::kUnknown);
+  }
   return out;
 }
 
@@ -148,11 +170,12 @@ __attribute__((aligned(64))) ExecutionResult ExecutePlanImpl(
 // the two must stay semantically identical bit for bit (the tree↔flat
 // equivalence property test in tests/compiled_plan_test.cc enforces it
 // across planners, workloads, and fault profiles).
-template <bool kTraced>
+template <bool kTraced, bool kProfiled>
 __attribute__((aligned(64))) ExecutionResult ExecuteCompiledImpl(
     const CompiledPlan& plan, const Schema& schema,
     const AcquisitionCostModel& cost_model, AcquisitionSource& source,
-    TraceSink* trace, const DegradationPolicy& policy) {
+    TraceSink* trace, const DegradationPolicy& policy,
+    ExecutionProfile* profile) {
   ExecutionResult out;
   // AttrSet bounds schemas to 64 attributes library-wide, so a fixed scratch
   // buffer replaces the tree path's per-call vector; valid where
@@ -214,10 +237,12 @@ __attribute__((aligned(64))) ExecutionResult ExecuteCompiledImpl(
   Value v = 0;
   bool routed = true;
   while (n->kind == CompiledPlan::Kind::kSplit) {
+    if constexpr (kProfiled) profile->NodeEval(idx);
     if (n->first_acquisition()) {
       if (!attempt(n->attr, &v)) {
         // A split cannot route without its attribute: no residual conjuncts
         // are visible here, so the verdict degrades straight to Unknown.
+        if constexpr (kProfiled) profile->NodeUnknown(idx);
         (void)degrade();
         routed = false;
         break;
@@ -230,11 +255,16 @@ __attribute__((aligned(64))) ExecutionResult ExecuteCompiledImpl(
     }
     const bool ge = v >= n->split_value;
     if constexpr (kTraced) trace->OnBranch(n->attr, n->split_value, ge);
+    if constexpr (kProfiled) {
+      profile->PredEval(n->attr, ge);
+      if (ge) profile->NodePass(idx);
+    }
     idx = ge ? n->a : idx + 1;
     n = &plan.node(idx);
   }
 
   if (routed) {
+    if constexpr (kProfiled) profile->NodeEval(idx);
     switch (n->kind) {
       case CompiledPlan::Kind::kVerdict:
         out.verdict3 = n->verdict() ? Truth::kTrue : Truth::kFalse;
@@ -247,7 +277,9 @@ __attribute__((aligned(64))) ExecutionResult ExecuteCompiledImpl(
             t = Truth::kUnknown;
             continue;
           }
-          if (!p.Matches(v)) {
+          const bool match = p.Matches(v);
+          if constexpr (kProfiled) profile->PredEval(p.attr, match);
+          if (!match) {
             t = Truth::kFalse;
             break;
           }
@@ -281,9 +313,20 @@ __attribute__((aligned(64))) ExecutionResult ExecuteCompiledImpl(
       case CompiledPlan::Kind::kSplit:
         CAQP_CHECK(false);
     }
+    if constexpr (kProfiled) {
+      if (out.verdict3 == Truth::kTrue) {
+        profile->NodePass(idx);
+      } else if (out.verdict3 == Truth::kUnknown) {
+        profile->NodeUnknown(idx);
+      }
+    }
   }
   out.verdict = out.verdict3 == Truth::kTrue;
   if constexpr (kTraced) trace->OnVerdict(out.verdict, out.cost);
+  if constexpr (kProfiled) {
+    profile->EndExecution(out.cost, out.acquisitions,
+                          out.verdict3 == Truth::kUnknown);
+  }
   return out;
 }
 
@@ -291,15 +334,18 @@ __attribute__((aligned(64))) ExecutionResult ExecuteCompiledImpl(
 // directly when there is no trace sink and instrumentation is
 // runtime-disabled, so the disabled path is the uninstrumented executor
 // plus one inline load and a branch in the caller (bench_obs_overhead
-// holds it under 5% per tuple).
-template ExecutionResult ExecutePlanImpl<false>(
+// holds it under 5% per tuple). The traced/profiled instantiations are
+// implicit: only the Obs dispatchers below reach them.
+template ExecutionResult ExecutePlanImpl<false, false>(
     const Plan& plan, const Schema& schema,
     const AcquisitionCostModel& cost_model, AcquisitionSource& source,
-    TraceSink* trace, const DegradationPolicy& policy);
-template ExecutionResult ExecuteCompiledImpl<false>(
+    TraceSink* trace, const DegradationPolicy& policy,
+    ExecutionProfile* profile);
+template ExecutionResult ExecuteCompiledImpl<false, false>(
     const CompiledPlan& plan, const Schema& schema,
     const AcquisitionCostModel& cost_model, AcquisitionSource& source,
-    TraceSink* trace, const DegradationPolicy& policy);
+    TraceSink* trace, const DegradationPolicy& policy,
+    ExecutionProfile* profile);
 
 }  // namespace internal
 
@@ -334,24 +380,35 @@ namespace internal {
 ExecutionResult ExecutePlanObs(const Plan& plan, const Schema& schema,
                                const AcquisitionCostModel& cost_model,
                                AcquisitionSource& source, TraceSink* trace,
-                               const DegradationPolicy& policy) {
+                               const DegradationPolicy& policy,
+                               ExecutionProfile* profile) {
   // Reached when instrumentation is enabled or a trace sink is present. The
-  // whole obs block — the request-tracing span and the counter emission —
-  // still sits behind one relaxed load, so a traced-but-disabled run pays
-  // no obs cost. Spans additionally require the thread to be bound to a
-  // serve request scope (obs/span.h).
+  // whole obs block — the request-tracing span, the counter emission, and
+  // calibration profiling — still sits behind one relaxed load, so a
+  // traced-but-disabled run pays no obs cost. Spans additionally require
+  // the thread to be bound to a serve request scope (obs/span.h).
   if (!obs::Enabled()) {
-    return trace ? ExecutePlanImpl<true>(plan, schema, cost_model, source,
-                                         trace, policy)
-                 : ExecutePlanImpl<false>(plan, schema, cost_model, source,
-                                          nullptr, policy);
+    return trace ? ExecutePlanImpl<true, false>(plan, schema, cost_model,
+                                                source, trace, policy, nullptr)
+                 : ExecutePlanImpl<false, false>(plan, schema, cost_model,
+                                                 source, nullptr, policy,
+                                                 nullptr);
   }
   CAQP_OBS_SPAN(exec_span, "exec");
-  ExecutionResult out =
-      trace ? ExecutePlanImpl<true>(plan, schema, cost_model, source, trace,
-                                    policy)
-            : ExecutePlanImpl<false>(plan, schema, cost_model, source, nullptr,
-                                     policy);
+  ExecutionResult out;
+  if (profile != nullptr) {
+    out = trace ? ExecutePlanImpl<true, true>(plan, schema, cost_model,
+                                              source, trace, policy, profile)
+                : ExecutePlanImpl<false, true>(plan, schema, cost_model,
+                                               source, nullptr, policy,
+                                               profile);
+  } else {
+    out = trace ? ExecutePlanImpl<true, false>(plan, schema, cost_model,
+                                               source, trace, policy, nullptr)
+                : ExecutePlanImpl<false, false>(plan, schema, cost_model,
+                                                source, nullptr, policy,
+                                                nullptr);
+  }
   EmitExecObs(out);
   return out;
 }
@@ -360,21 +417,35 @@ ExecutionResult ExecuteCompiledObs(const CompiledPlan& plan,
                                    const Schema& schema,
                                    const AcquisitionCostModel& cost_model,
                                    AcquisitionSource& source, TraceSink* trace,
-                                   const DegradationPolicy& policy) {
+                                   const DegradationPolicy& policy,
+                                   ExecutionProfile* profile) {
   // Same structure as the tree overload above; the flat path is ~2x faster
   // per tuple, so its disabled-obs budget is even tighter.
   if (!obs::Enabled()) {
-    return trace ? ExecuteCompiledImpl<true>(plan, schema, cost_model, source,
-                                             trace, policy)
-                 : ExecuteCompiledImpl<false>(plan, schema, cost_model,
-                                              source, nullptr, policy);
+    return trace ? ExecuteCompiledImpl<true, false>(plan, schema, cost_model,
+                                                    source, trace, policy,
+                                                    nullptr)
+                 : ExecuteCompiledImpl<false, false>(plan, schema, cost_model,
+                                                     source, nullptr, policy,
+                                                     nullptr);
   }
   CAQP_OBS_SPAN(exec_span, "exec");
-  ExecutionResult out =
-      trace ? ExecuteCompiledImpl<true>(plan, schema, cost_model, source,
-                                        trace, policy)
-            : ExecuteCompiledImpl<false>(plan, schema, cost_model, source,
-                                         nullptr, policy);
+  ExecutionResult out;
+  if (profile != nullptr) {
+    out = trace ? ExecuteCompiledImpl<true, true>(plan, schema, cost_model,
+                                                  source, trace, policy,
+                                                  profile)
+                : ExecuteCompiledImpl<false, true>(plan, schema, cost_model,
+                                                   source, nullptr, policy,
+                                                   profile);
+  } else {
+    out = trace ? ExecuteCompiledImpl<true, false>(plan, schema, cost_model,
+                                                   source, trace, policy,
+                                                   nullptr)
+                : ExecuteCompiledImpl<false, false>(plan, schema, cost_model,
+                                                    source, nullptr, policy,
+                                                    nullptr);
+  }
   EmitExecObs(out);
   return out;
 }

@@ -30,6 +30,7 @@
 
 #include "core/dataset.h"
 #include "core/schema.h"
+#include "exec/exec_profile.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "opt/cost_model.h"
@@ -125,50 +126,64 @@ struct ExecutionResult {
 
 namespace internal {
 // Out-of-line halves of the inline ExecutePlan wrappers below. The Impl
-// templates (defined and explicitly instantiated for kTraced=false in
-// executor.cc) are the executors themselves; calling Impl<false> straight
-// from the inline wrapper keeps the common disabled-instrumentation case at
-// one call, exactly like an uninstrumented build. Obs wraps execution in
-// the "exec" span and counter emission (and handles the
-// obs-disabled-but-traced case).
-template <bool kTraced>
+// templates (defined and explicitly instantiated for
+// kTraced=kProfiled=false in executor.cc) are the executors themselves;
+// calling Impl<false, false> straight from the inline wrapper keeps the
+// common disabled-instrumentation case at one call, exactly like an
+// uninstrumented build. Obs wraps execution in the "exec" span and counter
+// emission (and handles the obs-disabled-but-traced case). kProfiled adds
+// the per-node eval/pass/unknown counter hooks for calibration
+// (exec/exec_profile.h); like tracing, the hooks vanish at compile time in
+// the <*, false> instantiations.
+template <bool kTraced, bool kProfiled>
 ExecutionResult ExecutePlanImpl(const Plan& plan, const Schema& schema,
                                 const AcquisitionCostModel& cost_model,
                                 AcquisitionSource& source, TraceSink* trace,
-                                const DegradationPolicy& policy);
-extern template ExecutionResult ExecutePlanImpl<false>(
+                                const DegradationPolicy& policy,
+                                ExecutionProfile* profile);
+extern template ExecutionResult ExecutePlanImpl<false, false>(
     const Plan& plan, const Schema& schema,
     const AcquisitionCostModel& cost_model, AcquisitionSource& source,
-    TraceSink* trace, const DegradationPolicy& policy);
+    TraceSink* trace, const DegradationPolicy& policy,
+    ExecutionProfile* profile);
 
-template <bool kTraced>
+template <bool kTraced, bool kProfiled>
 ExecutionResult ExecuteCompiledImpl(const CompiledPlan& plan,
                                     const Schema& schema,
                                     const AcquisitionCostModel& cost_model,
                                     AcquisitionSource& source,
                                     TraceSink* trace,
-                                    const DegradationPolicy& policy);
-extern template ExecutionResult ExecuteCompiledImpl<false>(
+                                    const DegradationPolicy& policy,
+                                    ExecutionProfile* profile);
+extern template ExecutionResult ExecuteCompiledImpl<false, false>(
     const CompiledPlan& plan, const Schema& schema,
     const AcquisitionCostModel& cost_model, AcquisitionSource& source,
-    TraceSink* trace, const DegradationPolicy& policy);
+    TraceSink* trace, const DegradationPolicy& policy,
+    ExecutionProfile* profile);
 
 ExecutionResult ExecutePlanObs(const Plan& plan, const Schema& schema,
                                const AcquisitionCostModel& cost_model,
                                AcquisitionSource& source, TraceSink* trace,
-                               const DegradationPolicy& policy);
+                               const DegradationPolicy& policy,
+                               ExecutionProfile* profile);
 ExecutionResult ExecuteCompiledObs(const CompiledPlan& plan,
                                    const Schema& schema,
                                    const AcquisitionCostModel& cost_model,
                                    AcquisitionSource& source, TraceSink* trace,
-                                   const DegradationPolicy& policy);
+                                   const DegradationPolicy& policy,
+                                   ExecutionProfile* profile);
 }  // namespace internal
 
 /// Evaluates `plan` for one tuple, acquiring attributes lazily from `source`
 /// and charging `cost_model` for each acquisition attempt. Failed
 /// acquisitions degrade per `policy`. If `trace` is non-null it receives
 /// acquisition / branch / verdict events in traversal order (obs/trace.h);
-/// the default null sink costs one untaken branch per event site.
+/// the default null sink costs one untaken branch per event site. If
+/// `profile` is non-null *and* instrumentation is runtime-enabled, per-node
+/// eval/pass/unknown counters and realized cost are recorded into it
+/// (exec/exec_profile.h; nodes are addressed by PlanNode::id / flat index).
+/// Profiling rides the obs switch on purpose: with obs disabled the profile
+/// is ignored and the call costs exactly what an unprofiled call costs.
 ///
 /// Inline so the common case — no per-tuple trace, instrumentation
 /// runtime-disabled — dispatches straight to the uninstrumented executor
@@ -179,13 +194,15 @@ inline ExecutionResult ExecutePlan(const Plan& plan, const Schema& schema,
                                    const AcquisitionCostModel& cost_model,
                                    AcquisitionSource& source,
                                    TraceSink* trace = nullptr,
-                                   const DegradationPolicy& policy = {}) {
+                                   const DegradationPolicy& policy = {},
+                                   ExecutionProfile* profile = nullptr) {
   if (trace == nullptr && !obs::Enabled()) {
-    return internal::ExecutePlanImpl<false>(plan, schema, cost_model, source,
-                                            nullptr, policy);
+    return internal::ExecutePlanImpl<false, false>(plan, schema, cost_model,
+                                                   source, nullptr, policy,
+                                                   nullptr);
   }
   return internal::ExecutePlanObs(plan, schema, cost_model, source, trace,
-                                  policy);
+                                  policy, profile);
 }
 
 /// Flat-form hot path: identical semantics (and bit-identical results) to
@@ -198,13 +215,14 @@ inline ExecutionResult ExecutePlan(const CompiledPlan& plan,
                                    const AcquisitionCostModel& cost_model,
                                    AcquisitionSource& source,
                                    TraceSink* trace = nullptr,
-                                   const DegradationPolicy& policy = {}) {
+                                   const DegradationPolicy& policy = {},
+                                   ExecutionProfile* profile = nullptr) {
   if (trace == nullptr && !obs::Enabled()) {
-    return internal::ExecuteCompiledImpl<false>(plan, schema, cost_model,
-                                                source, nullptr, policy);
+    return internal::ExecuteCompiledImpl<false, false>(
+        plan, schema, cost_model, source, nullptr, policy, nullptr);
   }
   return internal::ExecuteCompiledObs(plan, schema, cost_model, source, trace,
-                                      policy);
+                                      policy, profile);
 }
 
 /// Aggregate outcome of ExecuteBatch.

@@ -198,7 +198,15 @@ void WriteHistogram(JsonWriter& w, const HistogramSnapshot& hist) {
   w.Key("buckets").BeginArray();
   for (size_t i = 0; i < kHistNumBuckets; ++i) {
     if (hist.buckets[i] == 0) continue;
-    w.BeginArray().UInt(i).UInt(hist.buckets[i]).EndArray();
+    // [index, count, lower bound, upper bound]: the bounds make exported
+    // histograms post-processable without hard-coding the bucket layout
+    // (the overflow bucket's +inf upper bound serializes as null).
+    w.BeginArray()
+        .UInt(i)
+        .UInt(hist.buckets[i])
+        .Double(HistogramBucketLowerBound(i))
+        .Double(HistogramBucketUpperBound(i))
+        .EndArray();
   }
   w.EndArray();
   w.EndObject();
@@ -221,6 +229,14 @@ void WriteTraceEvent(JsonWriter& w, const SpanEvent& ev) {
   w.Key("trace_id").UInt(ev.trace_id);
   w.Key("span_id").UInt(ev.span_id);
   w.Key("parent_id").UInt(ev.parent_id);
+  // Plan identity (0 = unknown at span close), the join key against
+  // calibration reports; omitted when the request never resolved a plan so
+  // non-serve traces stay unchanged.
+  if (ev.plan_sig != 0 || ev.planner_fp != 0 || ev.estimator_version != 0) {
+    w.Key("plan_sig").UInt(ev.plan_sig);
+    w.Key("planner_fp").UInt(ev.planner_fp);
+    w.Key("estimator_version").UInt(ev.estimator_version);
+  }
   w.EndObject();
   w.EndObject();
 }
@@ -253,6 +269,9 @@ std::string TraceEventsToJson(const TraceRecorder& recorder) {
     w.Key("reason").String(incident.reason);
     w.Key("worker").Int(static_cast<int64_t>(incident.worker));
     w.Key("at_us").Double(static_cast<double>(incident.at_ns) / 1e3);
+    w.Key("plan_sig").UInt(incident.meta.plan_sig);
+    w.Key("planner_fp").UInt(incident.meta.planner_fp);
+    w.Key("estimator_version").UInt(incident.meta.estimator_version);
     w.Key("events").BeginArray();
     for (const SpanEvent& ev : incident.events) WriteTraceEvent(w, ev);
     w.EndArray();

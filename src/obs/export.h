@@ -64,10 +64,13 @@ void WriteRegistrySnapshot(JsonWriter& w, const RegistrySnapshot& snap);
 /// Emits a histogram snapshot as an object:
 ///   {"count":N,"sum":S,"min":m,"max":M,"mean":mu,
 ///    "p50":...,"p90":...,"p99":...,"p999":...,
-///    "buckets":[[idx,count],...]}          // sparse: only non-empty buckets
-/// Because every Histogram shares the fixed bucket layout (histogram.h), the
-/// sparse [index,count] pairs plus count/sum/min/max reconstruct the
-/// snapshot exactly (round-trip tested in tests/obs_test.cc).
+///    "buckets":[[idx,count,lo,hi],...]}    // sparse: only non-empty buckets
+/// Each bucket entry carries its [lo, hi) value bounds alongside the count
+/// so exports are post-processable without knowledge of the bucket layout
+/// (the overflow bucket's +inf bound serializes as null). Because every
+/// Histogram shares the fixed layout (histogram.h), the sparse entries plus
+/// count/sum/min/max also reconstruct the snapshot exactly (round-trip
+/// tested in tests/obs_test.cc).
 void WriteHistogram(JsonWriter& w, const HistogramSnapshot& hist);
 
 /// Serializes a TraceRecorder as Chrome/Perfetto trace-event JSON

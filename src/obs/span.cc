@@ -37,6 +37,9 @@ TraceRecorder::RequestScope::RequestScope(TraceRecorder* recorder,
   tls.trace_id = trace_id;
   tls.parent = 0;
   tls.next_span_id = 1;
+  tls.plan_sig = 0;
+  tls.planner_fp = 0;
+  tls.estimator_version = 0;
 }
 
 TraceRecorder::RequestScope::~RequestScope() {
@@ -65,12 +68,13 @@ void TraceRecorder::Record(size_t worker, const SpanEvent& ev) {
 }
 
 void TraceRecorder::DumpFlight(size_t worker, uint64_t trace_id,
-                               const char* reason) {
+                               const char* reason, const RequestMeta& meta) {
   Incident incident;
   incident.trace_id = trace_id;
   incident.reason = reason == nullptr ? "" : reason;
   incident.worker = static_cast<uint32_t>(worker % shards_.size());
   incident.at_ns = MonotonicNowNs();
+  incident.meta = meta;
   {
     Shard& shard = *shards_[incident.worker];
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -92,11 +96,13 @@ void TraceRecorder::DumpFlight(size_t worker, uint64_t trace_id,
   incidents_.push_back(std::move(incident));
 }
 
-void TraceRecorder::RecordIncident(uint64_t trace_id, const char* reason) {
+void TraceRecorder::RecordIncident(uint64_t trace_id, const char* reason,
+                                   const RequestMeta& meta) {
   Incident incident;
   incident.trace_id = trace_id;
   incident.reason = reason == nullptr ? "" : reason;
   incident.at_ns = MonotonicNowNs();
+  incident.meta = meta;
   std::lock_guard<std::mutex> lock(incidents_mu_);
   if (incidents_.size() >= options_.max_incidents) {
     incidents_.erase(incidents_.begin());
@@ -150,6 +156,9 @@ void ScopedSpan::Close() {
   ev.span_id = span_id_;
   ev.parent_id = parent_;
   ev.worker = tls.worker;
+  ev.plan_sig = tls.plan_sig;
+  ev.planner_fp = tls.planner_fp;
+  ev.estimator_version = tls.estimator_version;
   tls.recorder->Record(tls.worker, ev);
 }
 
@@ -174,6 +183,9 @@ void internal::RecordSpanBound(const char* name, uint64_t start_ns,
   ev.span_id = tls.next_span_id++;
   ev.parent_id = tls.parent;
   ev.worker = tls.worker;
+  ev.plan_sig = tls.plan_sig;
+  ev.planner_fp = tls.planner_fp;
+  ev.estimator_version = tls.estimator_version;
   tls.recorder->Record(tls.worker, ev);
 }
 

@@ -51,6 +51,10 @@ struct SpanContext {
 
 /// One completed span. `name` must point at static storage (string
 /// literals): events are copied around freely and never own the name.
+/// plan_sig / planner_fp / estimator_version are the request's plan
+/// identity (set via SetRequestPlanContext once the serving layer has
+/// resolved which plan a request runs; 0 = not yet known) — the join key
+/// against calibration reports and the serve plan cache.
 struct SpanEvent {
   uint64_t trace_id = 0;
   uint64_t start_ns = 0;  ///< monotonic clock
@@ -59,6 +63,9 @@ struct SpanEvent {
   uint32_t span_id = 0;
   uint32_t parent_id = 0;
   uint32_t worker = 0;
+  uint64_t plan_sig = 0;           ///< canonical query signature
+  uint64_t planner_fp = 0;         ///< PlanBuilder::ConfigFingerprint()
+  uint64_t estimator_version = 0;  ///< serve estimator version at execution
 };
 
 /// Monotonic (steady_clock) nanoseconds; the time base of every span tick.
@@ -75,9 +82,27 @@ struct ThreadTraceState {
   uint64_t trace_id = 0;
   uint32_t parent = 0;        ///< innermost open span (0 at the root)
   uint32_t next_span_id = 1;  ///< per-request span id allocator
+  /// Plan identity of the in-flight request (SetRequestPlanContext); every
+  /// span and flight-recorder event closed on this thread inherits it.
+  uint64_t plan_sig = 0;
+  uint64_t planner_fp = 0;
+  uint64_t estimator_version = 0;
 };
 inline thread_local ThreadTraceState g_thread_trace;
 }  // namespace internal
+
+/// Stamps the bound request's plan identity onto the calling thread; spans
+/// recorded after this call (including the enclosing request root, which
+/// closes last) and flight-recorder dumps carry it. No-op on unbound
+/// threads. Cleared automatically when the RequestScope ends.
+inline void SetRequestPlanContext(uint64_t plan_sig, uint64_t planner_fp,
+                                  uint64_t estimator_version) {
+  auto& tls = internal::g_thread_trace;
+  if (tls.recorder == nullptr) return;
+  tls.plan_sig = plan_sig;
+  tls.planner_fp = planner_fp;
+  tls.estimator_version = estimator_version;
+}
 
 /// Collects span events into per-worker buffers plus per-worker flight
 /// rings. Each shard is written by one bound worker thread at a time (the
@@ -96,6 +121,19 @@ class TraceRecorder {
     size_t max_incidents = 256;
   };
 
+  /// Plan identity attached to an incident so degraded requests can be
+  /// joined against calibration reports (obs/calibration.h) and the serve
+  /// plan cache; all-zero when the request never resolved a plan.
+  /// No default member initializers: this type appears as a defaulted
+  /// reference argument below, and NSDMIs in a nested class may not be used
+  /// before the enclosing class is complete. RequestMeta() value-init
+  /// zeroes all fields.
+  struct RequestMeta {
+    uint64_t plan_sig;
+    uint64_t planner_fp;
+    uint64_t estimator_version;
+  };
+
   /// One flight-recorder dump: the dumping worker's recent span events
   /// (oldest first) at the moment a request ended degraded.
   struct Incident {
@@ -103,6 +141,7 @@ class TraceRecorder {
     std::string reason;
     uint32_t worker = 0;
     uint64_t at_ns = 0;
+    RequestMeta meta{};
     std::vector<SpanEvent> events;
   };
 
@@ -138,12 +177,15 @@ class TraceRecorder {
   void Record(size_t worker, const SpanEvent& ev);
 
   /// Flight-recorder dump: snapshots `worker`'s ring (oldest first) into
-  /// the incident list. Call when a request ends degraded.
-  void DumpFlight(size_t worker, uint64_t trace_id, const char* reason);
+  /// the incident list. Call when a request ends degraded. `meta` carries
+  /// the request's plan identity when known.
+  void DumpFlight(size_t worker, uint64_t trace_id, const char* reason,
+                  const RequestMeta& meta = RequestMeta());
 
   /// Incident with no span context, for requests rejected before reaching a
   /// worker (load shedding happens on the submitting thread).
-  void RecordIncident(uint64_t trace_id, const char* reason);
+  void RecordIncident(uint64_t trace_id, const char* reason,
+                      const RequestMeta& meta = RequestMeta());
 
   /// All buffered events across workers, sorted by start tick.
   std::vector<SpanEvent> Events() const;

@@ -64,6 +64,7 @@ class ExhaustivePlanner : public Planner {
   }
 
   std::string Name() const override { return "Exhaustive"; }
+  CondProbEstimator* estimator() const override { return &estimator_; }
 
   /// Expected cost of the last built plan per the DP (== Equation (3) value
   /// under the training estimator). See opt/planner.h for when diagnostics

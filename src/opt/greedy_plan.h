@@ -70,6 +70,7 @@ class GreedyPlanner : public Planner {
   std::string Name() const override {
     return "Heuristic-" + std::to_string(options_.max_splits);
   }
+  CondProbEstimator* estimator() const override { return &estimator_; }
 
   /// The Equation (6)-style expected cost of the last built plan under the
   /// training estimator. See opt/planner.h for when diagnostics may be read.

@@ -17,6 +17,7 @@ class NaivePlanner : public Planner {
       : estimator_(estimator), cost_model_(cost_model) {}
 
   std::string Name() const override { return "Naive"; }
+  CondProbEstimator* estimator() const override { return &estimator_; }
 
  protected:
   Plan BuildPlanImpl(const Query& query,

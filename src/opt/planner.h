@@ -59,6 +59,13 @@ class Planner {
   /// contract above.
   const obs::PlannerStats& planner_stats() const { return planner_stats_; }
 
+  /// The estimator this planner builds plans against, or nullptr if the
+  /// planner has none. Used by the serve layer to stamp predicted side
+  /// tables (plan/plan_estimates.h) on freshly compiled plans with the same
+  /// beliefs the build used. Thread-safety follows the estimator itself
+  /// (see the contract above).
+  virtual CondProbEstimator* estimator() const { return nullptr; }
+
  protected:
   /// Builds the plan, filling `stats` (already Reset to this planner's
   /// name). Implementations must not touch instance state except under
@@ -106,6 +113,7 @@ class SequentialPlanner : public Planner {
         name_(std::move(name)) {}
 
   std::string Name() const override { return name_; }
+  CondProbEstimator* estimator() const override { return &estimator_; }
 
  protected:
   Plan BuildPlanImpl(const Query& query,

@@ -30,6 +30,7 @@
 #ifndef CAQP_PLAN_COMPILED_PLAN_H_
 #define CAQP_PLAN_COMPILED_PLAN_H_
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -38,6 +39,8 @@
 #include "prob/subproblem.h"
 
 namespace caqp {
+
+struct PlanEstimates;  // plan/plan_estimates.h
 
 class CompiledPlan {
  public:
@@ -109,6 +112,21 @@ class CompiledPlan {
   /// Compile(p.ToTree()) is structurally identical to p.
   Plan ToTree() const;
 
+  /// Attaches the planner's predicted per-node selectivity/cost side tables
+  /// (plan/plan_estimates.h). Estimates are advisory metadata: they never
+  /// affect execution, are not serialized, and must be attached before the
+  /// plan is shared across threads (immutability contract above). nullptr is
+  /// allowed and means "no estimates".
+  void AttachEstimates(std::shared_ptr<const PlanEstimates> estimates) {
+    estimates_ = std::move(estimates);
+  }
+  /// The attached estimates, or nullptr if the producing planner did not
+  /// stamp any (e.g. a deserialized or hand-compiled plan).
+  const PlanEstimates* estimates() const { return estimates_.get(); }
+  std::shared_ptr<const PlanEstimates> shared_estimates() const {
+    return estimates_;
+  }
+
  private:
   friend Result<CompiledPlan> DeserializeCompiledPlan(
       const std::vector<uint8_t>&, const Schema&);
@@ -132,6 +150,8 @@ class CompiledPlan {
   AttrSet attrs_;
   size_t num_splits_ = 0;
   size_t depth_ = 0;
+  /// Predicted side tables (see AttachEstimates). Shared, immutable.
+  std::shared_ptr<const PlanEstimates> estimates_;
 };
 
 }  // namespace caqp

@@ -1,0 +1,148 @@
+#include "plan/plan_estimates.h"
+
+#include <utility>
+
+#include "plan/plan_cost.h"
+#include "prob/subproblem.h"
+
+namespace caqp {
+
+namespace {
+
+/// Same recursion shape as plan_cost.cc's ExpectedCoster, but recording the
+/// per-node reach/pass/cost beliefs instead of folding them into one scalar.
+/// Kept structurally parallel on purpose: calibration_test asserts the
+/// expected_cost this walk accumulates matches ExpectedPlanCost.
+class PlanEstimator {
+ public:
+  PlanEstimator(const CompiledPlan& plan, CondProbEstimator& est,
+                const AcquisitionCostModel& cm)
+      : plan_(plan), est_(est), cm_(cm), schema_(est.schema()) {
+    out_.nodes.resize(plan.NumNodes());
+  }
+
+  PlanEstimates Run() {
+    Visit(0, schema_.FullRanges(), 1.0);
+    for (const NodeEstimate& n : out_.nodes) {
+      out_.expected_cost += n.reach * n.cost;
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void Visit(uint32_t index, const RangeVec& ranges, double reach) {
+    NodeEstimate& e = out_.nodes[index];
+    e.reach = reach;
+    const CompiledPlan::Node& node = plan_.node(index);
+    switch (node.kind) {
+      case CompiledPlan::Kind::kVerdict:
+        e.pass = node.verdict() ? 1.0 : 0.0;
+        e.cost = 0.0;
+        return;
+      case CompiledPlan::Kind::kSequential:
+        SequentialLeaf(e, plan_.sequence(node), ranges, reach);
+        return;
+      case CompiledPlan::Kind::kGeneric:
+        // The residual walk's evaluation order is data-dependent, so there
+        // is no meaningful single pass probability and no per-attribute
+        // contribution; the cost expectation reuses the plan_cost walk.
+        e.pass = -1.0;
+        e.cost = ExpectedSubplanCost(plan_, index, ranges, est_, cm_);
+        return;
+      case CompiledPlan::Kind::kSplit:
+        break;
+    }
+
+    const AttrSet acquired = AcquiredAttrs(schema_, ranges);
+    e.cost =
+        acquired.Contains(node.attr) ? 0.0 : cm_.Cost(node.attr, acquired);
+    const ValueRange r = ranges[node.attr];
+    // Degenerate splits route all mass one way; the dead side stays at the
+    // unreachable default (reach 0, pass -1).
+    if (node.split_value <= r.lo) {
+      e.pass = 1.0;
+      RecordSplitEval(node.attr, reach, /*p_ge=*/1.0);
+      Visit(node.a, ranges, reach);
+      return;
+    }
+    if (node.split_value > r.hi) {
+      e.pass = 0.0;
+      RecordSplitEval(node.attr, reach, /*p_ge=*/0.0);
+      Visit(CompiledPlan::LtChild(index), ranges, reach);
+      return;
+    }
+
+    const ValueRange lt_r{r.lo, static_cast<Value>(node.split_value - 1)};
+    const ValueRange ge_r{node.split_value, r.hi};
+    const double p_lt = est_.RangeProbability(ranges, node.attr, lt_r);
+    e.pass = 1.0 - p_lt;
+    RecordSplitEval(node.attr, reach, e.pass);
+    if (p_lt > 0) {
+      Visit(CompiledPlan::LtChild(index), Refined(ranges, node.attr, lt_r),
+            reach * p_lt);
+    }
+    if (p_lt < 1.0) {
+      Visit(node.a, Refined(ranges, node.attr, ge_r), reach * (1.0 - p_lt));
+    }
+  }
+
+  void SequentialLeaf(NodeEstimate& e, std::span<const Predicate> seq,
+                      const RangeVec& ranges, double reach) {
+    if (seq.empty()) {
+      e.pass = 1.0;
+      e.cost = 0.0;
+      return;
+    }
+    const std::vector<Predicate> preds(seq.begin(), seq.end());
+    const MaskDistribution masks = est_.PredicateMasks(ranges, preds);
+    if (masks.total() <= 0) {
+      // No mass reaches here under the estimator; nothing to predict.
+      e.pass = -1.0;
+      e.cost = 0.0;
+      return;
+    }
+    const uint64_t all = (seq.size() >= 64)
+                             ? ~uint64_t{0}
+                             : ((uint64_t{1} << seq.size()) - 1);
+    e.pass = masks.MassAllTrue(all) / masks.total();
+    AttrSet acquired = AcquiredAttrs(schema_, ranges);
+    double cost = 0.0;
+    uint64_t prefix = 0;  // predicates already observed true
+    for (size_t i = 0; i < seq.size(); ++i) {
+      const double p_reach = masks.MassAllTrue(prefix) / masks.total();
+      if (p_reach <= 0) break;
+      const AttrId a = seq[i].attr;
+      if (!acquired.Contains(a)) {
+        cost += p_reach * cm_.Cost(a, acquired);
+        acquired.Insert(a);
+      }
+      prefix |= uint64_t{1} << i;
+      const double p_pass = masks.MassAllTrue(prefix) / masks.total();
+      out_.attr_eval_rate[a] += reach * p_reach;
+      out_.attr_pass_rate[a] += reach * p_pass;
+    }
+    e.cost = cost;
+  }
+
+  void RecordSplitEval(AttrId attr, double reach, double p_ge) {
+    out_.attr_eval_rate[attr] += reach;
+    out_.attr_pass_rate[attr] += reach * p_ge;
+  }
+
+  const CompiledPlan& plan_;
+  CondProbEstimator& est_;
+  const AcquisitionCostModel& cm_;
+  const Schema& schema_;
+  PlanEstimates out_;
+};
+
+}  // namespace
+
+PlanEstimates EstimatePlan(const CompiledPlan& plan,
+                           CondProbEstimator& estimator,
+                           const AcquisitionCostModel& cost_model) {
+  PlanEstimator walker(plan, estimator, cost_model);
+  return walker.Run();
+}
+
+}  // namespace caqp

@@ -7,7 +7,9 @@
 #include "common/check.h"
 #include "core/query_signature.h"
 #include "exec/executor.h"
+#include "obs/export.h"
 #include "obs/registry.h"
+#include "plan/plan_estimates.h"
 
 namespace caqp {
 namespace serve {
@@ -63,6 +65,10 @@ QueryService::QueryService(const Schema& schema,
     wm.planner_timeouts = &shard.GetCounter("serve.planner_timeouts");
     wm.latency = &shard.GetHistogram("serve.request_latency_seconds");
   }
+  if (options_.enable_calibration) {
+    calibration_ =
+        std::make_unique<obs::CalibrationAggregator>(options_.num_workers);
+  }
   pool_ = std::make_unique<ThreadPool>(options_.num_workers);
 }
 
@@ -109,11 +115,16 @@ std::future<QueryService::Response> QueryService::Submit(
     Response r = Handle(worker_id, query, tuple, deadline, trace_id, submit_ns);
     if (tracing_on()) {
       // The request span is closed by now, so the flight ring holds the
-      // request's full span history when we dump it.
+      // request's full span history when we dump it. The meta block joins
+      // the incident against plan-cache entries and calibration rows.
+      const obs::TraceRecorder::RequestMeta meta{r.query_sig,
+                                                 planner_fingerprint_,
+                                                 r.estimator_version};
       if (r.status.code() == StatusCode::kDeadlineExceeded) {
-        tracer_.DumpFlight(worker_id, trace_id, "deadline_exceeded");
+        tracer_.DumpFlight(worker_id, trace_id, "deadline_exceeded", meta);
       } else if (r.fallback) {
-        tracer_.DumpFlight(worker_id, trace_id, "planner_timeout_fallback");
+        tracer_.DumpFlight(worker_id, trace_id, "planner_timeout_fallback",
+                           meta);
       }
     }
     state->set_value(std::move(r));
@@ -159,6 +170,12 @@ QueryService::Response QueryService::Handle(size_t worker_id,
   }
   r.query_sig = QuerySignature(query);
   r.estimator_version = estimator_version_.load(std::memory_order_acquire);
+  if (tracing_on()) {
+    // Every span this request records from here on carries the calibration
+    // join key (obs/span.h).
+    obs::SetRequestPlanContext(r.query_sig, planner_fingerprint_,
+                               r.estimator_version);
+  }
   PlanBuilder& builder = *builders_[worker_id];
   const PlanCacheKey key{r.query_sig, r.estimator_version,
                          planner_fingerprint_};
@@ -167,8 +184,7 @@ QueryService::Response QueryService::Handle(size_t worker_id,
     CAQP_OBS_SPAN(plan_span, "plan");
     if (options_.cache_capacity == 0) {
       // Plan-per-query baseline: no cache, no deduplication.
-      r.plan = std::make_shared<const CompiledPlan>(
-          CompiledPlan::Compile(builder.Build(query)));
+      r.plan = CompileForServe(builder, builder.Build(query));
       r.planned = true;
     } else {
       r.plan = cache_.Get(key);
@@ -184,8 +200,7 @@ QueryService::Response QueryService::Handle(size_t worker_id,
               // Compile once at insert time: every cached-path execution
               // after this runs the flat IR with zero PlanNode clones or
               // copies.
-              auto plan = std::make_shared<const CompiledPlan>(
-                  CompiledPlan::Compile(builder.Build(query)));
+              auto plan = CompileForServe(builder, builder.Build(query));
               cache_.Put(key, plan);
               return plan;
             },
@@ -197,8 +212,7 @@ QueryService::Response QueryService::Handle(size_t worker_id,
           // finishes.
           wm.planner_timeouts->Increment();
           CAQP_OBS_SPAN(fallback_span, "plan.build_fallback");
-          r.plan = std::make_shared<const CompiledPlan>(
-              CompiledPlan::Compile(builder.BuildFallback(query)));
+          r.plan = CompileForServe(builder, builder.BuildFallback(query));
           r.fallback = true;
         } else {
           r.plan = std::move(flight.plan);
@@ -211,8 +225,25 @@ QueryService::Response QueryService::Handle(size_t worker_id,
   if (r.planned) wm.planned->Increment();
   if (r.fallback) wm.fallbacks->Increment();
 
+  ExecutionProfile* profile = nullptr;
+  if (calibration_ != nullptr && !r.fallback) {
+    // Fallback plans are transient (never cached) and can differ in shape
+    // from the keyed plan, so they are excluded from calibration rather
+    // than corrupting the per-node rows of the real plan under this key.
+    profile = calibration_->Profile(
+        worker_id,
+        obs::CalibrationKey{r.query_sig, r.estimator_version,
+                            planner_fingerprint_},
+        r.plan);
+    if (profile->num_nodes() != r.plan->NumNodes()) {
+      // A racing builder produced a structurally different plan for the
+      // same key (nondeterministic planner); per-node rows would misalign.
+      profile = nullptr;
+    }
+  }
   TupleSource source(tuple);
-  r.exec = ExecutePlan(*r.plan, schema_, cost_model_, source);
+  r.exec = ExecutePlan(*r.plan, schema_, cost_model_, source,
+                       /*trace=*/nullptr, DegradationPolicy{}, profile);
 
   r.latency_seconds = NowSeconds() - start;
   if (r.ok()) wm.ok->Increment();
@@ -220,6 +251,54 @@ QueryService::Response QueryService::Handle(size_t worker_id,
   // completion through a global mutex (latency_mu_).
   wm.latency->Record(r.latency_seconds);
   return r;
+}
+
+std::shared_ptr<const CompiledPlan> QueryService::CompileForServe(
+    PlanBuilder& builder, Plan plan) const {
+  CompiledPlan compiled = CompiledPlan::Compile(plan);
+  if (calibration_ != nullptr) {
+    CondProbEstimator* estimator = builder.CalibrationEstimator();
+    if (estimator != nullptr) {
+      // Stamp what the planner believed at build time. Same worker thread
+      // as Build, so non-shareable estimators (DatasetEstimator) are safe.
+      auto estimates = std::make_shared<PlanEstimates>(
+          EstimatePlan(compiled, *estimator, cost_model_));
+      estimates->estimator_version =
+          estimator_version_.load(std::memory_order_acquire);
+      compiled.AttachEstimates(std::move(estimates));
+    }
+  }
+  return std::make_shared<const CompiledPlan>(std::move(compiled));
+}
+
+obs::CalibrationReport QueryService::CalibrationSnapshot() const {
+  if (calibration_ == nullptr) return obs::CalibrationReport{};
+  return calibration_->Snapshot();
+}
+
+DriftStatus QueryService::CheckDrift() {
+  DriftStatus status;
+  if (calibration_ == nullptr) return status;
+  std::lock_guard<std::mutex> lock(drift_mu_);
+  obs::CalibrationReport cumulative = calibration_->Snapshot();
+  status.window = cumulative.DeltaSince(drift_baseline_);
+  drift_baseline_ = std::move(cumulative);
+  status.max_drift = status.window.MaxDrift(options_.drift.min_window_evals);
+  const DriftPolicy& policy = options_.drift;
+  if (policy.threshold <= 0.0) return status;  // reporting only
+  status.over_threshold = status.max_drift > policy.threshold;
+  drift_streak_ = status.over_threshold ? drift_streak_ + 1 : 0;
+  status.streak = drift_streak_;
+  if (drift_streak_ >= policy.consecutive_windows) {
+    // Retrain hook first, so the replanned plans InvalidateCache forces
+    // are built from refreshed beliefs, not the drifted ones.
+    if (policy.on_drift) policy.on_drift(status.window);
+    InvalidateCache();
+    CAQP_OBS_COUNTER_INC("serve.drift_invalidations");
+    drift_streak_ = 0;
+    status.fired = true;
+  }
+  return status;
 }
 
 void QueryService::InvalidateCache() {
@@ -253,6 +332,23 @@ ServeReport QueryService::Report() const {
     if (h.name == "serve.request_latency_seconds") rep.latency = h.hist;
   }
   return rep;
+}
+
+std::string ServeReportToJson(const ServeReport& report) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("requests").UInt(report.requests);
+  w.Key("ok").UInt(report.ok);
+  w.Key("cache_hits").UInt(report.cache_hits);
+  w.Key("planned").UInt(report.planned);
+  w.Key("fallbacks").UInt(report.fallbacks);
+  w.Key("deadline_exceeded").UInt(report.deadline_exceeded);
+  w.Key("planner_timeouts").UInt(report.planner_timeouts);
+  w.Key("shed").UInt(report.shed);
+  w.Key("latency");
+  obs::WriteHistogram(w, report.latency);
+  w.EndObject();
+  return w.TakeString();
 }
 
 }  // namespace serve

@@ -34,6 +34,20 @@
 // (obs/span.h), and degraded requests (kDeadlineExceeded / kUnavailable /
 // planner-timeout fallback) dump the worker's flight-recorder ring for
 // postmortems. Export both with obs::TraceEventsToJson(trace_recorder()).
+//
+// Plan-quality calibration (this PR): with Options::enable_calibration,
+// freshly compiled plans get predicted per-node selectivity/cost side
+// tables stamped from the builder's estimator (plan/plan_estimates.h), and
+// every execution feeds per-node observed counters into a per-worker
+// obs::CalibrationAggregator keyed by (query signature, estimator version,
+// planner fingerprint) — the plan-cache key, so calibration rows join
+// exactly against cached plans, span events, and flight-recorder
+// incidents. CalibrationSnapshot() merges the shards into a report with
+// per-plan regret (realized minus predicted cost) and per-attribute drift
+// scores. CheckDrift() compares consecutive snapshot windows against
+// Options::drift and, when the drift score stays over threshold for K
+// windows, bumps the estimator version (InvalidateCache), forcing
+// replanning under whatever beliefs the builders now hold.
 
 #ifndef CAQP_SERVE_QUERY_SERVICE_H_
 #define CAQP_SERVE_QUERY_SERVICE_H_
@@ -42,12 +56,14 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
 #include "core/query.h"
 #include "core/schema.h"
 #include "exec/executor.h"
+#include "obs/calibration.h"
 #include "obs/histogram.h"
 #include "obs/registry.h"
 #include "obs/sharded_registry.h"
@@ -81,6 +97,12 @@ class PlanBuilder {
   /// a config change) never alias each other's plans. All bundles from one
   /// factory must agree on this value.
   virtual uint64_t ConfigFingerprint() const = 0;
+  /// The estimator whose beliefs Build's plans encode, used (only when
+  /// Options::enable_calibration) to stamp predicted side tables on freshly
+  /// compiled plans. Called from the same worker thread as Build, so
+  /// non-shareable estimators are fine. nullptr skips prediction stamping;
+  /// observed counters are still collected.
+  virtual CondProbEstimator* CalibrationEstimator() { return nullptr; }
 };
 
 using PlanBuilderFactory = std::function<std::unique_ptr<PlanBuilder>()>;
@@ -93,10 +115,54 @@ class SharedPlannerBuilder : public PlanBuilder {
       : planner_(planner), fingerprint_(fingerprint) {}
   Plan Build(const Query& query) override { return planner_.BuildPlan(query); }
   uint64_t ConfigFingerprint() const override { return fingerprint_; }
+  CondProbEstimator* CalibrationEstimator() override {
+    return planner_.estimator();
+  }
 
  private:
   const Planner& planner_;
   uint64_t fingerprint_;
+};
+
+/// When and how calibration drift invalidates the plan cache. Drift is
+/// evaluated per snapshot *window*: each CheckDrift() call diffs the
+/// cumulative calibration report against the previous call's
+/// (CalibrationReport::DeltaSince), takes the window's maximum
+/// per-attribute drift score — |observed pass rate − predicted pass rate|
+/// over attributes with at least `min_window_evals` evaluations — and
+/// fires once the score exceeds `threshold` for `consecutive_windows`
+/// windows in a row. Firing calls `on_drift` (with the offending window's
+/// report) and then InvalidateCache(), so the next request per query
+/// replans under the bumped estimator version.
+struct DriftPolicy {
+  /// Max per-attribute drift score that a window may reach before it
+  /// counts toward the streak. <= 0 disables automatic invalidation
+  /// (CheckDrift still reports, never fires).
+  double threshold = 0.0;
+  /// Consecutive over-threshold windows required before firing. Debounces
+  /// one-off noisy windows; 1 fires immediately.
+  int consecutive_windows = 2;
+  /// Attributes with fewer predicate evaluations than this in the window
+  /// are ignored for the drift score (small-sample noise gate).
+  uint64_t min_window_evals = 1;
+  /// Invoked (on the CheckDrift caller's thread) with the window report
+  /// just before InvalidateCache, e.g. to retrain estimators so the
+  /// replanned plans actually reflect the new distribution.
+  std::function<void(const obs::CalibrationReport&)> on_drift;
+};
+
+/// What one CheckDrift() call saw and did.
+struct DriftStatus {
+  /// Calibration delta since the previous CheckDrift() call.
+  obs::CalibrationReport window;
+  /// Window's max per-attribute drift score (min_window_evals applied).
+  double max_drift = 0.0;
+  bool over_threshold = false;
+  /// Consecutive over-threshold windows ending at this one.
+  int streak = 0;
+  /// True iff this call invalidated the cache (streak reached the policy's
+  /// consecutive_windows). The streak resets to zero after firing.
+  bool fired = false;
 };
 
 /// Aggregated view of the service's request stream, assembled from the
@@ -144,6 +210,15 @@ class QueryService {
     bool enable_tracing = false;
     /// Flight-recorder ring entries per worker (see obs/span.h).
     size_t flight_capacity = 128;
+    /// Stamp predicted side tables on compiled plans and collect per-node
+    /// observed counters into CalibrationSnapshot(). Off by default; when
+    /// on, the per-execution counter cost still rides the global
+    /// obs::Enabled() switch (obs disabled => counters skipped).
+    bool enable_calibration = false;
+    /// Automatic drift-triggered invalidation; see DriftPolicy. Only
+    /// consulted by CheckDrift(), which the owner must call periodically
+    /// (e.g. from a monitor thread) — the request path never checks drift.
+    DriftPolicy drift;
   };
 
   struct Response {
@@ -223,6 +298,17 @@ class QueryService {
   /// Options::enable_tracing; export with obs::TraceEventsToJson.
   const obs::TraceRecorder& trace_recorder() const { return tracer_; }
 
+  /// Cumulative calibration report (predicted vs. observed, per plan and
+  /// per attribute) since service start. Empty report unless
+  /// Options::enable_calibration. Safe to call concurrently with traffic.
+  obs::CalibrationReport CalibrationSnapshot() const;
+
+  /// Evaluates one drift window against Options::drift and fires
+  /// InvalidateCache when the policy says so (see DriftPolicy). Serialized
+  /// internally; call from a monitor thread at your snapshot cadence.
+  /// No-op status (empty window) unless Options::enable_calibration.
+  DriftStatus CheckDrift();
+
  private:
   /// Metric refs prefetched from one worker's shard at construction: the
   /// hot path does zero by-name lookups and writes only worker-local lines.
@@ -239,6 +325,13 @@ class QueryService {
 
   Response Handle(size_t worker_id, const Query& query, const Tuple& tuple,
                   double deadline, uint64_t trace_id, uint64_t submit_ns);
+
+  /// Compile + (when calibration is on and the builder exposes an
+  /// estimator) stamp predicted side tables. All three plan-producing
+  /// sites in Handle go through here so every executed plan carries the
+  /// same metadata.
+  std::shared_ptr<const CompiledPlan> CompileForServe(PlanBuilder& builder,
+                                                      Plan plan) const;
 
   bool tracing_on() const { return options_.enable_tracing; }
 
@@ -259,10 +352,23 @@ class QueryService {
   std::vector<WorkerMetrics> worker_metrics_;
   obs::TraceRecorder tracer_;
 
+  /// Predicted-vs-observed aggregation, one shard per worker. Null unless
+  /// Options::enable_calibration.
+  std::unique_ptr<obs::CalibrationAggregator> calibration_;
+  /// Serializes CheckDrift callers and guards the window state below.
+  std::mutex drift_mu_;
+  /// Cumulative report as of the previous CheckDrift (window baseline).
+  obs::CalibrationReport drift_baseline_;
+  int drift_streak_ = 0;
+
   /// Last member: its destructor drains the queue while everything the
   /// workers touch is still alive.
   std::unique_ptr<ThreadPool> pool_;
 };
+
+/// ServeReport as JSON: the counters verbatim plus the latency histogram in
+/// obs::WriteHistogram's format (bucket entries carry [lo, hi) bounds).
+std::string ServeReportToJson(const ServeReport& report);
 
 }  // namespace serve
 }  // namespace caqp

@@ -1,0 +1,249 @@
+// End-to-end drift detection: a QueryService with calibration enabled
+// serves traffic whose distribution shifts mid-run. The calibration windows
+// must show the drift score crossing the policy threshold, the DriftPolicy
+// must bump the estimator version (invalidating the plan cache), and the
+// replanned queries — built against the post-shift estimator — must realize
+// a lower acquisition cost than the stale plan did on the shifted traffic.
+// Suites are named Drift* so scripts/check.sh's TSan stage selects them
+// with ctest -R '^Drift'.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "opt/cost_model.h"
+#include "opt/naive.h"
+#include "prob/dataset_estimator.h"
+#include "serve/query_service.h"
+
+namespace caqp {
+namespace {
+
+using serve::DriftPolicy;
+using serve::DriftStatus;
+using serve::QueryService;
+
+// Two attributes with comparable costs but opposite selectivities before
+// and after the shift, so the optimal predicate order flips:
+//   regime A: P(a0 passes) = 0.10, P(a1 passes) = 0.90 -> evaluate a0 first,
+//             expected cost 5 + 0.10 * 6 = 5.6
+//   regime B: P(a0 passes) = 0.95, P(a1 passes) = 0.05 -> the stale plan
+//             costs 5 + 0.95 * 6 = 10.7; replanning (a1 first) costs
+//             6 + 0.05 * 5 = 6.25
+Schema DriftSchema() {
+  Schema s;
+  s.AddAttribute("a0", 10, 5.0);
+  s.AddAttribute("a1", 10, 6.0);
+  return s;
+}
+
+Query DriftQuery() {
+  return Query::Conjunction({Predicate(0, 0, 0), Predicate(1, 0, 8)});
+}
+
+Dataset RegimeA(const Schema& schema, size_t rows = 1000) {
+  Dataset ds(schema);
+  for (size_t i = 0; i < rows; ++i) {
+    Tuple t(2);
+    t[0] = (i % 10 == 0) ? 0 : 5;  // passes a0 in [0,0] 10% of the time
+    t[1] = (i % 10 == 9) ? 9 : 3;  // passes a1 in [0,8] 90% of the time
+    ds.Append(t);
+  }
+  return ds;
+}
+
+Dataset RegimeB(const Schema& schema, size_t rows = 1000) {
+  Dataset ds(schema);
+  for (size_t i = 0; i < rows; ++i) {
+    Tuple t(2);
+    t[0] = (i % 20 == 0) ? 5 : 0;  // passes a0 95% of the time
+    t[1] = (i % 20 == 1) ? 3 : 9;  // passes a1 5% of the time
+    ds.Append(t);
+  }
+  return ds;
+}
+
+/// Per-worker bundle holding planners for both regimes; the shared phase
+/// flag — flipped by the drift hook — selects which one Build (and the
+/// calibration stamping) uses, standing in for "retrain the estimator".
+class PhasedBuilder : public serve::PlanBuilder {
+ public:
+  PhasedBuilder(const Schema& schema, const AcquisitionCostModel& cm,
+                const std::atomic<int>& phase)
+      : data_a_(RegimeA(schema)),
+        data_b_(RegimeB(schema)),
+        est_a_(data_a_),
+        est_b_(data_b_),
+        planner_a_(est_a_, cm),
+        planner_b_(est_b_, cm),
+        phase_(phase) {}
+
+  Plan Build(const Query& query) override {
+    return (phase_.load(std::memory_order_acquire) == 0 ? planner_a_
+                                                        : planner_b_)
+        .BuildPlan(query);
+  }
+  uint64_t ConfigFingerprint() const override { return 0xD21F7; }
+  CondProbEstimator* CalibrationEstimator() override {
+    return phase_.load(std::memory_order_acquire) == 0 ? &est_a_ : &est_b_;
+  }
+
+ private:
+  // Estimators hold references; the training data must outlive them.
+  Dataset data_a_;
+  Dataset data_b_;
+  DatasetEstimator est_a_;
+  DatasetEstimator est_b_;
+  NaivePlanner planner_a_;
+  NaivePlanner planner_b_;
+  const std::atomic<int>& phase_;
+};
+
+struct DriftFixture {
+  Schema schema = DriftSchema();
+  PerAttributeCostModel cm{schema};
+  Dataset traffic_a = RegimeA(schema);
+  Dataset traffic_b = RegimeB(schema);
+  std::atomic<int> phase{0};
+
+  QueryService MakeService(DriftPolicy policy) {
+    QueryService::Options opts;
+    opts.num_workers = 2;
+    opts.cache_capacity = 64;
+    opts.enable_calibration = true;
+    opts.drift = std::move(policy);
+    return QueryService(
+        schema, cm,
+        [this] { return std::make_unique<PhasedBuilder>(schema, cm, phase); },
+        opts);
+  }
+
+  void ServeBatch(QueryService& service, const Dataset& traffic, size_t n) {
+    const Query q = DriftQuery();
+    for (size_t i = 0; i < n; ++i) {
+      const QueryService::Response r =
+          service.SubmitAndWait(q, traffic.GetTuple(i % traffic.num_rows()));
+      ASSERT_TRUE(r.ok());
+    }
+  }
+};
+
+TEST(DriftTest, ShiftDetectedVersionBumpedAndReplanRecoversCost) {
+  DriftFixture fx;
+  DriftPolicy policy;
+  policy.threshold = 0.3;
+  policy.consecutive_windows = 2;
+  policy.min_window_evals = 50;
+  std::atomic<int>* phase = &fx.phase;
+  policy.on_drift = [phase](const obs::CalibrationReport& window) {
+    EXPECT_GT(window.executions, 0u);
+    phase->store(1, std::memory_order_release);  // "retrain"
+  };
+  QueryService service = fx.MakeService(std::move(policy));
+
+  // Window 1: traffic matches the training distribution — no drift.
+  fx.ServeBatch(service, fx.traffic_a, 200);
+  const DriftStatus w1 = service.CheckDrift();
+  EXPECT_LT(w1.max_drift, 0.1);
+  EXPECT_FALSE(w1.over_threshold);
+  EXPECT_FALSE(w1.fired);
+  EXPECT_EQ(service.estimator_version(), 0u);
+  ASSERT_EQ(w1.window.plans.size(), 1u);
+  // On-distribution: predictions calibrate, so regret is ~0.
+  EXPECT_NEAR(w1.window.plans[0].realized_mean_cost(), 5.6, 0.05);
+  EXPECT_NEAR(w1.window.regret(), 0.0, 0.05);
+
+  // Window 2: the distribution shifts under the stale plan. One window over
+  // threshold must NOT fire yet (debounce).
+  fx.ServeBatch(service, fx.traffic_b, 200);
+  const DriftStatus w2 = service.CheckDrift();
+  EXPECT_GT(w2.max_drift, 0.3);
+  EXPECT_TRUE(w2.over_threshold);
+  EXPECT_EQ(w2.streak, 1);
+  EXPECT_FALSE(w2.fired);
+  EXPECT_EQ(service.estimator_version(), 0u);
+
+  // Window 3: still drifted — the streak reaches the policy and fires.
+  fx.ServeBatch(service, fx.traffic_b, 200);
+  const DriftStatus w3 = service.CheckDrift();
+  EXPECT_TRUE(w3.over_threshold);
+  EXPECT_TRUE(w3.fired);
+  EXPECT_EQ(fx.phase.load(), 1);  // on_drift ran before invalidation
+  EXPECT_EQ(service.estimator_version(), 1u);
+  ASSERT_EQ(w3.window.plans.size(), 1u);
+  EXPECT_EQ(w3.window.plans[0].key.estimator_version, 0u);
+  // The stale plan runs ~2x over its promise on shifted traffic.
+  EXPECT_NEAR(w3.window.plans[0].realized_mean_cost(), 10.7, 0.05);
+  EXPECT_GT(w3.window.regret(), 3.0);
+
+  // Window 4: replanned under the post-shift estimator. New cache key
+  // (bumped version), re-calibrated predictions, lower realized cost.
+  fx.ServeBatch(service, fx.traffic_b, 200);
+  const DriftStatus w4 = service.CheckDrift();
+  EXPECT_LT(w4.max_drift, 0.1);
+  EXPECT_FALSE(w4.over_threshold);
+  EXPECT_FALSE(w4.fired);
+  ASSERT_EQ(w4.window.plans.size(), 1u);
+  EXPECT_EQ(w4.window.plans[0].key.estimator_version, 1u);
+  EXPECT_NEAR(w4.window.plans[0].realized_mean_cost(), 6.25, 0.05);
+  EXPECT_NEAR(w4.window.regret(), 0.0, 0.05);
+  EXPECT_LT(w4.window.plans[0].realized_mean_cost(),
+            w3.window.plans[0].realized_mean_cost());
+
+  // The cumulative report keeps both plan generations, joinable by version.
+  const obs::CalibrationReport cumulative = service.CalibrationSnapshot();
+  ASSERT_EQ(cumulative.plans.size(), 2u);
+  EXPECT_EQ(cumulative.executions, 800u);
+}
+
+TEST(DriftTest, ZeroThresholdReportsButNeverFires) {
+  DriftFixture fx;
+  DriftPolicy policy;  // threshold 0: reporting only
+  QueryService service = fx.MakeService(std::move(policy));
+
+  fx.ServeBatch(service, fx.traffic_b, 200);  // wildly off-distribution
+  const DriftStatus w = service.CheckDrift();
+  EXPECT_GT(w.max_drift, 0.3);  // drift is still measured...
+  EXPECT_FALSE(w.over_threshold);
+  EXPECT_FALSE(w.fired);  // ...but never acted on
+  EXPECT_EQ(service.estimator_version(), 0u);
+}
+
+TEST(DriftTest, StreakResetsWhenDriftSubsides) {
+  DriftFixture fx;
+  DriftPolicy policy;
+  policy.threshold = 0.3;
+  policy.consecutive_windows = 2;
+  policy.min_window_evals = 50;
+  QueryService service = fx.MakeService(std::move(policy));
+
+  fx.ServeBatch(service, fx.traffic_b, 200);  // over threshold: streak 1
+  EXPECT_EQ(service.CheckDrift().streak, 1);
+  fx.ServeBatch(service, fx.traffic_a, 200);  // back on-distribution
+  const DriftStatus calm = service.CheckDrift();
+  EXPECT_FALSE(calm.over_threshold);
+  EXPECT_EQ(calm.streak, 0);  // debounce reset — no invalidation
+  fx.ServeBatch(service, fx.traffic_b, 200);  // drifts again: streak restarts
+  EXPECT_EQ(service.CheckDrift().streak, 1);
+  EXPECT_EQ(service.estimator_version(), 0u);
+}
+
+TEST(DriftTest, CheckDriftWithoutCalibrationIsANoOp) {
+  DriftFixture fx;
+  QueryService::Options opts;
+  opts.num_workers = 1;
+  QueryService service(
+      fx.schema, fx.cm,
+      [&fx] { return std::make_unique<PhasedBuilder>(fx.schema, fx.cm,
+                                                     fx.phase); },
+      opts);
+  fx.ServeBatch(service, fx.traffic_a, 10);
+  const DriftStatus status = service.CheckDrift();
+  EXPECT_TRUE(status.window.plans.empty());
+  EXPECT_FALSE(status.fired);
+  EXPECT_TRUE(service.CalibrationSnapshot().plans.empty());
+}
+
+}  // namespace
+}  // namespace caqp

@@ -6,6 +6,8 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -365,12 +367,25 @@ obs::HistogramSnapshot Parse(const std::string& json) {
   EXPECT_NE(at, std::string::npos);
   const char* p = json.c_str() + at + 11;
   while (*p == '[') {
+    // Entries are [idx, count, lo, hi]; hi is null for the overflow bucket.
     char* end = nullptr;
     const size_t idx = std::strtoull(p + 1, &end, 10);
     EXPECT_EQ(*end, ',');
     const uint64_t n = std::strtoull(end + 1, &end, 10);
+    EXPECT_EQ(*end, ',');
+    const double lo = std::strtod(end + 1, &end);
+    EXPECT_EQ(*end, ',');
+    double hi = std::numeric_limits<double>::infinity();
+    if (std::strncmp(end + 1, "null", 4) == 0) {
+      end += 1 + 4;
+    } else {
+      hi = std::strtod(end + 1, &end);
+    }
     EXPECT_EQ(*end, ']');
     EXPECT_LT(idx, obs::kHistNumBuckets);
+    // The emitted bounds must be the bucket layout's own.
+    EXPECT_DOUBLE_EQ(lo, obs::HistogramBucketLowerBound(idx));
+    EXPECT_DOUBLE_EQ(hi, obs::HistogramBucketUpperBound(idx));
     snap.buckets[idx] = n;
     p = end + 1;
     if (*p == ',') ++p;
@@ -390,8 +405,8 @@ TEST(ExportTest, HistogramJsonRoundTripsExactly) {
   obs::WriteHistogram(w, original);
   const std::string json = w.str();
 
-  // The sparse [index,count] pairs plus moments reconstruct the snapshot:
-  // identical buckets, hence identical quantiles.
+  // The sparse [index,count,lo,hi] entries plus moments reconstruct the
+  // snapshot: identical buckets, hence identical quantiles.
   const obs::HistogramSnapshot parsed = histjson::Parse(json);
   EXPECT_EQ(parsed.count, original.count);
   EXPECT_DOUBLE_EQ(parsed.sum, original.sum);

@@ -38,9 +38,26 @@
 //                      per-request spans (queue -> plan -> exec) plus
 //                      flight-recorder dumps for every degraded request
 //                      (deadline exceeded / shed / planner-timeout fallback)
+// --calibration-out PATH   enable plan-quality calibration and write the
+//                      cumulative predicted-vs-observed report (per-plan
+//                      regret, per-attribute drift scores) as JSON
+// --serve-report-out PATH  write the ServeReport (request counts + latency
+//                      histogram with bucket bounds) as JSON
+// --drift-threshold X  enable the drift monitor: when the per-window max
+//                      attribute drift exceeds X for --drift-windows
+//                      consecutive windows, bump the estimator version and
+//                      invalidate the plan cache (default 0 = report only)
+// --drift-windows K    consecutive over-threshold windows before firing
+//                      (default 2)
+// --drift-interval-ms T    drift monitor snapshot cadence (default 100)
+// --shift-at F         adversarial drift injection: after fraction F of each
+//                      client's requests, served tuples are complemented
+//                      (v -> domain-1-v), shifting the distribution away
+//                      from the training split (default off)
 // --seed S             workload RNG seed (default 20050405)
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -52,6 +69,7 @@
 
 #include "core/query_signature.h"
 #include "data/synthetic_gen.h"
+#include "obs/calibration.h"
 #include "obs/export.h"
 #include "obs/registry.h"
 #include "opt/greedy_plan.h"
@@ -87,7 +105,17 @@ struct Config {
   size_t max_queue_depth = 0;
   std::string metrics_out;
   std::string trace_out;
+  std::string calibration_out;
+  std::string serve_report_out;
+  double drift_threshold = 0.0;
+  int drift_windows = 2;
+  double drift_interval_ms = 100.0;
+  double shift_at = -1.0;
   uint64_t seed = 20050405;
+
+  bool calibration_on() const {
+    return !calibration_out.empty() || drift_threshold > 0.0;
+  }
 };
 
 /// Distinct random conjunctive queries over the (binary) synthetic schema:
@@ -164,6 +192,10 @@ class WorkloadPlanBuilder : public serve::PlanBuilder {
 
   uint64_t ConfigFingerprint() const override { return fingerprint_; }
 
+  /// Plans are stamped with the training estimator's beliefs so the
+  /// calibration report can score them against live traffic.
+  CondProbEstimator* CalibrationEstimator() override { return &estimator_; }
+
  private:
   DatasetEstimator estimator_;
   const AcquisitionCostModel* cost_model_;
@@ -218,6 +250,18 @@ int main(int argc, char** argv) {
       cfg.metrics_out = next();
     } else if (arg == "--trace-out") {
       cfg.trace_out = next();
+    } else if (arg == "--calibration-out") {
+      cfg.calibration_out = next();
+    } else if (arg == "--serve-report-out") {
+      cfg.serve_report_out = next();
+    } else if (arg == "--drift-threshold") {
+      cfg.drift_threshold = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--drift-windows") {
+      cfg.drift_windows = static_cast<int>(next_num());
+    } else if (arg == "--drift-interval-ms") {
+      cfg.drift_interval_ms = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--shift-at") {
+      cfg.shift_at = std::strtod(next().c_str(), nullptr);
     } else if (arg == "--seed") {
       cfg.seed = next_num();
     } else if (arg == "--help" || arg == "-h") {
@@ -260,6 +304,10 @@ int main(int argc, char** argv) {
   sopts.planner_timeout_seconds = cfg.planner_timeout_ms / 1000.0;
   sopts.max_queue_depth = cfg.max_queue_depth;
   sopts.enable_tracing = !cfg.trace_out.empty();
+  sopts.enable_calibration = cfg.calibration_on();
+  sopts.drift.threshold = cfg.drift_threshold;
+  sopts.drift.consecutive_windows = cfg.drift_windows;
+  sopts.drift.min_window_evals = 32;
   serve::QueryService service(
       schema, cost_model,
       [&] {
@@ -267,6 +315,29 @@ int main(int argc, char** argv) {
                                                      splits, cfg);
       },
       sopts);
+
+  // Drift monitor: periodic calibration windows concurrent with traffic.
+  // With --drift-threshold, crossing the bar for --drift-windows consecutive
+  // windows bumps the estimator version and invalidates the plan cache.
+  std::atomic<bool> replay_done{false};
+  std::atomic<size_t> drift_fired{0};
+  std::atomic<double> peak_drift{0.0};
+  std::thread drift_monitor;
+  if (cfg.calibration_on()) {
+    drift_monitor = std::thread([&] {
+      const auto interval = std::chrono::duration<double, std::milli>(
+          cfg.drift_interval_ms);
+      while (!replay_done.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(interval);
+        const serve::DriftStatus st = service.CheckDrift();
+        double prev = peak_drift.load(std::memory_order_relaxed);
+        while (st.max_drift > prev &&
+               !peak_drift.compare_exchange_weak(prev, st.max_drift)) {
+        }
+        if (st.fired) drift_fired.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
 
   std::vector<std::thread> clients;
   std::vector<size_t> matches(cfg.clients, 0);
@@ -279,6 +350,10 @@ int main(int argc, char** argv) {
       std::mt19937_64 rng(cfg.seed ^ (0xc1u + c));
       const size_t quota =
           cfg.requests / cfg.clients + (c < cfg.requests % cfg.clients);
+      const size_t shift_after =
+          cfg.shift_at >= 0.0
+              ? static_cast<size_t>(static_cast<double>(quota) * cfg.shift_at)
+              : quota;
       for (size_t r = 0; r < quota; ++r) {
         // Re-shuffle the predicate order: the signature (and so the cache)
         // must be insensitive to it.
@@ -287,6 +362,15 @@ int main(int argc, char** argv) {
         Query q = Query::Conjunction(std::move(preds));
         Tuple tuple = test.GetTuple(
             static_cast<RowId>(rng() % test.num_rows()));
+        if (r >= shift_after) {
+          // Injected distribution shift: complement every attribute. The
+          // training estimator's beliefs are now maximally wrong while the
+          // tuples stay schema-valid, so drift scores must climb.
+          for (size_t a = 0; a < tuple.size(); ++a) {
+            tuple[a] = static_cast<Value>(
+                schema.domain_size(static_cast<AttrId>(a)) - 1 - tuple[a]);
+          }
+        }
         const bool expected = q.Matches(tuple);
         const serve::QueryService::Response resp =
             service.SubmitAndWait(std::move(q), std::move(tuple));
@@ -304,6 +388,8 @@ int main(int argc, char** argv) {
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  replay_done.store(true, std::memory_order_release);
+  if (drift_monitor.joinable()) drift_monitor.join();
 
   size_t total_matches = 0, total_errors = 0;
   size_t total_rejected = 0, total_fallbacks = 0;
@@ -353,6 +439,34 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(report.shed),
         static_cast<unsigned long long>(report.fallbacks),
         service.trace_recorder().incident_count());
+  }
+  if (cfg.calibration_on()) {
+    const obs::CalibrationReport cal = service.CalibrationSnapshot();
+    std::printf(
+        "calibration: %llu executions, realized %.1f vs predicted %.1f "
+        "(regret %+.3f/exec), peak window drift %.3f\n",
+        static_cast<unsigned long long>(cal.executions), cal.realized_cost,
+        cal.predicted_cost, cal.regret(),
+        peak_drift.load(std::memory_order_relaxed));
+    if (cfg.drift_threshold > 0.0) {
+      std::printf(
+          "drift policy: threshold %.2f x%d windows -> %zu invalidations, "
+          "estimator version now %llu\n",
+          cfg.drift_threshold, cfg.drift_windows, drift_fired.load(),
+          static_cast<unsigned long long>(service.estimator_version()));
+    }
+    if (!cfg.calibration_out.empty()) {
+      const std::string cal_json = obs::CalibrationReportToJson(cal, &schema);
+      if (obs::WriteFileOrComplain(cfg.calibration_out, cal_json)) {
+        std::printf("[wrote %s]\n", cfg.calibration_out.c_str());
+      }
+    }
+  }
+  if (!cfg.serve_report_out.empty()) {
+    if (obs::WriteFileOrComplain(cfg.serve_report_out,
+                                 serve::ServeReportToJson(report))) {
+      std::printf("[wrote %s]\n", cfg.serve_report_out.c_str());
+    }
   }
   if (total_errors != 0) {
     std::fprintf(stderr, "caqp_serve: verdict mismatches detected\n");

@@ -25,6 +25,11 @@
 //                                  (radio/mote/basestation counters, energy
 //                                  stats) as JSON; a markdown summary is
 //                                  printed to stdout
+// --calibration-out PATH           write the predicted-vs-observed
+//                                  calibration report (local replay of each
+//                                  plan over the held-out test split) as
+//                                  JSON; a per-planner regret and top-drift
+//                                  summary is printed to stdout either way
 
 #include <algorithm>
 #include <cstdio>
@@ -32,11 +37,18 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "core/query_signature.h"
 #include "data/garden_gen.h"
+#include "exec/executor.h"
 #include "fault/fault.h"
+#include "obs/calibration.h"
 #include "obs/export.h"
 #include "obs/registry.h"
+#include "plan/compiled_plan.h"
+#include "plan/plan_estimates.h"
 #include "data/lab_gen.h"
 #include "data/synthetic_gen.h"
 #include "data/workload.h"
@@ -65,6 +77,7 @@ struct Config {
   FaultSpec fault;
   DegradationPolicy policy = DegradationPolicy::Retry(3);
   std::string metrics_out;
+  std::string calibration_out;
 };
 
 /// Builds the trace and a representative query for the chosen network.
@@ -168,6 +181,63 @@ double RunOnce(const char* label, const Plan& plan, const Schema& schema,
   return motes[0]->energy().spent();
 }
 
+/// Offline twin of the serve layer's calibration loop: compiles each
+/// planner's plan with predicted side tables from the training estimator,
+/// replays it over the held-out test split with a per-node ExecutionProfile,
+/// and joins the two into a CalibrationReport. Prints per-planner
+/// predicted-vs-realized cost (regret) and the highest-drift attributes.
+/// Train and test come from the same trace, so large drift here means the
+/// estimator itself is miscalibrated, not that the distribution moved.
+obs::CalibrationReport CalibrateLocally(
+    const std::vector<std::pair<const char*, const Plan*>>& plans,
+    const Query& query, const Schema& schema, const AcquisitionCostModel& cm,
+    CondProbEstimator& estimator, const Dataset& test) {
+  obs::CalibrationAggregator agg(1);
+  const uint64_t sig = QuerySignature(query);
+  for (size_t i = 0; i < plans.size(); ++i) {
+    CompiledPlan compiled = CompiledPlan::Compile(*plans[i].second);
+    compiled.AttachEstimates(
+        std::make_shared<PlanEstimates>(EstimatePlan(compiled, estimator, cm)));
+    auto shared = std::make_shared<const CompiledPlan>(std::move(compiled));
+    ExecutionProfile* profile = agg.Profile(
+        0, obs::CalibrationKey{sig, 0, /*planner_fingerprint=*/i}, shared);
+    for (size_t row = 0; row < test.num_rows(); ++row) {
+      // TupleSource holds a reference; the tuple must outlive it.
+      const Tuple tuple = test.GetTuple(static_cast<RowId>(row));
+      TupleSource source(tuple);
+      ExecutePlan(*shared, schema, cm, source, /*trace=*/nullptr,
+                  DegradationPolicy{}, profile);
+    }
+  }
+
+  obs::CalibrationReport report = agg.Snapshot();
+  std::printf("\ncalibration (replay over %zu test rows):\n", test.num_rows());
+  for (const obs::PlanCalibration& pc : report.plans) {
+    const char* label = "?";
+    if (pc.key.planner_fingerprint < plans.size()) {
+      label = plans[pc.key.planner_fingerprint].first;
+    }
+    std::printf("%-12s predicted %.2f/exec, realized %.2f/exec, "
+                "regret %+.2f\n",
+                label, pc.predicted_cost, pc.realized_mean_cost(), pc.regret());
+  }
+  std::vector<obs::AttrCalibration> ranked = report.attrs;
+  std::sort(ranked.begin(), ranked.end(),
+            [](const obs::AttrCalibration& a, const obs::AttrCalibration& b) {
+              return a.drift() > b.drift();
+            });
+  std::printf("%-12s", "top drift:");
+  const size_t top = std::min<size_t>(3, ranked.size());
+  for (size_t i = 0; i < top; ++i) {
+    const obs::AttrCalibration& a = ranked[i];
+    std::printf("%s %s %.3f (pass %.2f obs vs %.2f pred)", i > 0 ? "," : "",
+                schema.name(a.attr).c_str(), a.drift(), a.observed_pass_rate(),
+                a.predicted_pass_rate());
+  }
+  std::printf("\n");
+  return report;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -212,6 +282,8 @@ int main(int argc, char** argv) {
       cfg.policy.max_attempts = n;
     } else if (arg == "--metrics-out") {
       cfg.metrics_out = next();
+    } else if (arg == "--calibration-out") {
+      cfg.calibration_out = next();
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: see header comment of tools/caqp_simulate.cc\n");
       return 0;
@@ -249,6 +321,15 @@ int main(int argc, char** argv) {
       RunOnce("heuristic", p_heur, schema, cost_model, test, cfg);
   if (e_heur > 0 && e_naive > 0) {
     std::printf("\nenergy ratio naive/heuristic: %.2fx\n", e_naive / e_heur);
+  }
+
+  const obs::CalibrationReport cal = CalibrateLocally(
+      {{"naive", &p_naive}, {"heuristic", &p_heur}}, query, schema, cost_model,
+      estimator, test);
+  if (!cfg.calibration_out.empty() &&
+      obs::WriteFileOrComplain(cfg.calibration_out,
+                               obs::CalibrationReportToJson(cal, &schema))) {
+    std::printf("[wrote %s]\n", cfg.calibration_out.c_str());
   }
 
   if (!cfg.metrics_out.empty()) {
