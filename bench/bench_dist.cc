@@ -1,0 +1,258 @@
+// Distributed serving tier scaling: 4-shard scatter-gather vs 1 shard.
+//
+// Replays a repeated-query workload (distinct queries « requests — the
+// standing-monitoring-query regime) through two Coordinator configurations
+// over the same dataset:
+//
+//   single   1 executor shard — all row work serialized on one thread
+//   sharded  4 executor shards (hash partition) — row work fanned out
+//
+// Both runs take the cached path (plans are warmed first), so the measured
+// difference is the scatter-gather execution itself: per-query row work
+// dominates, and partitioning it across shard threads should scale nearly
+// linearly. The acceptance bar is sharded >= 2x single-shard throughput —
+// deliberately below the ideal 4x to absorb merge overhead and CI-runner
+// noise, but high enough that a serialization bug (or accidental
+// coordinator-side row loop) fails the build. The bar is only enforced
+// when the machine has >= 4 hardware threads: shard parallelism cannot
+// beat wall clock on fewer cores, so constrained machines report the
+// numbers without failing (merge equivalence is always enforced).
+//
+// Global obs is disabled during the timed loops: the per-row executor
+// macros would funnel every shard thread through the shared default
+// registry and measure lock contention instead of scatter-gather. The
+// coordinator's own ShardedRegistry metrics (prefetched refs, per-shard
+// slots) stay live — they are part of the tier under test.
+//
+// --json-out <path> writes the obs metrics registry (bench_util.h).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/query_signature.h"
+#include "data/synthetic_gen.h"
+#include "dist/coordinator.h"
+#include "exec/executor.h"
+#include "obs/obs.h"
+#include "obs/registry.h"
+#include "opt/greedy_plan.h"
+#include "opt/greedyseq.h"
+#include "prob/dataset_estimator.h"
+
+using namespace caqp;
+
+namespace {
+
+// The dataset is sized so per-query row work (~milliseconds over 96k rows)
+// dominates the fixed scatter-gather cost per query (thread handoffs,
+// plan-cache lookup, merge — tens of microseconds); clients exceed the
+// shard count so shard threads stay saturated rather than latency-bound.
+constexpr size_t kClients = 8;
+constexpr size_t kDistinct = 10;
+constexpr size_t kRequests = 160;
+constexpr size_t kTuples = 96000;
+constexpr uint64_t kSeed = 20050407;
+
+struct Scenario {
+  Dataset data;
+  Dataset train;
+  Dataset test;
+  std::unique_ptr<PerAttributeCostModel> cost_model;
+  std::unique_ptr<SplitPointSet> splits;
+  std::vector<Query> workload;
+};
+
+Scenario MakeScenario() {
+  SyntheticDataOptions dopts;
+  dopts.n = 10;
+  dopts.gamma = 4;
+  dopts.sel = 0.6;
+  dopts.tuples = kTuples;
+  dopts.seed = kSeed;
+  Scenario s{GenerateSyntheticData(dopts), Dataset(Schema{}),
+             Dataset(Schema{}), nullptr, nullptr, {}};
+  auto [train, test] = s.data.SplitFraction(0.4);
+  s.train = std::move(train);
+  s.test = std::move(test);
+  const Schema& schema = s.data.schema();
+  s.cost_model = std::make_unique<PerAttributeCostModel>(schema);
+  s.splits = std::make_unique<SplitPointSet>(SplitPointSet::FromLog10Spsf(
+      schema, static_cast<double>(schema.num_attributes())));
+
+  std::mt19937_64 rng(kSeed);
+  std::vector<uint64_t> sigs;
+  const size_t n = schema.num_attributes();
+  while (s.workload.size() < kDistinct) {
+    std::vector<AttrId> attrs(n);
+    for (size_t i = 0; i < n; ++i) attrs[i] = static_cast<AttrId>(i);
+    std::shuffle(attrs.begin(), attrs.end(), rng);
+    const size_t arity = 3 + rng() % (n - 2);
+    Conjunct preds;
+    for (size_t i = 0; i < arity; ++i) {
+      const Value v =
+          static_cast<Value>(rng() % schema.domain_size(attrs[i]));
+      preds.emplace_back(attrs[i], v, v, /*negated=*/rng() % 4 == 0);
+    }
+    Query q = Query::Conjunction(std::move(preds));
+    const uint64_t sig = QuerySignature(q);
+    if (std::find(sigs.begin(), sigs.end(), sig) != sigs.end()) continue;
+    sigs.push_back(sig);
+    s.workload.push_back(std::move(q));
+  }
+  return s;
+}
+
+class BenchPlanBuilder : public serve::PlanBuilder {
+ public:
+  explicit BenchPlanBuilder(const Scenario& s) : estimator_(s.train) {
+    GreedyPlanner::Options gopts;
+    gopts.split_points = s.splits.get();
+    gopts.seq_solver = &greedyseq_;
+    gopts.max_splits = 5;
+    planner_ = std::make_unique<GreedyPlanner>(estimator_, *s.cost_model,
+                                               gopts);
+  }
+  Plan Build(const Query& query) override {
+    return planner_->BuildPlan(query);
+  }
+  uint64_t ConfigFingerprint() const override { return 0x6469'7374ULL; }
+
+ private:
+  DatasetEstimator estimator_;
+  GreedySeqSolver greedyseq_;
+  std::unique_ptr<GreedyPlanner> planner_;
+};
+
+struct ReplayResult {
+  double elapsed_seconds = 0.0;
+  double qps = 0.0;
+  uint64_t degraded = 0;
+};
+
+/// Warms every workload plan, then replays kRequests cached-path queries
+/// from kClients concurrent client threads.
+ReplayResult Replay(const Scenario& s, dist::Coordinator& coord) {
+  for (const Query& q : s.workload) (void)coord.Execute(q);
+
+  const bool obs_was_enabled = obs::Enabled();
+  obs::SetEnabled(false);
+  std::vector<std::thread> clients;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937_64 rng(kSeed ^ (0xd1u + c));
+      const size_t quota =
+          kRequests / kClients + (c < kRequests % kClients);
+      for (size_t r = 0; r < quota; ++r) {
+        Conjunct preds = s.workload[rng() % s.workload.size()].predicates();
+        std::shuffle(preds.begin(), preds.end(), rng);
+        (void)coord.Execute(Query::Conjunction(std::move(preds)));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  ReplayResult r;
+  r.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  obs::SetEnabled(obs_was_enabled);
+  r.qps = static_cast<double>(kRequests) / r.elapsed_seconds;
+  r.degraded = coord.Report().degraded_queries;
+  return r;
+}
+
+dist::Coordinator MakeCoordinator(const Scenario& s, size_t shards) {
+  dist::Coordinator::Options opts;
+  opts.partition = dist::PartitionSpec::Hash(shards);
+  return dist::Coordinator(
+      s.data, *s.cost_model,
+      [&s] { return std::make_unique<BenchPlanBuilder>(s); }, opts);
+}
+
+/// Fault-free distributed answers must agree with single-process
+/// ExecuteBatch on the same plan — a wrong-but-fast tier scores zero.
+bool VerdictsMatchBatch(const Scenario& s, dist::Coordinator& coord) {
+  for (const Query& q : s.workload) {
+    const dist::Coordinator::Response resp = coord.Execute(q);
+    if (!resp.ok() || resp.degraded() || resp.plan == nullptr) return false;
+    std::vector<RowId> all(s.data.num_rows());
+    for (RowId r = 0; r < s.data.num_rows(); ++r) all[r] = r;
+    std::vector<bool> verdicts;
+    ExecuteBatch(*resp.plan, s.data, all, *s.cost_model, &verdicts);
+    for (RowId r = 0; r < s.data.num_rows(); ++r) {
+      if ((resp.row_verdicts[r] == Truth::kTrue) != verdicts[r]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::InitBench("bench_dist", argc, argv);
+  bench::Banner("distributed tier: 4-shard scatter-gather vs 1 shard");
+
+  Scenario s = MakeScenario();
+  std::printf("%zu tuples, %zu distinct queries, %zu requests, %zu clients\n",
+              s.data.num_rows(), kDistinct, kRequests, kClients);
+
+  dist::Coordinator single = MakeCoordinator(s, 1);
+  dist::Coordinator sharded = MakeCoordinator(s, 4);
+
+  const bool correct = VerdictsMatchBatch(s, sharded);
+  std::printf("merge equivalence vs ExecuteBatch: %s\n",
+              correct ? "ok" : "FAILED");
+
+  // Warm-up run per config, then the timed runs.
+  Replay(s, single);
+  Replay(s, sharded);
+  const ReplayResult one = Replay(s, single);
+  const ReplayResult four = Replay(s, sharded);
+
+  std::printf("\n%-10s %10s %12s %10s\n", "config", "elapsed", "throughput",
+              "degraded");
+  std::printf("%-10s %9.3fs %9.0f q/s %10llu\n", "1-shard",
+              one.elapsed_seconds, one.qps,
+              static_cast<unsigned long long>(one.degraded));
+  std::printf("%-10s %9.3fs %9.0f q/s %10llu\n", "4-shard",
+              four.elapsed_seconds, four.qps,
+              static_cast<unsigned long long>(four.degraded));
+
+  const double speedup = four.qps / one.qps;
+  const unsigned cores = std::thread::hardware_concurrency();
+  const bool bar_enforced = cores >= 4;
+  if (bar_enforced) {
+    std::printf("\nscaling: %.2fx  (bar: >= 2x, %u hardware threads)\n",
+                speedup, cores);
+  } else {
+    std::printf(
+        "\nscaling: %.2fx  (bar: >= 2x NOT ENFORCED — only %u hardware "
+        "threads; shard parallelism cannot beat wall clock here)\n",
+        speedup, cores);
+  }
+
+  CAQP_OBS_GAUGE_SET("bench_dist.single_shard_rps", one.qps);
+  CAQP_OBS_GAUGE_SET("bench_dist.four_shard_rps", four.qps);
+  CAQP_OBS_GAUGE_SET("bench_dist.speedup", speedup);
+  CAQP_OBS_GAUGE_SET("bench_dist.merge_equivalent", correct ? 1.0 : 0.0);
+  CAQP_OBS_GAUGE_SET("bench_dist.hardware_threads",
+                     static_cast<double>(cores));
+  CAQP_OBS_GAUGE_SET("bench_dist.bar_enforced", bar_enforced ? 1.0 : 0.0);
+
+  bench::WriteCsv("dist_scaling", "config,elapsed_s,qps,degraded",
+                  {"1-shard," + std::to_string(one.elapsed_seconds) + "," +
+                       std::to_string(one.qps) + "," +
+                       std::to_string(one.degraded),
+                   "4-shard," + std::to_string(four.elapsed_seconds) + "," +
+                       std::to_string(four.qps) + "," +
+                       std::to_string(four.degraded)});
+  bench::FinishBench();
+  if (!correct) return 1;
+  return !bar_enforced || speedup >= 2.0 ? 0 : 1;
+}

@@ -5,9 +5,10 @@
 # ASan catches OOB reads the Status paths might otherwise hide), then a
 # ThreadSanitizer build (-DCAQP_SANITIZE=thread) running the
 # concurrency-sensitive suites (caqp::serve incl. deadline/shedding paths,
-# the adaptive replanner, the obs v2 span/histogram/shard/flight-recorder
-# suites, the calibration aggregator and drift-policy suites) plus the
-# fault suites again.
+# the caqp::dist coordinator/shard scatter-gather suites, the adaptive
+# replanner, the obs v2 span/histogram/shard/flight-recorder suites, the
+# calibration aggregator and drift-policy suites) plus the fault suites
+# again.
 # Usage: scripts/check.sh [--skip-sanitizers]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -34,6 +35,6 @@ echo "== TSan build + concurrency and fault suites =="
 cmake -B build-tsan -S . -DCAQP_SANITIZE=thread
 cmake --build build-tsan -j
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-  -R '^Serve|^Adaptive|^Fault|^SerdeFuzz|^CompiledPlan|^Span|^Histogram|^ShardedRegistry|^FlightRecorder|^Calibration|^Drift'
+  -R '^Serve|^Dist|^Adaptive|^Fault|^SerdeFuzz|^CompiledPlan|^Span|^Histogram|^ShardedRegistry|^FlightRecorder|^Calibration|^Drift'
 
 echo "== all checks passed =="

@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kShardUnavailable:
+      return "ShardUnavailable";
   }
   return "Unknown";
 }

@@ -24,6 +24,11 @@ enum class StatusCode {
   kInternal,
   kUnavailable,
   kDeadlineExceeded,
+  /// A specific executor shard is unreachable/down. Distinct from
+  /// kUnavailable (whole-service overload / load shedding) so the dist tier
+  /// can degrade one partition without the caller confusing it with
+  /// back-pressure; the message carries the shard id.
+  kShardUnavailable,
 };
 
 /// Returns a human-readable name for a status code ("OK", "InvalidArgument"...).
@@ -63,6 +68,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ShardUnavailable(std::string msg) {
+    return Status(StatusCode::kShardUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

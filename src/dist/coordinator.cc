@@ -1,0 +1,373 @@
+#include "dist/coordinator.h"
+
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "core/query_signature.h"
+#include "dist/merge.h"
+#include "exec/result_serde.h"
+#include "obs/export.h"
+#include "plan/plan_estimates.h"
+#include "plan/plan_serde.h"
+
+namespace caqp::dist {
+
+namespace {
+uint64_t CounterByName(const obs::RegistrySnapshot& snap, const char* name) {
+  for (const auto& c : snap.counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+obs::HistogramSnapshot HistogramByName(const obs::RegistrySnapshot& snap,
+                                       const char* name) {
+  for (const auto& h : snap.histograms) {
+    if (h.name == name) return h.hist;
+  }
+  return obs::HistogramSnapshot{};
+}
+}  // namespace
+
+Coordinator::Coordinator(const Dataset& data,
+                         const AcquisitionCostModel& cost_model,
+                         const serve::PlanBuilderFactory& factory,
+                         Options options)
+    : data_(data),
+      cost_model_(cost_model),
+      options_(std::move(options)),
+      metrics_(options_.partition.num_shards + 1),
+      tracer_(options_.partition.num_shards + 1,
+              obs::TraceRecorder::Options{
+                  /*max_events_per_worker=*/size_t{1} << 15,
+                  /*flight_capacity=*/options_.flight_capacity,
+                  /*max_incidents=*/8192}),
+      cache_(serve::ShardedPlanCache::Options{options_.plan_cache_capacity,
+                                              /*shards=*/8}) {
+  const size_t n = options_.partition.num_shards;
+  CAQP_CHECK(n > 0);
+  builder_ = factory();
+  CAQP_CHECK(builder_ != nullptr);
+  planner_fingerprint_ = builder_->ConfigFingerprint();
+  if (options_.enable_calibration) {
+    calibration_ = std::make_unique<obs::CalibrationAggregator>(n);
+  }
+
+  obs::MetricsRegistry& coord = metrics_.shard(0);
+  cm_.queries = &coord.GetCounter("dist.queries");
+  cm_.degraded_queries = &coord.GetCounter("dist.degraded_queries");
+  cm_.stragglers = &coord.GetCounter("dist.stragglers");
+  cm_.probes = &coord.GetCounter("dist.probes");
+  cm_.planned = &coord.GetCounter("dist.planned");
+  cm_.cache_hits = &coord.GetCounter("dist.cache_hits");
+  cm_.query_latency = &coord.GetHistogram("dist.query_latency_seconds");
+
+  std::vector<std::vector<RowId>> partitions =
+      PartitionRows(options_.partition, data_.num_rows());
+  slots_.reserve(n);
+  shards_.reserve(n);
+  shard_failures_.reserve(n);
+  shard_timeouts_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    slots_.push_back(std::make_unique<ShardSlot>(options_.health));
+    shard_failures_.push_back(
+        &metrics_.shard(i + 1).GetCounter("dist.shard.failures"));
+    shard_timeouts_.push_back(
+        &metrics_.shard(i + 1).GetCounter("dist.shard.timeouts"));
+
+    ExecutorShard::Options so;
+    so.plan_cache_capacity = options_.shard_plan_cache_capacity;
+    so.row_policy = options_.row_policy;
+    so.acquisition_faults = options_.acquisition_faults;
+    if (const ShardFaultSpec::Entry* fault =
+            options_.shard_faults.FindEntry(i)) {
+      so.kill_after = fault->kill_after;
+      so.delay_seconds = fault->delay_seconds;
+    }
+    so.metrics = &metrics_.shard(i + 1);
+    if (options_.enable_tracing) {
+      so.tracer = &tracer_;
+      so.trace_worker = i + 1;
+    }
+    if (calibration_ != nullptr) {
+      so.calibration = calibration_.get();
+      so.calibration_shard = i;
+    }
+    shards_.push_back(std::make_unique<ExecutorShard>(
+        i, data_, std::move(partitions[i]), cost_model_, std::move(so)));
+  }
+}
+
+Coordinator::~Coordinator() = default;  // shards_ drain first (last member)
+
+std::shared_ptr<const CompiledPlan> Coordinator::BuildAndCompile(
+    const Query& query) {
+  // Planning is serialized through the single builder; cache + single-flight
+  // in front of this keep it off the steady-state path entirely.
+  std::lock_guard<std::mutex> lock(builder_mu_);
+  CompiledPlan compiled = CompiledPlan::Compile(builder_->Build(query));
+  if (calibration_ != nullptr) {
+    CondProbEstimator* estimator = builder_->CalibrationEstimator();
+    if (estimator != nullptr) {
+      auto estimates = std::make_shared<PlanEstimates>(
+          EstimatePlan(compiled, *estimator, cost_model_));
+      estimates->estimator_version =
+          estimator_version_.load(std::memory_order_acquire);
+      compiled.AttachEstimates(std::move(estimates));
+    }
+  }
+  return std::make_shared<const CompiledPlan>(std::move(compiled));
+}
+
+Coordinator::Response Coordinator::Execute(const Query& query) {
+  const uint64_t seq =
+      query_seq_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t t0 = obs::MonotonicNowNs();
+  const uint64_t trace_id = tracer_.NewTraceId();
+
+  std::optional<obs::TraceRecorder::RequestScope> scope;
+  std::optional<obs::ScopedSpan> root;
+  if (options_.enable_tracing) {
+    scope.emplace(&tracer_, /*worker=*/0, trace_id);
+    root.emplace("dist.query");
+  }
+
+  Response r;
+  r.trace_id = trace_id;
+  r.query_sig = QuerySignature(query);
+  r.estimator_version = estimator_version_.load(std::memory_order_acquire);
+  if (options_.enable_tracing) {
+    obs::SetRequestPlanContext(r.query_sig, planner_fingerprint_,
+                               r.estimator_version);
+  }
+  const serve::PlanCacheKey key{r.query_sig, r.estimator_version,
+                                planner_fingerprint_};
+  const obs::TraceRecorder::RequestMeta meta{r.query_sig,
+                                             planner_fingerprint_,
+                                             r.estimator_version};
+
+  {
+    CAQP_OBS_SPAN(plan_span, "dist.plan");
+    r.plan = cache_.Get(key);
+    if (r.plan != nullptr) {
+      r.cache_hit = true;
+    } else {
+      serve::SingleFlight::Result flight = flight_.Do(key, [&] {
+        auto plan = BuildAndCompile(query);
+        cache_.Put(key, plan);
+        return plan;
+      });
+      r.plan = std::move(flight.plan);
+      r.planned = flight.leader;
+    }
+  }
+  cm_.queries->Increment();
+  if (r.cache_hit) cm_.cache_hits->Increment();
+  if (r.planned) cm_.planned->Increment();
+
+  // The same bytes a basestation would radio; shared across shards, decoded
+  // at most once per shard per key (per-shard plan cache).
+  auto plan_bytes =
+      std::make_shared<const std::vector<uint8_t>>(SerializePlan(*r.plan));
+
+  const size_t n = shards_.size();
+  r.shards_total = n;
+  r.shard_status.assign(n, Status::OK());
+  r.row_verdicts.assign(data_.num_rows(), Truth::kUnknown);
+
+  std::vector<std::future<ShardReply>> futures(n);
+  std::vector<char> attempted(n, 0);
+  {
+    CAQP_OBS_SPAN(scatter_span, "dist.scatter");
+    for (size_t i = 0; i < n; ++i) {
+      bool attempt = false;
+      bool probe = false;
+      {
+        std::lock_guard<std::mutex> lock(slots_[i]->mu);
+        attempt = slots_[i]->health.ShouldAttempt(seq);
+        probe = attempt &&
+                slots_[i]->health.state() == ShardHealth::State::kDead;
+      }
+      if (!attempt) {
+        r.shard_status[i] = Status::ShardUnavailable(
+            "shard " + std::to_string(i) + " marked dead; skipped");
+        continue;
+      }
+      if (probe) cm_.probes->Increment();
+      attempted[i] = 1;
+      futures[i] = shards_[i]->Submit(ShardRequest{key, plan_bytes}, trace_id);
+    }
+  }
+
+  ExecutionResult merged = MergeIdentity();
+  {
+    CAQP_OBS_SPAN(gather_span, "dist.gather");
+    for (size_t i = 0; i < n; ++i) {
+      if (!attempted[i]) {
+        merged = MergeExecutionResults(merged, UnknownShardResult());
+        ++r.shards_skipped;
+        continue;
+      }
+      // Shared gather budget: each shard gets whatever remains of the
+      // per-query deadline, measured from query start.
+      bool ready = true;
+      if (options_.shard_deadline_seconds > 0.0) {
+        const double elapsed =
+            static_cast<double>(obs::MonotonicNowNs() - t0) * 1e-9;
+        const double remaining = options_.shard_deadline_seconds - elapsed;
+        ready = remaining > 0.0 &&
+                futures[i].wait_for(std::chrono::duration<double>(
+                    remaining)) == std::future_status::ready;
+      }
+      const auto fail = [&](Status status, const char* reason) {
+        r.shard_status[i] = std::move(status);
+        shard_failures_[i]->Increment();
+        {
+          std::lock_guard<std::mutex> lock(slots_[i]->mu);
+          slots_[i]->health.OnFailure();
+        }
+        if (options_.enable_tracing) {
+          // Incident::worker carries the shard id (slot i + 1).
+          tracer_.DumpFlight(i + 1, trace_id, reason, meta);
+        }
+        merged = MergeExecutionResults(merged, UnknownShardResult());
+        ++r.shards_degraded;
+      };
+      if (!ready) {
+        // Straggler: the shard may still finish (the abandoned future's
+        // promise is fulfilled harmlessly), but this query degrades its
+        // partition rather than waiting.
+        cm_.stragglers->Increment();
+        shard_timeouts_[i]->Increment();
+        fail(Status::DeadlineExceeded("shard " + std::to_string(i) +
+                                      " missed the gather deadline"),
+             "shard_timeout");
+        continue;
+      }
+      ShardReply reply = futures[i].get();
+      if (!reply.status.ok()) {
+        fail(std::move(reply.status), "shard_unavailable");
+        continue;
+      }
+      Result<ExecutionResult> partial =
+          DeserializeExecutionResult(reply.result_bytes);
+      if (!partial.ok() ||
+          reply.row_verdicts.size() != shards_[i]->num_rows()) {
+        // A reply we cannot validate merges exactly like a lost shard.
+        fail(partial.ok()
+                 ? Status::DataLoss("shard " + std::to_string(i) +
+                                    " reply row count mismatch")
+                 : partial.status(),
+             "shard_reply_corrupt");
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(slots_[i]->mu);
+        slots_[i]->health.OnSuccess();
+      }
+      merged = MergeExecutionResults(merged, partial.value());
+      const std::vector<RowId>& rows = shards_[i]->rows();
+      for (size_t j = 0; j < rows.size(); ++j) {
+        r.row_verdicts[rows[j]] = reply.row_verdicts[j];
+      }
+      ++r.shards_ok;
+    }
+  }
+
+  {
+    CAQP_OBS_SPAN(merge_span, "dist.merge");
+    r.merged = merged;
+    for (Truth t : r.row_verdicts) {
+      if (t == Truth::kTrue) {
+        ++r.matches;
+      } else if (t == Truth::kUnknown) {
+        ++r.unknown_rows;
+      }
+    }
+  }
+
+  if (r.degraded()) cm_.degraded_queries->Increment();
+  r.latency_seconds = static_cast<double>(obs::MonotonicNowNs() - t0) * 1e-9;
+  cm_.query_latency->Record(r.latency_seconds);
+  r.status = Status::OK();
+  return r;
+}
+
+void Coordinator::InvalidateCache() {
+  estimator_version_.fetch_add(1, std::memory_order_acq_rel);
+  cache_.InvalidateAll();
+  for (const std::unique_ptr<ExecutorShard>& shard : shards_) {
+    shard->InvalidatePlans();
+  }
+}
+
+ShardHealth::State Coordinator::shard_state(size_t shard) const {
+  std::lock_guard<std::mutex> lock(slots_[shard]->mu);
+  return slots_[shard]->health.state();
+}
+
+obs::CalibrationReport Coordinator::CalibrationSnapshot() const {
+  if (calibration_ == nullptr) return obs::CalibrationReport{};
+  return calibration_->Snapshot();
+}
+
+DistReport Coordinator::Report() const {
+  DistReport rep;
+  const obs::RegistrySnapshot coord = metrics_.shard(0).Snapshot();
+  rep.queries = CounterByName(coord, "dist.queries");
+  rep.degraded_queries = CounterByName(coord, "dist.degraded_queries");
+  rep.stragglers = CounterByName(coord, "dist.stragglers");
+  rep.probes = CounterByName(coord, "dist.probes");
+  rep.planned = CounterByName(coord, "dist.planned");
+  rep.cache_hits = CounterByName(coord, "dist.cache_hits");
+  rep.query_latency = HistogramByName(coord, "dist.query_latency_seconds");
+  rep.shards.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const obs::RegistrySnapshot snap = metrics_.shard(i + 1).Snapshot();
+    ShardReportRow row;
+    row.shard = i;
+    row.state = shard_state(i);
+    row.rows = shards_[i]->num_rows();
+    row.requests = CounterByName(snap, "dist.shard.requests");
+    row.failures = CounterByName(snap, "dist.shard.failures");
+    row.timeouts = CounterByName(snap, "dist.shard.timeouts");
+    row.cache_hits = CounterByName(snap, "dist.shard.cache_hits");
+    row.exec_latency = HistogramByName(snap, "dist.shard.exec_seconds");
+    rep.shards.push_back(std::move(row));
+  }
+  return rep;
+}
+
+std::string DistReportToJson(const DistReport& report) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("queries").UInt(report.queries);
+  w.Key("degraded_queries").UInt(report.degraded_queries);
+  w.Key("stragglers").UInt(report.stragglers);
+  w.Key("probes").UInt(report.probes);
+  w.Key("planned").UInt(report.planned);
+  w.Key("cache_hits").UInt(report.cache_hits);
+  w.Key("query_latency");
+  obs::WriteHistogram(w, report.query_latency);
+  w.Key("shards").BeginArray();
+  for (const ShardReportRow& row : report.shards) {
+    w.BeginObject();
+    w.Key("shard").UInt(row.shard);
+    w.Key("state").String(ShardHealthStateName(row.state));
+    w.Key("rows").UInt(row.rows);
+    w.Key("requests").UInt(row.requests);
+    w.Key("failures").UInt(row.failures);
+    w.Key("timeouts").UInt(row.timeouts);
+    w.Key("cache_hits").UInt(row.cache_hits);
+    w.Key("exec_latency");
+    obs::WriteHistogram(w, row.exec_latency);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace caqp::dist

@@ -1,0 +1,43 @@
+#include "dist/health.h"
+
+namespace caqp::dist {
+
+ShardHealth::ShardHealth() : ShardHealth(Policy{}) {}
+
+ShardHealth::State ShardHealth::OnSuccess() {
+  failure_streak_ = 0;
+  // Streaks saturate at the policy thresholds; only "did it reach the
+  // threshold" matters, and saturation keeps long runs overflow-free.
+  if (success_streak_ < policy_.recover_after) ++success_streak_;
+  if (state_ == State::kDead) {
+    // A successful probe revives the shard into kDegraded; it earns
+    // kHealthy back the same way a degraded shard does.
+    state_ = State::kDegraded;
+  }
+  if (state_ == State::kDegraded && success_streak_ >= policy_.recover_after) {
+    state_ = State::kHealthy;
+  }
+  return state_;
+}
+
+ShardHealth::State ShardHealth::OnFailure() {
+  success_streak_ = 0;
+  if (failure_streak_ < policy_.dead_after) ++failure_streak_;
+  state_ = failure_streak_ >= policy_.dead_after ? State::kDead
+                                                 : State::kDegraded;
+  return state_;
+}
+
+const char* ShardHealthStateName(ShardHealth::State state) {
+  switch (state) {
+    case ShardHealth::State::kHealthy:
+      return "healthy";
+    case ShardHealth::State::kDegraded:
+      return "degraded";
+    case ShardHealth::State::kDead:
+      return "dead";
+  }
+  return "unknown";
+}
+
+}  // namespace caqp::dist

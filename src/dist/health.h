@@ -1,0 +1,71 @@
+// Per-shard health state machine for the coordinator.
+//
+//   kHealthy --failure--> kDegraded --(dead_after consecutive)--> kDead
+//   kDead --probe succeeds--> kDegraded --(recover_after consecutive)--> kHealthy
+//
+// A kDegraded shard is still fanned out to on every query (one slow reply
+// should not eclipse a partition). A kDead shard is skipped — its rows
+// degrade straight to Unknown without waiting out the deadline — except for
+// a periodic probe query that gives it a path back. Any success resets the
+// failure streak; any failure resets the success streak, so flapping shards
+// sit in kDegraded rather than oscillating through kHealthy.
+//
+// The class is deliberately not thread-safe: the coordinator guards each
+// shard's health with the shard slot mutex.
+
+#ifndef CAQP_DIST_HEALTH_H_
+#define CAQP_DIST_HEALTH_H_
+
+#include <cstdint>
+
+namespace caqp::dist {
+
+class ShardHealth {
+ public:
+  enum class State : uint8_t { kHealthy = 0, kDegraded = 1, kDead = 2 };
+
+  struct Policy {
+    /// Consecutive failures that take a shard from kDegraded to kDead.
+    int dead_after = 3;
+    /// Consecutive successes that take a shard back to kHealthy.
+    int recover_after = 2;
+    /// A kDead shard is probed on every probe_every-th query (by global
+    /// query sequence number). 0 disables probing: dead stays dead.
+    uint64_t probe_every = 16;
+  };
+
+  // Out-of-line: a `Policy{}` default argument would need Policy's member
+  // initializers before ShardHealth is complete (same constraint as
+  // TraceRecorder::Options in obs/span.h).
+  ShardHealth();
+  explicit ShardHealth(Policy policy) : policy_(policy) {}
+
+  State state() const { return state_; }
+  int failure_streak() const { return failure_streak_; }
+  int success_streak() const { return success_streak_; }
+
+  /// Whether query number `seq` should be sent to this shard. True unless
+  /// the shard is kDead and `seq` is not a probe slot.
+  bool ShouldAttempt(uint64_t seq) const {
+    if (state_ != State::kDead) return true;
+    return policy_.probe_every > 0 && seq % policy_.probe_every == 0;
+  }
+
+  /// Records a successful reply; returns the new state.
+  State OnSuccess();
+  /// Records a failure (error reply, timeout, undecodable bytes); returns
+  /// the new state.
+  State OnFailure();
+
+ private:
+  Policy policy_;
+  State state_ = State::kHealthy;
+  int failure_streak_ = 0;
+  int success_streak_ = 0;
+};
+
+const char* ShardHealthStateName(ShardHealth::State state);
+
+}  // namespace caqp::dist
+
+#endif  // CAQP_DIST_HEALTH_H_

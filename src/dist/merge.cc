@@ -1,0 +1,26 @@
+#include "dist/merge.h"
+
+namespace caqp::dist {
+
+ExecutionResult MergeExecutionResults(const ExecutionResult& a,
+                                      const ExecutionResult& b) {
+  ExecutionResult out;
+  out.verdict3 = TruthOr(a.verdict3, b.verdict3);
+  out.verdict = out.verdict3 == Truth::kTrue;
+  out.aborted = a.aborted || b.aborted;
+  out.cost = a.cost + b.cost;
+  out.acquisitions = a.acquisitions + b.acquisitions;
+  out.retries = a.retries + b.retries;
+  out.acquired = a.acquired.Union(b.acquired);
+  out.failed = a.failed.Union(b.failed);
+  return out;
+}
+
+ExecutionResult UnknownShardResult() {
+  ExecutionResult out;
+  out.verdict3 = Truth::kUnknown;
+  out.verdict = false;
+  return out;
+}
+
+}  // namespace caqp::dist

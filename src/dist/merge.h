@@ -1,0 +1,41 @@
+// Verdict3-aware merge of partial ExecutionResults from executor shards.
+//
+// A distributed query evaluates the WHERE clause over every row of a
+// partitioned dataset; each shard reports one partial ExecutionResult
+// aggregated over its rows (existence semantics: verdict3 is the
+// three-valued OR over the partition). Merging partials from disjoint
+// partitions must preserve the PR 3 degradation contract:
+//
+//  * defined verdicts never flip: kTrue OR anything = kTrue, and a kFalse
+//    partial can only stay kFalse or weaken to kUnknown — it never becomes
+//    a wrong kTrue;
+//  * Unknown propagates: a dead shard's partition merges as kUnknown, so
+//    "no match found" is only claimed when every shard answered kFalse;
+//  * acquisition/energy costs sum (partitions are disjoint row sets).
+
+#ifndef CAQP_DIST_MERGE_H_
+#define CAQP_DIST_MERGE_H_
+
+#include "exec/executor.h"
+
+namespace caqp::dist {
+
+/// Combines two partial results from disjoint row partitions.
+/// verdict3 = TruthOr; aborted ORs; cost/acquisitions/retries sum;
+/// acquired/failed union; verdict is re-derived from verdict3.
+/// Associative and commutative, with MergeIdentity() as identity.
+ExecutionResult MergeExecutionResults(const ExecutionResult& a,
+                                      const ExecutionResult& b);
+
+/// Identity element for MergeExecutionResults: an empty partition — kFalse
+/// verdict (an existence query over zero rows matches nothing), zero cost.
+inline ExecutionResult MergeIdentity() { return ExecutionResult{}; }
+
+/// Partial result standing in for a shard that never answered (dead, timed
+/// out, or replied with undecodable bytes): kUnknown verdict, zero cost —
+/// we cannot claim any acquisition happened or any row failed to match.
+ExecutionResult UnknownShardResult();
+
+}  // namespace caqp::dist
+
+#endif  // CAQP_DIST_MERGE_H_

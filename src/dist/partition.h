@@ -1,0 +1,65 @@
+// Row partitioning for the distributed serving tier: assigns every dataset
+// row (equivalently, every mote in a partitioned network) to exactly one
+// executor shard. Two schemes:
+//
+//  * kRange — contiguous blocks of row ids. Mirrors a geographically
+//    partitioned sensor field; cheap, cache-friendly, but skew follows the
+//    data layout.
+//  * kHash — splitmix64 over the row id. Spreads any layout evenly, so a
+//    dead shard's Unknown rows are an unbiased sample of the dataset.
+//
+// Both schemes are deterministic functions of (spec, row), so a coordinator
+// restart or a test re-run partitions identically.
+
+#ifndef CAQP_DIST_PARTITION_H_
+#define CAQP_DIST_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+
+namespace caqp::dist {
+
+struct PartitionSpec {
+  enum class Scheme : uint8_t { kRange = 0, kHash = 1 };
+
+  Scheme scheme = Scheme::kHash;
+  size_t num_shards = 4;
+  /// Mixed into the hash so two coordinators over the same data can use
+  /// uncorrelated placements. Ignored by kRange.
+  uint64_t hash_seed = 0x9e3779b97f4a7c15ULL;
+
+  static PartitionSpec Hash(size_t num_shards) {
+    PartitionSpec s;
+    s.scheme = Scheme::kHash;
+    s.num_shards = num_shards;
+    return s;
+  }
+  static PartitionSpec Range(size_t num_shards) {
+    PartitionSpec s;
+    s.scheme = Scheme::kRange;
+    s.num_shards = num_shards;
+    return s;
+  }
+  /// Parses "hash" / "range" (tool flag syntax).
+  static Result<Scheme> ParseScheme(const std::string& text);
+};
+
+const char* PartitionSchemeName(PartitionSpec::Scheme scheme);
+
+/// Shard owning `row` under `spec`, in [0, spec.num_shards). For kRange the
+/// caller supplies the dataset size; blocks are ceil(num_rows/num_shards)
+/// wide so every shard but possibly the last is full.
+size_t ShardForRow(const PartitionSpec& spec, size_t num_rows, RowId row);
+
+/// Materializes the partition: result[s] lists the rows of shard s in
+/// ascending row order. Sizes sum to num_rows; partitions are disjoint.
+std::vector<std::vector<RowId>> PartitionRows(const PartitionSpec& spec,
+                                              size_t num_rows);
+
+}  // namespace caqp::dist
+
+#endif  // CAQP_DIST_PARTITION_H_

@@ -1,0 +1,261 @@
+#include "dist/shard.h"
+
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "dist/merge.h"
+#include "exec/result_serde.h"
+#include "plan/plan_serde.h"
+
+namespace caqp::dist {
+
+namespace {
+
+// Acquisition straight from the shard's dataset slice; the row is swapped
+// per tuple so the executor inner loop allocates nothing.
+class RowSource : public AcquisitionSource {
+ public:
+  explicit RowSource(const Dataset& data) : data_(data) {}
+  void SetRow(RowId row) { row_ = row; }
+  AcquiredValue Acquire(AttrId attr) override { return data_.at(row_, attr); }
+
+ private:
+  const Dataset& data_;
+  RowId row_ = 0;
+};
+
+Status ParseSizeT(const std::string& text, size_t* out) {
+  if (text.empty()) return Status::InvalidArgument("empty number");
+  size_t v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad number '" + text + "'");
+    }
+    v = v * 10 + static_cast<size_t>(c - '0');
+  }
+  *out = v;
+  return Status::OK();
+}
+
+}  // namespace
+
+const ShardFaultSpec::Entry* ShardFaultSpec::FindEntry(size_t shard) const {
+  for (const Entry& e : entries) {
+    if (e.shard == shard) return &e;
+  }
+  return nullptr;
+}
+
+Result<ShardFaultSpec> ShardFaultSpec::Parse(const std::string& text) {
+  ShardFaultSpec spec;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+
+    const size_t at = item.find('@');
+    if (at == std::string::npos) {
+      return Status::InvalidArgument("shard fault '" + item +
+                                     "' missing '@<shard>'");
+    }
+    const std::string verb = item.substr(0, at);
+    const size_t eq = item.find('=', at);
+    const std::string shard_text =
+        item.substr(at + 1, (eq == std::string::npos ? item.size() : eq) -
+                                (at + 1));
+    size_t shard = 0;
+    CAQP_RETURN_IF_ERROR(ParseSizeT(shard_text, &shard));
+
+    Entry* entry = nullptr;
+    for (Entry& e : spec.entries) {
+      if (e.shard == shard) entry = &e;
+    }
+    if (entry == nullptr) {
+      spec.entries.push_back(Entry{shard, -1, 0.0});
+      entry = &spec.entries.back();
+    }
+
+    if (verb == "kill") {
+      size_t after = 0;
+      if (eq != std::string::npos) {
+        CAQP_RETURN_IF_ERROR(ParseSizeT(item.substr(eq + 1), &after));
+      }
+      entry->kill_after = static_cast<int64_t>(after);
+    } else if (verb == "delay") {
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("delay@ needs '=<millis>'");
+      }
+      size_t millis = 0;
+      CAQP_RETURN_IF_ERROR(ParseSizeT(item.substr(eq + 1), &millis));
+      entry->delay_seconds = static_cast<double>(millis) / 1000.0;
+    } else {
+      return Status::InvalidArgument("unknown shard fault verb '" + verb +
+                                     "' (expected kill|delay)");
+    }
+  }
+  return spec;
+}
+
+std::string ShardFaultSpec::ToString() const {
+  std::string out;
+  for (const Entry& e : entries) {
+    if (e.kill_after >= 0) {
+      if (!out.empty()) out += ',';
+      out += "kill@" + std::to_string(e.shard) + "=" +
+             std::to_string(e.kill_after);
+    }
+    if (e.delay_seconds > 0.0) {
+      if (!out.empty()) out += ',';
+      out += "delay@" + std::to_string(e.shard) + "=" +
+             std::to_string(
+                 static_cast<int64_t>(e.delay_seconds * 1000.0 + 0.5));
+    }
+  }
+  return out;
+}
+
+ExecutorShard::ExecutorShard(size_t shard_id, const Dataset& data,
+                             std::vector<RowId> rows,
+                             const AcquisitionCostModel& cost_model,
+                             Options options)
+    : shard_id_(shard_id),
+      data_(data),
+      rows_(std::move(rows)),
+      cost_model_(cost_model),
+      options_(std::move(options)),
+      plan_cache_(serve::ShardedPlanCache::Options{
+          options_.plan_cache_capacity, /*shards=*/1}) {
+  if (options_.acquisition_faults.any()) {
+    // Independent deterministic streams per shard from one profile.
+    FaultSpec spec = options_.acquisition_faults;
+    spec.seed ^= (shard_id_ + 1) * 0x9e3779b97f4a7c15ULL;
+    injector_ = std::make_unique<FaultInjector>(spec);
+  }
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options_.metrics;
+    m_.requests = &reg.GetCounter("dist.shard.requests");
+    m_.cache_hits = &reg.GetCounter("dist.shard.cache_hits");
+    m_.plan_decodes = &reg.GetCounter("dist.shard.plan_decodes");
+    m_.plan_rejects = &reg.GetCounter("dist.shard.plan_rejects");
+    m_.refused = &reg.GetCounter("dist.shard.refused");
+    m_.exec_seconds = &reg.GetHistogram("dist.shard.exec_seconds");
+  }
+}
+
+std::future<ShardReply> ExecutorShard::Submit(ShardRequest request,
+                                              uint64_t trace_id) {
+  auto promise = std::make_shared<std::promise<ShardReply>>();
+  std::future<ShardReply> fut = promise->get_future();
+  pool_.Submit([this, request = std::move(request), trace_id,
+                promise](size_t /*worker*/) mutable {
+    promise->set_value(Handle(request, trace_id));
+  });
+  return fut;
+}
+
+ShardReply ExecutorShard::Handle(const ShardRequest& request,
+                                 uint64_t trace_id) {
+  const uint64_t t0 = obs::MonotonicNowNs();
+  std::optional<obs::TraceRecorder::RequestScope> scope;
+  if (options_.tracer != nullptr) {
+    scope.emplace(options_.tracer, options_.trace_worker, trace_id);
+    obs::SetRequestPlanContext(request.key.query_sig,
+                               request.key.planner_fingerprint,
+                               request.key.estimator_version);
+  }
+  CAQP_OBS_SPAN(handle_span, "shard.handle");
+
+  if (options_.delay_seconds > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options_.delay_seconds));
+  }
+
+  const uint64_t seq = served_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.kill_after >= 0 &&
+      seq >= static_cast<uint64_t>(options_.kill_after) &&
+      !killed_by_schedule_.load(std::memory_order_acquire)) {
+    killed_by_schedule_.store(true, std::memory_order_release);
+    dead_.store(true, std::memory_order_release);
+  }
+
+  ShardReply reply;
+  const auto finish = [&]() {
+    reply.exec_seconds =
+        static_cast<double>(obs::MonotonicNowNs() - t0) * 1e-9;
+    if (m_.requests != nullptr) {
+      m_.requests->Increment();
+      if (reply.plan_cache_hit) m_.cache_hits->Increment();
+      m_.exec_seconds->Record(reply.exec_seconds);
+    }
+    return reply;
+  };
+
+  if (!alive()) {
+    if (m_.refused != nullptr) m_.refused->Increment();
+    reply.status = Status::ShardUnavailable(
+        "shard " + std::to_string(shard_id_) + " is down");
+    return finish();
+  }
+
+  std::shared_ptr<const CompiledPlan> plan = plan_cache_.Get(request.key);
+  reply.plan_cache_hit = plan != nullptr;
+  if (plan == nullptr) {
+    CAQP_OBS_SPAN(decode_span, "shard.plan_decode");
+    CAQP_CHECK(request.plan_bytes != nullptr);
+    Result<CompiledPlan> decoded =
+        DeserializeCompiledPlan(*request.plan_bytes, data_.schema());
+    if (!decoded.ok()) {
+      // Corrupt plan bytes degrade like a down shard: old cached plans stay
+      // installed (mote semantics, net/mote.h), nothing partial executes.
+      if (m_.plan_rejects != nullptr) m_.plan_rejects->Increment();
+      reply.status = decoded.status();
+      return finish();
+    }
+    plan = std::make_shared<const CompiledPlan>(std::move(decoded).value());
+    plan_cache_.Put(request.key, plan);
+    if (m_.plan_decodes != nullptr) m_.plan_decodes->Increment();
+  }
+
+  ExecutionProfile* profile = nullptr;
+  if (options_.calibration != nullptr) {
+    profile = options_.calibration->Profile(
+        options_.calibration_shard,
+        obs::CalibrationKey{request.key.query_sig,
+                            request.key.estimator_version,
+                            request.key.planner_fingerprint},
+        plan);
+    if (profile->num_nodes() != plan->NumNodes()) profile = nullptr;
+  }
+
+  {
+    CAQP_OBS_SPAN(exec_span, "shard.exec");
+    ExecutionResult partial = MergeIdentity();
+    reply.row_verdicts.reserve(rows_.size());
+    RowSource rows_source(data_);
+    AcquisitionSource* source = &rows_source;
+    std::optional<FaultyAcquisitionSource> faulty;
+    if (injector_ != nullptr) {
+      faulty.emplace(rows_source, *injector_);
+      source = &*faulty;
+    }
+    for (RowId row : rows_) {
+      rows_source.SetRow(row);
+      const ExecutionResult r =
+          ExecutePlan(*plan, data_.schema(), cost_model_, *source,
+                      /*trace=*/nullptr, options_.row_policy, profile);
+      reply.row_verdicts.push_back(r.verdict3);
+      partial = MergeExecutionResults(partial, r);
+    }
+    reply.result_bytes = SerializeExecutionResult(partial);
+  }
+  reply.status = Status::OK();
+  return finish();
+}
+
+}  // namespace caqp::dist

@@ -1,0 +1,169 @@
+// ExecutorShard: one partition's in-process query agent.
+//
+// A shard owns a disjoint slice of the dataset rows (its "motes"), a single
+// worker thread (serve::ThreadPool of size 1 — requests within a shard are
+// serialized, like a mote network behind one radio), and a per-shard plan
+// cache. The coordinator ships plans as v0xCA wire bytes — exactly what a
+// basestation radios to motes — and the shard decodes them once per
+// (signature, estimator version, planner fingerprint) key, caching the
+// CompiledPlan; the cached path never touches the bytes again.
+//
+// The reply's partial ExecutionResult travels through the result wire format
+// (exec/result_serde.h) even in-process, so the coordinator exercises — and
+// validates against — the same encoding a remote shard would send: a corrupt
+// reply is handled like a lost shard, never merged.
+//
+// Fault surface for tests and the --shard-fault-profile flag:
+//  * Kill()/kill_after — the shard answers kShardUnavailable (a crashed
+//    executor process);
+//  * delay_seconds — the shard sleeps before executing (a straggler);
+//  * acquisition_faults — a deterministic FaultSpec stream injected in front
+//    of row acquisition, the PR 3 row-level failure model.
+
+#ifndef CAQP_DIST_SHARD_H_
+#define CAQP_DIST_SHARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "exec/executor.h"
+#include "fault/fault.h"
+#include "obs/calibration.h"
+#include "obs/registry.h"
+#include "obs/span.h"
+#include "opt/cost_model.h"
+#include "serve/plan_cache.h"
+#include "serve/thread_pool.h"
+
+namespace caqp::dist {
+
+/// Per-shard fault schedule for the `--shard-fault-profile` mini-language:
+/// comma-separated directives
+///   kill@<shard>[=<after_requests>]   answer kShardUnavailable from the
+///                                     given request count on (default 0);
+///   delay@<shard>=<millis>            sleep that long before each request.
+struct ShardFaultSpec {
+  struct Entry {
+    size_t shard = 0;
+    int64_t kill_after = -1;  ///< requests served before dying; -1 = never
+    double delay_seconds = 0.0;
+  };
+  std::vector<Entry> entries;
+
+  bool any() const { return !entries.empty(); }
+  /// The entry for `shard`, or nullptr.
+  const Entry* FindEntry(size_t shard) const;
+
+  static Result<ShardFaultSpec> Parse(const std::string& text);
+  std::string ToString() const;
+};
+
+/// One scatter request: the plan identity plus the shared wire bytes.
+struct ShardRequest {
+  serve::PlanCacheKey key;
+  std::shared_ptr<const std::vector<uint8_t>> plan_bytes;
+};
+
+/// One shard's reply.
+struct ShardReply {
+  Status status;  ///< kOk, kShardUnavailable, or a plan-decode error
+  /// SerializeExecutionResult(partial over this shard's rows); empty unless
+  /// status is OK.
+  std::vector<uint8_t> result_bytes;
+  /// Per-row verdicts aligned with the shard's row list (ascending row
+  /// order); empty unless status is OK.
+  std::vector<Truth> row_verdicts;
+  bool plan_cache_hit = false;
+  double exec_seconds = 0.0;  ///< shard-side handling time (incl. delay)
+};
+
+class ExecutorShard {
+ public:
+  struct Options {
+    size_t plan_cache_capacity = 64;
+    DegradationPolicy row_policy{};
+    /// Row-level acquisition faults; seed is XORed with the shard id so
+    /// shards draw independent streams from one profile.
+    FaultSpec acquisition_faults{};
+    int64_t kill_after = -1;
+    double delay_seconds = 0.0;
+    /// Per-shard observability (owned by the coordinator). All optional.
+    obs::MetricsRegistry* metrics = nullptr;
+    obs::TraceRecorder* tracer = nullptr;
+    size_t trace_worker = 0;  ///< worker slot in `tracer` (shard id + 1)
+    obs::CalibrationAggregator* calibration = nullptr;
+    size_t calibration_shard = 0;
+  };
+
+  /// `data` must outlive the shard. `rows` is this shard's partition.
+  ExecutorShard(size_t shard_id, const Dataset& data, std::vector<RowId> rows,
+                const AcquisitionCostModel& cost_model, Options options);
+
+  ExecutorShard(const ExecutorShard&) = delete;
+  ExecutorShard& operator=(const ExecutorShard&) = delete;
+
+  /// Enqueues the request on the shard thread. The future is always
+  /// fulfilled (a dead shard replies kShardUnavailable promptly).
+  std::future<ShardReply> Submit(ShardRequest request, uint64_t trace_id);
+
+  size_t shard_id() const { return shard_id_; }
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<RowId>& rows() const { return rows_; }
+
+  /// Test hooks / fault-profile surface: a killed shard keeps draining its
+  /// queue but answers every request kShardUnavailable until Revive().
+  void Kill() { dead_.store(true, std::memory_order_release); }
+  void Revive() {
+    dead_.store(false, std::memory_order_release);
+    killed_by_schedule_.store(false, std::memory_order_release);
+  }
+  bool alive() const { return !dead_.load(std::memory_order_acquire); }
+
+  uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+  /// Eagerly drops the shard's cached plans (coordinator invalidation).
+  /// Version-bumped keys would age out of the LRU anyway.
+  void InvalidatePlans() { plan_cache_.InvalidateAll(); }
+
+ private:
+  ShardReply Handle(const ShardRequest& request, uint64_t trace_id);
+
+  /// Metric references resolved once at construction (registry lookups take
+  /// a mutex; requests should not).
+  struct MetricRefs {
+    obs::Counter* requests = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* plan_decodes = nullptr;
+    obs::Counter* plan_rejects = nullptr;
+    obs::Counter* refused = nullptr;
+    obs::Histogram* exec_seconds = nullptr;
+  };
+
+  const size_t shard_id_;
+  const Dataset& data_;
+  const std::vector<RowId> rows_;
+  const AcquisitionCostModel& cost_model_;
+  const Options options_;
+
+  MetricRefs m_;
+  serve::ShardedPlanCache plan_cache_;
+  std::unique_ptr<FaultInjector> injector_;  // shard-thread only
+  std::atomic<bool> dead_{false};
+  std::atomic<bool> killed_by_schedule_{false};
+  std::atomic<uint64_t> served_{0};
+
+  // Last: the worker thread must stop before the members above die.
+  serve::ThreadPool pool_{1};
+};
+
+}  // namespace caqp::dist
+
+#endif  // CAQP_DIST_SHARD_H_

@@ -312,24 +312,43 @@ std::function<void()> QueryService::InvalidationHook() {
 }
 
 ServeReport QueryService::Report() const {
-  const obs::RegistrySnapshot snap = metrics_.Snapshot();
-  auto counter = [&snap](const char* name) -> uint64_t {
+  const auto counter_in = [](const obs::RegistrySnapshot& snap,
+                             const char* name) -> uint64_t {
     for (const auto& c : snap.counters) {
       if (c.name == name) return c.value;
     }
     return 0;
   };
+  const obs::RegistrySnapshot snap = metrics_.Snapshot();
   ServeReport rep;
-  rep.requests = counter("serve.requests");
-  rep.ok = counter("serve.ok");
-  rep.cache_hits = counter("serve.cache_hits");
-  rep.planned = counter("serve.planned");
-  rep.fallbacks = counter("serve.fallbacks");
-  rep.deadline_exceeded = counter("serve.deadline_exceeded");
-  rep.planner_timeouts = counter("serve.planner_timeouts");
+  rep.requests = counter_in(snap, "serve.requests");
+  rep.ok = counter_in(snap, "serve.ok");
+  rep.cache_hits = counter_in(snap, "serve.cache_hits");
+  rep.planned = counter_in(snap, "serve.planned");
+  rep.fallbacks = counter_in(snap, "serve.fallbacks");
+  rep.deadline_exceeded = counter_in(snap, "serve.deadline_exceeded");
+  rep.planner_timeouts = counter_in(snap, "serve.planner_timeouts");
   rep.shed = shed_.load(std::memory_order_relaxed);
+  rep.pending = pending_.load(std::memory_order_relaxed);
   for (const auto& h : snap.histograms) {
     if (h.name == "serve.request_latency_seconds") rep.latency = h.hist;
+  }
+  rep.workers.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    const obs::RegistrySnapshot ws = metrics_.shard(i).Snapshot();
+    WorkerReport w;
+    w.worker = i;
+    w.requests = counter_in(ws, "serve.requests");
+    w.ok = counter_in(ws, "serve.ok");
+    w.cache_hits = counter_in(ws, "serve.cache_hits");
+    w.planned = counter_in(ws, "serve.planned");
+    w.fallbacks = counter_in(ws, "serve.fallbacks");
+    w.deadline_exceeded = counter_in(ws, "serve.deadline_exceeded");
+    w.planner_timeouts = counter_in(ws, "serve.planner_timeouts");
+    for (const auto& h : ws.histograms) {
+      if (h.name == "serve.request_latency_seconds") w.latency = h.hist;
+    }
+    rep.workers.push_back(std::move(w));
   }
   return rep;
 }
@@ -345,8 +364,32 @@ std::string ServeReportToJson(const ServeReport& report) {
   w.Key("deadline_exceeded").UInt(report.deadline_exceeded);
   w.Key("planner_timeouts").UInt(report.planner_timeouts);
   w.Key("shed").UInt(report.shed);
+  w.Key("pending").UInt(report.pending);
   w.Key("latency");
   obs::WriteHistogram(w, report.latency);
+  w.Key("workers").BeginArray();
+  for (const WorkerReport& worker : report.workers) {
+    w.BeginObject();
+    w.Key("worker").UInt(worker.worker);
+    w.Key("requests").UInt(worker.requests);
+    w.Key("ok").UInt(worker.ok);
+    w.Key("cache_hits").UInt(worker.cache_hits);
+    w.Key("planned").UInt(worker.planned);
+    w.Key("fallbacks").UInt(worker.fallbacks);
+    w.Key("deadline_exceeded").UInt(worker.deadline_exceeded);
+    w.Key("planner_timeouts").UInt(worker.planner_timeouts);
+    // Compact per-worker latency summary; the full bucket layout is already
+    // exported once in the aggregate histogram above.
+    w.Key("latency");
+    w.BeginObject();
+    w.Key("count").UInt(worker.latency.count);
+    w.Key("mean").Double(worker.latency.mean());
+    w.Key("p50").Double(worker.latency.p50());
+    w.Key("p99").Double(worker.latency.p99());
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
   w.EndObject();
   return w.TakeString();
 }

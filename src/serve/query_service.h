@@ -165,6 +165,22 @@ struct DriftStatus {
   bool fired = false;
 };
 
+/// One worker's share of the request stream (its metric shard), so per-shard
+/// views stay comparable across the serve and dist tiers. The worker queue
+/// itself is shared (one deque feeds all workers — see thread_pool.h), so
+/// queue depth is reported at the service level, not per worker.
+struct WorkerReport {
+  size_t worker = 0;
+  uint64_t requests = 0;
+  uint64_t ok = 0;
+  uint64_t cache_hits = 0;
+  uint64_t planned = 0;
+  uint64_t fallbacks = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t planner_timeouts = 0;
+  obs::HistogramSnapshot latency;
+};
+
 /// Aggregated view of the service's request stream, assembled from the
 /// per-worker metric shards (plus the submit-side shed count). Latency
 /// percentiles come from the merged obs::Histogram, so they reflect every
@@ -178,8 +194,15 @@ struct ServeReport {
   uint64_t deadline_exceeded = 0;
   uint64_t planner_timeouts = 0;
   uint64_t shed = 0;  ///< rejected kUnavailable at Submit
+  /// Requests admitted but not completed when the report was taken — the
+  /// live queue depth the load shedder compares against max_queue_depth.
+  /// Point-in-time: a request's response future is fulfilled just before
+  /// its decrement, so this may read 1 high immediately after a wait.
+  uint64_t pending = 0;
   /// Seconds from worker pickup to completion, every completed request.
   obs::HistogramSnapshot latency;
+  /// Per-worker breakdown of the aggregate counters above.
+  std::vector<WorkerReport> workers;
 };
 
 class QueryService {

@@ -1,0 +1,845 @@
+// caqp::dist tests: result-merge semantics, row partitioning, the shard
+// health machine, ExecutionResult wire round-trips, and the Coordinator end
+// to end — including the merge-equivalence matrix (N-shard scatter-gather
+// must agree with single-process ExecuteBatch) and the fault-path tests
+// that hold the PR 3 invariant under dead and straggling shards. Every
+// suite is named Dist* so scripts/check.sh can select them for the TSan
+// build with ctest -R '^Dist'.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "dist/coordinator.h"
+#include "dist/health.h"
+#include "dist/merge.h"
+#include "dist/partition.h"
+#include "dist/shard.h"
+#include "exec/executor.h"
+#include "exec/result_serde.h"
+#include "opt/greedy_plan.h"
+#include "opt/greedyseq.h"
+#include "opt/naive.h"
+#include "opt/split_points.h"
+#include "prob/chow_liu.h"
+#include "serve/query_service.h"
+#include "test_util.h"
+
+namespace caqp {
+namespace {
+
+using dist::Coordinator;
+using dist::ExecutorShard;
+using dist::MergeExecutionResults;
+using dist::MergeIdentity;
+using dist::PartitionRows;
+using dist::PartitionSpec;
+using dist::ShardForRow;
+using dist::ShardFaultSpec;
+using dist::ShardHealth;
+using dist::UnknownShardResult;
+
+// ---------------------------------------------------------------------------
+// Merge semantics
+// ---------------------------------------------------------------------------
+
+ExecutionResult ResultWith(Truth v3, double cost = 0.0, int acq = 0) {
+  ExecutionResult r;
+  r.verdict3 = v3;
+  r.verdict = v3 == Truth::kTrue;
+  r.cost = cost;
+  r.acquisitions = acq;
+  return r;
+}
+
+TEST(DistMergeTest, VerdictFollowsThreeValuedOr) {
+  const Truth kVals[] = {Truth::kFalse, Truth::kTrue, Truth::kUnknown};
+  for (Truth a : kVals) {
+    for (Truth b : kVals) {
+      const ExecutionResult m =
+          MergeExecutionResults(ResultWith(a), ResultWith(b));
+      EXPECT_EQ(m.verdict3, TruthOr(a, b));
+      EXPECT_EQ(m.verdict, m.verdict3 == Truth::kTrue);
+    }
+  }
+}
+
+TEST(DistMergeTest, DefinedVerdictsNeverFlip) {
+  // kTrue absorbs everything; kFalse can only weaken to kUnknown.
+  EXPECT_EQ(MergeExecutionResults(ResultWith(Truth::kTrue),
+                                  ResultWith(Truth::kUnknown))
+                .verdict3,
+            Truth::kTrue);
+  EXPECT_EQ(MergeExecutionResults(ResultWith(Truth::kFalse),
+                                  ResultWith(Truth::kUnknown))
+                .verdict3,
+            Truth::kUnknown);
+  EXPECT_EQ(MergeExecutionResults(ResultWith(Truth::kFalse),
+                                  ResultWith(Truth::kFalse))
+                .verdict3,
+            Truth::kFalse);
+}
+
+TEST(DistMergeTest, IdentityLeavesResultUnchanged) {
+  ExecutionResult r = ResultWith(Truth::kTrue, 12.5, 3);
+  r.retries = 2;
+  r.aborted = false;
+  r.acquired.Insert(1);
+  r.acquired.Insert(3);
+  r.failed.Insert(2);
+  for (const ExecutionResult& m :
+       {MergeExecutionResults(MergeIdentity(), r),
+        MergeExecutionResults(r, MergeIdentity())}) {
+    EXPECT_EQ(m.verdict3, r.verdict3);
+    EXPECT_EQ(m.verdict, r.verdict);
+    EXPECT_EQ(m.aborted, r.aborted);
+    EXPECT_EQ(m.cost, r.cost);
+    EXPECT_EQ(m.acquisitions, r.acquisitions);
+    EXPECT_EQ(m.retries, r.retries);
+    EXPECT_EQ(m.acquired.bits, r.acquired.bits);
+    EXPECT_EQ(m.failed.bits, r.failed.bits);
+  }
+}
+
+TEST(DistMergeTest, CostsSumAndSetsUnion) {
+  ExecutionResult a = ResultWith(Truth::kFalse, 10.0, 2);
+  a.retries = 1;
+  a.acquired.Insert(0);
+  a.failed.Insert(3);
+  ExecutionResult b = ResultWith(Truth::kTrue, 2.5, 1);
+  b.retries = 4;
+  b.aborted = true;
+  b.acquired.Insert(1);
+  b.failed.Insert(3);
+
+  const ExecutionResult m = MergeExecutionResults(a, b);
+  EXPECT_EQ(m.verdict3, Truth::kTrue);
+  EXPECT_TRUE(m.aborted);
+  EXPECT_DOUBLE_EQ(m.cost, 12.5);
+  EXPECT_EQ(m.acquisitions, 3);
+  EXPECT_EQ(m.retries, 5);
+  EXPECT_TRUE(m.acquired.Contains(0));
+  EXPECT_TRUE(m.acquired.Contains(1));
+  EXPECT_EQ(m.acquired.Count(), 2u);
+  EXPECT_TRUE(m.failed.Contains(3));
+  EXPECT_EQ(m.failed.Count(), 1u);
+}
+
+TEST(DistMergeTest, CommutativeAndAssociative) {
+  ExecutionResult a = ResultWith(Truth::kFalse, 1.0, 1);
+  ExecutionResult b = ResultWith(Truth::kUnknown, 2.0, 2);
+  ExecutionResult c = ResultWith(Truth::kTrue, 4.0, 4);
+  const ExecutionResult ab_c =
+      MergeExecutionResults(MergeExecutionResults(a, b), c);
+  const ExecutionResult a_bc =
+      MergeExecutionResults(a, MergeExecutionResults(b, c));
+  const ExecutionResult ba_c =
+      MergeExecutionResults(MergeExecutionResults(b, a), c);
+  EXPECT_EQ(ab_c.verdict3, a_bc.verdict3);
+  EXPECT_DOUBLE_EQ(ab_c.cost, a_bc.cost);
+  EXPECT_EQ(ab_c.acquisitions, a_bc.acquisitions);
+  EXPECT_EQ(ab_c.verdict3, ba_c.verdict3);
+  EXPECT_EQ(ab_c.acquisitions, ba_c.acquisitions);
+}
+
+TEST(DistMergeTest, UnknownShardResultCannotClaimAnything) {
+  const ExecutionResult u = UnknownShardResult();
+  EXPECT_EQ(u.verdict3, Truth::kUnknown);
+  EXPECT_FALSE(u.verdict);
+  EXPECT_EQ(u.cost, 0.0);
+  EXPECT_EQ(u.acquisitions, 0);
+  EXPECT_EQ(u.acquired.Count(), 0u);
+  // Merging a lost shard weakens kFalse but never flips kTrue.
+  EXPECT_EQ(MergeExecutionResults(ResultWith(Truth::kTrue), u).verdict3,
+            Truth::kTrue);
+  EXPECT_EQ(MergeExecutionResults(ResultWith(Truth::kFalse), u).verdict3,
+            Truth::kUnknown);
+}
+
+// ---------------------------------------------------------------------------
+// Partitioning
+// ---------------------------------------------------------------------------
+
+TEST(DistPartitionTest, PartitionIsDisjointAndComplete) {
+  for (const PartitionSpec& spec :
+       {PartitionSpec::Hash(1), PartitionSpec::Hash(3), PartitionSpec::Hash(8),
+        PartitionSpec::Range(1), PartitionSpec::Range(3),
+        PartitionSpec::Range(8)}) {
+    for (size_t rows : {0u, 1u, 7u, 100u, 1000u}) {
+      const auto parts = PartitionRows(spec, rows);
+      ASSERT_EQ(parts.size(), spec.num_shards);
+      std::vector<int> seen(rows, 0);
+      for (size_t s = 0; s < parts.size(); ++s) {
+        for (size_t i = 0; i < parts[s].size(); ++i) {
+          const RowId r = parts[s][i];
+          ASSERT_LT(r, rows);
+          ++seen[r];
+          EXPECT_EQ(ShardForRow(spec, rows, r), s);
+          if (i > 0) {
+            EXPECT_LT(parts[s][i - 1], r);  // ascending
+          }
+        }
+      }
+      for (size_t r = 0; r < rows; ++r) {
+        EXPECT_EQ(seen[r], 1) << "row " << r << " covered " << seen[r]
+                              << " times";
+      }
+    }
+  }
+}
+
+TEST(DistPartitionTest, DeterministicAcrossCalls) {
+  const PartitionSpec spec = PartitionSpec::Hash(4);
+  EXPECT_EQ(PartitionRows(spec, 500), PartitionRows(spec, 500));
+}
+
+TEST(DistPartitionTest, RangeBlocksAreContiguous) {
+  const auto parts = PartitionRows(PartitionSpec::Range(4), 10);
+  // ceil(10/4) = 3 rows per block: [0..2][3..5][6..8][9].
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], (std::vector<RowId>{0, 1, 2}));
+  EXPECT_EQ(parts[1], (std::vector<RowId>{3, 4, 5}));
+  EXPECT_EQ(parts[2], (std::vector<RowId>{6, 7, 8}));
+  EXPECT_EQ(parts[3], (std::vector<RowId>{9}));
+}
+
+TEST(DistPartitionTest, HashSeedChangesPlacement) {
+  PartitionSpec a = PartitionSpec::Hash(4);
+  PartitionSpec b = PartitionSpec::Hash(4);
+  b.hash_seed = 12345;
+  EXPECT_NE(PartitionRows(a, 1000), PartitionRows(b, 1000));
+}
+
+TEST(DistPartitionTest, ParseScheme) {
+  ASSERT_TRUE(PartitionSpec::ParseScheme("hash").ok());
+  EXPECT_EQ(PartitionSpec::ParseScheme("hash").value(),
+            PartitionSpec::Scheme::kHash);
+  ASSERT_TRUE(PartitionSpec::ParseScheme("range").ok());
+  EXPECT_EQ(PartitionSpec::ParseScheme("range").value(),
+            PartitionSpec::Scheme::kRange);
+  EXPECT_FALSE(PartitionSpec::ParseScheme("ring").ok());
+  EXPECT_FALSE(PartitionSpec::ParseScheme("").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Shard health machine
+// ---------------------------------------------------------------------------
+
+TEST(DistHealthTest, DegradesThenDiesThenRecovers) {
+  ShardHealth::Policy policy;
+  policy.dead_after = 3;
+  policy.recover_after = 2;
+  policy.probe_every = 4;
+  ShardHealth h(policy);
+  EXPECT_EQ(h.state(), ShardHealth::State::kHealthy);
+  EXPECT_TRUE(h.ShouldAttempt(1));
+
+  EXPECT_EQ(h.OnFailure(), ShardHealth::State::kDegraded);
+  EXPECT_TRUE(h.ShouldAttempt(1));  // degraded shards are still attempted
+  EXPECT_EQ(h.OnFailure(), ShardHealth::State::kDegraded);
+  EXPECT_EQ(h.OnFailure(), ShardHealth::State::kDead);
+
+  // Dead: only probe slots are attempted.
+  EXPECT_FALSE(h.ShouldAttempt(1));
+  EXPECT_FALSE(h.ShouldAttempt(5));
+  EXPECT_TRUE(h.ShouldAttempt(4));
+  EXPECT_TRUE(h.ShouldAttempt(8));
+
+  // A successful probe revives into kDegraded, then recover_after
+  // consecutive successes earn kHealthy back.
+  EXPECT_EQ(h.OnSuccess(), ShardHealth::State::kDegraded);
+  EXPECT_EQ(h.OnSuccess(), ShardHealth::State::kHealthy);
+  EXPECT_TRUE(h.ShouldAttempt(1));
+}
+
+TEST(DistHealthTest, FlappingStaysDegraded) {
+  ShardHealth::Policy policy;
+  policy.dead_after = 3;
+  policy.recover_after = 2;
+  ShardHealth h(policy);
+  for (int i = 0; i < 10; ++i) {
+    h.OnFailure();
+    EXPECT_EQ(h.OnSuccess(), ShardHealth::State::kDegraded)
+        << "alternating streaks must not reach kHealthy or kDead";
+  }
+}
+
+TEST(DistHealthTest, ProbeDisabledMeansDeadStaysDead) {
+  ShardHealth::Policy policy;
+  policy.dead_after = 1;
+  policy.probe_every = 0;
+  ShardHealth h(policy);
+  EXPECT_EQ(h.OnFailure(), ShardHealth::State::kDead);
+  for (uint64_t seq = 0; seq < 64; ++seq) EXPECT_FALSE(h.ShouldAttempt(seq));
+}
+
+TEST(DistHealthTest, LongRunsSaturateStreaks) {
+  ShardHealth h;  // default policy
+  for (int i = 0; i < 1000; ++i) h.OnFailure();
+  EXPECT_EQ(h.state(), ShardHealth::State::kDead);
+  h.OnSuccess();  // probe
+  EXPECT_EQ(h.state(), ShardHealth::State::kDegraded);
+}
+
+// ---------------------------------------------------------------------------
+// ExecutionResult wire round-trip (deterministic cases; mutation fuzzing
+// lives in serde_fuzz_test.cc)
+// ---------------------------------------------------------------------------
+
+TEST(DistResultSerdeTest, RoundTripsEveryVerdict) {
+  for (Truth v3 : {Truth::kFalse, Truth::kTrue, Truth::kUnknown}) {
+    ExecutionResult r = ResultWith(v3, 123.456, 3);
+    r.retries = 7;
+    r.aborted = v3 == Truth::kUnknown;
+    r.acquired.Insert(0);
+    r.acquired.Insert(5);
+    r.failed.Insert(2);
+    const std::vector<uint8_t> bytes = SerializeExecutionResult(r);
+    const Result<ExecutionResult> back = DeserializeExecutionResult(bytes);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back.value().verdict3, r.verdict3);
+    EXPECT_EQ(back.value().verdict, r.verdict);
+    EXPECT_EQ(back.value().aborted, r.aborted);
+    EXPECT_EQ(back.value().cost, r.cost);
+    EXPECT_EQ(back.value().acquisitions, r.acquisitions);
+    EXPECT_EQ(back.value().retries, r.retries);
+    EXPECT_EQ(back.value().acquired.bits, r.acquired.bits);
+    EXPECT_EQ(back.value().failed.bits, r.failed.bits);
+  }
+}
+
+TEST(DistResultSerdeTest, RejectsCorruptEncodings) {
+  const std::vector<uint8_t> good =
+      SerializeExecutionResult(ResultWith(Truth::kTrue, 1.0, 1));
+  ASSERT_TRUE(DeserializeExecutionResult(good).ok());
+
+  // Wrong version byte.
+  std::vector<uint8_t> bad = good;
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE(DeserializeExecutionResult(bad).ok());
+
+  // verdict3 out of range.
+  bad = good;
+  bad[1] = 3;
+  EXPECT_FALSE(DeserializeExecutionResult(bad).ok());
+
+  // Reserved flag bits must be zero.
+  bad = good;
+  bad[2] |= 0x80;
+  EXPECT_FALSE(DeserializeExecutionResult(bad).ok());
+
+  // Truncation at every prefix length.
+  for (size_t n = 0; n < good.size(); ++n) {
+    const std::vector<uint8_t> prefix(good.begin(), good.begin() + n);
+    EXPECT_FALSE(DeserializeExecutionResult(prefix).ok()) << "prefix " << n;
+  }
+
+  // Trailing garbage.
+  bad = good;
+  bad.push_back(0);
+  EXPECT_FALSE(DeserializeExecutionResult(bad).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Shard fault-profile mini-language
+// ---------------------------------------------------------------------------
+
+TEST(DistFaultSpecTest, ParsesKillAndDelay) {
+  const Result<ShardFaultSpec> spec =
+      ShardFaultSpec::Parse("kill@1=3,delay@2=50");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec.value().entries.size(), 2u);
+  const ShardFaultSpec::Entry* kill = spec.value().FindEntry(1);
+  ASSERT_NE(kill, nullptr);
+  EXPECT_EQ(kill->kill_after, 3);
+  const ShardFaultSpec::Entry* delay = spec.value().FindEntry(2);
+  ASSERT_NE(delay, nullptr);
+  EXPECT_DOUBLE_EQ(delay->delay_seconds, 0.05);
+  EXPECT_EQ(spec.value().FindEntry(0), nullptr);
+}
+
+TEST(DistFaultSpecTest, KillDefaultsToImmediate) {
+  const Result<ShardFaultSpec> spec = ShardFaultSpec::Parse("kill@0");
+  ASSERT_TRUE(spec.ok());
+  ASSERT_EQ(spec.value().entries.size(), 1u);
+  EXPECT_EQ(spec.value().entries[0].kill_after, 0);
+}
+
+TEST(DistFaultSpecTest, RejectsMalformedDirectives) {
+  EXPECT_FALSE(ShardFaultSpec::Parse("explode@1").ok());
+  EXPECT_FALSE(ShardFaultSpec::Parse("kill@x").ok());
+  EXPECT_FALSE(ShardFaultSpec::Parse("delay@1").ok());
+  EXPECT_FALSE(ShardFaultSpec::Parse("delay@1=abc").ok());
+}
+
+TEST(DistFaultSpecTest, RoundTripsThroughToString) {
+  const Result<ShardFaultSpec> spec =
+      ShardFaultSpec::Parse("kill@1=3,delay@2=50");
+  ASSERT_TRUE(spec.ok());
+  const Result<ShardFaultSpec> again =
+      ShardFaultSpec::Parse(spec.value().ToString());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again.value().entries.size(), spec.value().entries.size());
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator end to end
+// ---------------------------------------------------------------------------
+
+struct DistFixture {
+  Schema schema = testing_util::SmallSchema();
+  Dataset data = testing_util::CorrelatedDataset(schema, 6000, 17);
+  PerAttributeCostModel cm{schema};
+  SplitPointSet splits = SplitPointSet::AllPoints(schema);
+  GreedySeqSolver solver;
+  ChowLiuEstimator estimator{data};
+  std::unique_ptr<GreedyPlanner> greedy;
+  std::unique_ptr<NaivePlanner> naive;
+
+  DistFixture() {
+    GreedyPlanner::Options opts;
+    opts.split_points = &splits;
+    opts.seq_solver = &solver;
+    opts.max_splits = 3;
+    greedy = std::make_unique<GreedyPlanner>(estimator, cm, opts);
+    naive = std::make_unique<NaivePlanner>(estimator, cm);
+  }
+
+  serve::PlanBuilderFactory Factory(const Planner& planner,
+                                    uint64_t fingerprint) {
+    return [&planner, fingerprint] {
+      return std::make_unique<serve::SharedPlannerBuilder>(planner,
+                                                           fingerprint);
+    };
+  }
+
+  Coordinator MakeCoordinator(Coordinator::Options opts,
+                              const Planner* planner = nullptr) {
+    const Planner& p = planner != nullptr ? *planner : *greedy;
+    return Coordinator(data, cm, Factory(p, 21), std::move(opts));
+  }
+
+  Query MidQuery() const {
+    return Query::Conjunction(
+        {Predicate(2, 1, 3), Predicate(3, 2, 4), Predicate(0, 1, 2)});
+  }
+};
+
+/// Checks one distributed response against single-process ExecuteBatch run
+/// with the *same compiled plan* over all rows: row verdicts, match count,
+/// acquisition counts exact; total cost within FP-reassociation tolerance
+/// (shards sum their partitions independently, so cross-shard addition
+/// order differs from the flat row-order fold).
+void ExpectMatchesBatch(const DistFixture& fx, const Query& q,
+                        const Coordinator::Response& resp) {
+  ASSERT_TRUE(resp.ok()) << resp.status.ToString();
+  ASSERT_NE(resp.plan, nullptr);
+  ASSERT_EQ(resp.row_verdicts.size(), fx.data.num_rows());
+
+  std::vector<RowId> all_rows(fx.data.num_rows());
+  for (RowId r = 0; r < fx.data.num_rows(); ++r) all_rows[r] = r;
+  std::vector<bool> verdicts;
+  const BatchExecutionStats stats =
+      ExecuteBatch(*resp.plan, fx.data, all_rows, fx.cm, &verdicts);
+
+  size_t matches = 0;
+  for (RowId r = 0; r < fx.data.num_rows(); ++r) {
+    ASSERT_NE(resp.row_verdicts[r], Truth::kUnknown)
+        << "fault-free run degraded row " << r;
+    EXPECT_EQ(resp.row_verdicts[r] == Truth::kTrue, verdicts[r])
+        << "row " << r;
+    // Ground truth, independently of the plan.
+    EXPECT_EQ(resp.row_verdicts[r] == Truth::kTrue,
+              q.Matches(fx.data.GetTuple(r)))
+        << "row " << r;
+    if (verdicts[r]) ++matches;
+  }
+  EXPECT_EQ(resp.matches, matches);
+  EXPECT_EQ(resp.matches, stats.matches);
+  EXPECT_EQ(resp.unknown_rows, 0u);
+  EXPECT_EQ(static_cast<size_t>(resp.merged.acquisitions),
+            stats.total_acquisitions);
+  EXPECT_EQ(resp.merged.verdict3,
+            matches > 0 ? Truth::kTrue : Truth::kFalse);
+  EXPECT_NEAR(resp.merged.cost, stats.total_cost,
+              1e-9 * (1.0 + std::abs(stats.total_cost)));
+}
+
+TEST(DistCoordinatorTest, MergeEquivalenceMatrix) {
+  DistFixture fx;
+  const Planner* planners[] = {fx.greedy.get(), fx.naive.get()};
+  const PartitionSpec specs[] = {
+      PartitionSpec::Hash(1), PartitionSpec::Hash(4), PartitionSpec::Range(2),
+      PartitionSpec::Range(4)};
+  for (const Planner* planner : planners) {
+    for (const PartitionSpec& spec : specs) {
+      Coordinator::Options opts;
+      opts.partition = spec;
+      Coordinator coord = fx.MakeCoordinator(opts, planner);
+      ASSERT_EQ(coord.num_shards(), spec.num_shards);
+
+      Rng rng(91);
+      for (int i = 0; i < 8; ++i) {
+        const Query q =
+            i == 0 ? fx.MidQuery()
+                   : testing_util::RandomConjunctiveQuery(fx.schema, rng);
+        const Coordinator::Response resp = coord.Execute(q);
+        SCOPED_TRACE(std::string(planner->Name()) + " scheme=" +
+                     dist::PartitionSchemeName(spec.scheme) + " shards=" +
+                     std::to_string(spec.num_shards) + " query=" +
+                     std::to_string(i));
+        EXPECT_EQ(resp.shards_ok, spec.num_shards);
+        EXPECT_FALSE(resp.degraded());
+        ExpectMatchesBatch(fx, q, resp);
+      }
+    }
+  }
+}
+
+TEST(DistCoordinatorTest, PlanCacheAndSingleFlightAreUsed) {
+  DistFixture fx;
+  Coordinator::Options opts;
+  opts.partition = PartitionSpec::Hash(3);
+  Coordinator coord = fx.MakeCoordinator(opts);
+  const Query q = fx.MidQuery();
+
+  const Coordinator::Response first = coord.Execute(q);
+  EXPECT_TRUE(first.planned);
+  EXPECT_FALSE(first.cache_hit);
+  const Coordinator::Response second = coord.Execute(q);
+  EXPECT_FALSE(second.planned);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.plan, first.plan);
+  EXPECT_EQ(second.query_sig, first.query_sig);
+
+  // Shuffled predicates canonicalize to the same signature and plan.
+  const Query shuffled = Query::Conjunction(
+      {Predicate(0, 1, 2), Predicate(2, 1, 3), Predicate(3, 2, 4)});
+  const Coordinator::Response third = coord.Execute(shuffled);
+  EXPECT_TRUE(third.cache_hit);
+  EXPECT_EQ(third.plan, first.plan);
+
+  const dist::DistReport report = coord.Report();
+  EXPECT_EQ(report.queries, 3u);
+  EXPECT_EQ(report.planned, 1u);
+  EXPECT_EQ(report.cache_hits, 2u);
+}
+
+TEST(DistCoordinatorTest, InvalidateCacheForcesReplan) {
+  DistFixture fx;
+  Coordinator::Options opts;
+  opts.partition = PartitionSpec::Hash(2);
+  Coordinator coord = fx.MakeCoordinator(opts);
+  const Query q = fx.MidQuery();
+
+  const uint64_t v0 = coord.estimator_version();
+  coord.Execute(q);
+  coord.InvalidateCache();
+  EXPECT_GT(coord.estimator_version(), v0);
+  const Coordinator::Response resp = coord.Execute(q);
+  EXPECT_TRUE(resp.planned);
+  EXPECT_FALSE(resp.cache_hit);
+  ExpectMatchesBatch(fx, q, resp);
+}
+
+TEST(DistCoordinatorTest, DeadShardDegradesOnlyItsPartition) {
+  DistFixture fx;
+  Coordinator::Options opts;
+  opts.partition = PartitionSpec::Hash(4);
+  Coordinator coord = fx.MakeCoordinator(opts);
+  const Query q = fx.MidQuery();
+  coord.Execute(q);  // warm the plan cache while everything is healthy
+
+  const size_t victim = 2;
+  coord.KillShard(victim);
+  const Coordinator::Response resp = coord.Execute(q);
+
+  // PR 3 contract: infrastructure failure degrades the answer, never the
+  // request.
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp.degraded());
+  EXPECT_EQ(resp.shards_total, 4u);
+  EXPECT_EQ(resp.shards_ok, 3u);
+  EXPECT_EQ(resp.shards_degraded, 1u);
+  ASSERT_EQ(resp.shard_status.size(), 4u);
+  EXPECT_EQ(resp.shard_status[victim].code(),
+            StatusCode::kShardUnavailable);
+
+  // The victim's rows — and only those — are Unknown; every defined verdict
+  // agrees with ground truth.
+  const std::vector<RowId>& dead_rows = coord.shard_rows(victim);
+  EXPECT_EQ(resp.unknown_rows, dead_rows.size());
+  std::vector<bool> is_dead_row(fx.data.num_rows(), false);
+  for (RowId r : dead_rows) is_dead_row[r] = true;
+  for (RowId r = 0; r < fx.data.num_rows(); ++r) {
+    if (is_dead_row[r]) {
+      EXPECT_EQ(resp.row_verdicts[r], Truth::kUnknown) << "row " << r;
+    } else {
+      ASSERT_NE(resp.row_verdicts[r], Truth::kUnknown) << "row " << r;
+      EXPECT_EQ(resp.row_verdicts[r] == Truth::kTrue,
+                q.Matches(fx.data.GetTuple(r)))
+          << "row " << r;
+    }
+  }
+}
+
+TEST(DistCoordinatorTest, DeadShardIsSkippedThenRecoversThroughProbes) {
+  DistFixture fx;
+  Coordinator::Options opts;
+  opts.partition = PartitionSpec::Hash(2);
+  opts.health.dead_after = 2;
+  opts.health.recover_after = 1;
+  opts.health.probe_every = 4;
+  Coordinator coord = fx.MakeCoordinator(opts);
+  const Query q = fx.MidQuery();
+
+  coord.KillShard(0);
+  // Fail it into kDead.
+  while (coord.shard_state(0) != ShardHealth::State::kDead) {
+    ASSERT_TRUE(coord.Execute(q).ok());
+  }
+
+  // Once dead, non-probe queries skip the shard without attempting it.
+  bool saw_skip = false;
+  for (uint64_t i = 0; i + 1 < opts.health.probe_every && !saw_skip; ++i) {
+    const Coordinator::Response resp = coord.Execute(q);
+    if (resp.shards_skipped == 1) {
+      saw_skip = true;
+      EXPECT_EQ(resp.shard_status[0].code(), StatusCode::kShardUnavailable);
+      EXPECT_EQ(resp.unknown_rows, coord.shard_rows(0).size());
+    }
+  }
+  EXPECT_TRUE(saw_skip);
+
+  // Revive the process; a probe query lets health earn its way back, after
+  // which answers are whole again.
+  coord.ReviveShard(0);
+  for (int i = 0; i < 3 * static_cast<int>(opts.health.probe_every); ++i) {
+    if (coord.shard_state(0) == ShardHealth::State::kHealthy &&
+        !coord.Execute(q).degraded()) {
+      break;
+    }
+    coord.Execute(q);
+  }
+  EXPECT_EQ(coord.shard_state(0), ShardHealth::State::kHealthy);
+  const Coordinator::Response whole = coord.Execute(q);
+  EXPECT_FALSE(whole.degraded());
+  EXPECT_EQ(whole.unknown_rows, 0u);
+  EXPECT_GT(coord.Report().probes, 0u);
+}
+
+TEST(DistCoordinatorTest, StragglerTimesOutAndDegrades) {
+  DistFixture fx;
+  Coordinator::Options opts;
+  opts.partition = PartitionSpec::Range(2);
+  opts.shard_deadline_seconds = 0.05;
+  const Result<ShardFaultSpec> faults = ShardFaultSpec::Parse("delay@1=400");
+  ASSERT_TRUE(faults.ok());
+  opts.shard_faults = faults.value();
+  Coordinator coord = fx.MakeCoordinator(opts);
+
+  const Coordinator::Response resp = coord.Execute(fx.MidQuery());
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp.degraded());
+  EXPECT_EQ(resp.shard_status[1].code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(resp.unknown_rows, coord.shard_rows(1).size());
+  // Shard 0 is unaffected by its sibling's sleep.
+  EXPECT_TRUE(resp.shard_status[0].ok());
+
+  const dist::DistReport report = coord.Report();
+  EXPECT_GE(report.stragglers, 1u);
+  EXPECT_GE(report.degraded_queries, 1u);
+  EXPECT_GE(report.shards[1].timeouts, 1u);
+}
+
+TEST(DistCoordinatorTest, KillAfterScheduleFiresMidStream) {
+  DistFixture fx;
+  Coordinator::Options opts;
+  opts.partition = PartitionSpec::Hash(2);
+  const Result<ShardFaultSpec> faults = ShardFaultSpec::Parse("kill@1=2");
+  ASSERT_TRUE(faults.ok());
+  opts.shard_faults = faults.value();
+  Coordinator coord = fx.MakeCoordinator(opts);
+  const Query q = fx.MidQuery();
+
+  // The shard serves its first two requests, then dies.
+  EXPECT_FALSE(coord.Execute(q).degraded());
+  EXPECT_FALSE(coord.Execute(q).degraded());
+  const Coordinator::Response dead = coord.Execute(q);
+  EXPECT_TRUE(dead.degraded());
+  EXPECT_EQ(dead.shard_status[1].code(), StatusCode::kShardUnavailable);
+}
+
+TEST(DistCoordinatorTest, RowLevelFaultsDegradeRowsNotShards) {
+  DistFixture fx;
+  Coordinator::Options opts;
+  opts.partition = PartitionSpec::Hash(2);
+  const Result<FaultSpec> faults = FaultSpec::Parse("transient@2=0.5");
+  ASSERT_TRUE(faults.ok()) << faults.status().ToString();
+  opts.acquisition_faults = faults.value();
+  opts.row_policy = DegradationPolicy::UnknownVerdict();
+  Coordinator coord = fx.MakeCoordinator(opts);
+
+  // A query over the faulty attribute: some rows degrade to Unknown, but
+  // the shards all answer and every defined verdict is correct.
+  const Query q = Query::Conjunction({Predicate(2, 1, 3), Predicate(0, 1, 2)});
+  const Coordinator::Response resp = coord.Execute(q);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_FALSE(resp.degraded());  // no shard-level degradation
+  EXPECT_GT(resp.unknown_rows, 0u);
+  EXPECT_LT(resp.unknown_rows, fx.data.num_rows());
+  for (RowId r = 0; r < fx.data.num_rows(); ++r) {
+    if (resp.row_verdicts[r] == Truth::kUnknown) continue;
+    EXPECT_EQ(resp.row_verdicts[r] == Truth::kTrue,
+              q.Matches(fx.data.GetTuple(r)))
+        << "row " << r;
+  }
+}
+
+TEST(DistCoordinatorTest, TracingCapturesShardIncidents) {
+  DistFixture fx;
+  Coordinator::Options opts;
+  opts.partition = PartitionSpec::Hash(3);
+  opts.enable_tracing = true;
+  Coordinator coord = fx.MakeCoordinator(opts);
+  const Query q = fx.MidQuery();
+  coord.Execute(q);
+
+  const size_t victim = 1;
+  coord.KillShard(victim);
+  const Coordinator::Response resp = coord.Execute(q);
+  EXPECT_TRUE(resp.degraded());
+
+  const std::vector<obs::TraceRecorder::Incident> incidents =
+      coord.trace_recorder().Incidents();
+  ASSERT_FALSE(incidents.empty());
+  bool found = false;
+  for (const obs::TraceRecorder::Incident& inc : incidents) {
+    if (inc.trace_id != resp.trace_id) continue;
+    // Worker slot i+1 carries shard i.
+    EXPECT_EQ(inc.worker, victim + 1);
+    EXPECT_EQ(inc.reason, "shard_unavailable");
+    EXPECT_EQ(inc.meta.plan_sig, resp.query_sig);
+    found = true;
+  }
+  EXPECT_TRUE(found) << "no incident recorded for the dead shard's trace";
+}
+
+TEST(DistCoordinatorTest, CalibrationAggregatesAcrossShards) {
+  DistFixture fx;
+  Coordinator::Options opts;
+  opts.partition = PartitionSpec::Hash(4);
+  opts.enable_calibration = true;
+  Coordinator coord = fx.MakeCoordinator(opts);
+  const Query q = fx.MidQuery();
+  for (int i = 0; i < 3; ++i) coord.Execute(q);
+
+  const obs::CalibrationReport report = coord.CalibrationSnapshot();
+  ASSERT_FALSE(report.plans.empty());
+  // Each query executes the plan once per row; all shards feed one merged
+  // profile, so executions cover the whole dataset each round.
+  EXPECT_EQ(report.executions, 3u * fx.data.num_rows());
+  EXPECT_GT(report.realized_cost, 0.0);
+}
+
+TEST(DistCoordinatorTest, ReportJsonIsWellFormedEnough) {
+  DistFixture fx;
+  Coordinator::Options opts;
+  opts.partition = PartitionSpec::Range(2);
+  Coordinator coord = fx.MakeCoordinator(opts);
+  coord.Execute(fx.MidQuery());
+
+  const dist::DistReport report = coord.Report();
+  EXPECT_EQ(report.queries, 1u);
+  ASSERT_EQ(report.shards.size(), 2u);
+  EXPECT_EQ(report.shards[0].rows + report.shards[1].rows,
+            fx.data.num_rows());
+  EXPECT_EQ(report.shards[0].state, ShardHealth::State::kHealthy);
+
+  const std::string json = dist::DistReportToJson(report);
+  EXPECT_NE(json.find("\"queries\""), std::string::npos);
+  EXPECT_NE(json.find("\"shards\""), std::string::npos);
+  EXPECT_NE(json.find("\"state\""), std::string::npos);
+  EXPECT_NE(json.find("healthy"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (TSan target): concurrent clients, a fault injector thread
+// flipping a shard, and report readers — defined verdicts must stay correct
+// throughout.
+// ---------------------------------------------------------------------------
+
+TEST(DistCoordinatorConcurrencyTest, ConcurrentClientsWithShardFlapping) {
+  DistFixture fx;
+  Coordinator::Options opts;
+  opts.partition = PartitionSpec::Hash(4);
+  opts.health.dead_after = 2;
+  opts.health.recover_after = 1;
+  opts.health.probe_every = 8;
+  Coordinator coord = fx.MakeCoordinator(opts);
+
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 24;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> wrong{0};
+
+  std::thread flapper([&] {
+    size_t flips = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      coord.KillShard(3);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      coord.ReviveShard(3);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      ++flips;
+    }
+    (void)flips;
+  });
+
+  std::thread reporter([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const dist::DistReport report = coord.Report();
+      (void)report.queries;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(1000 + static_cast<uint64_t>(c));
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        const Query q = testing_util::RandomConjunctiveQuery(fx.schema, rng);
+        const Coordinator::Response resp = coord.Execute(q);
+        if (!resp.ok()) {
+          wrong.fetch_add(1);
+          continue;
+        }
+        for (RowId r = 0; r < fx.data.num_rows(); ++r) {
+          if (resp.row_verdicts[r] == Truth::kUnknown) continue;
+          if ((resp.row_verdicts[r] == Truth::kTrue) !=
+              q.Matches(fx.data.GetTuple(r))) {
+            wrong.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  stop.store(true, std::memory_order_release);
+  flapper.join();
+  reporter.join();
+
+  EXPECT_EQ(wrong.load(), 0u)
+      << "a defined verdict disagreed with ground truth under shard faults";
+  EXPECT_EQ(coord.Report().queries,
+            static_cast<uint64_t>(kClients) * kQueriesPerClient);
+}
+
+}  // namespace
+}  // namespace caqp

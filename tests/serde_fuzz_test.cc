@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "common/rng.h"
+#include "exec/result_serde.h"
 #include "net/mote.h"
 #include "opt/greedyseq.h"
 #include "opt/optseq.h"
@@ -244,6 +246,107 @@ TEST(SerdeFuzzTest, MutatedLegacyBytesNeverCrashOrInstallMalformedPlans) {
     }
   }
   EXPECT_GT(rejected, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ExecutionResult wire format (exec/result_serde.h) — the reply counterpart
+// of the plan bytes above: shard replies also cross a corrupting channel,
+// and a merge of a corrupt partial would silently poison the whole query.
+// ---------------------------------------------------------------------------
+
+/// A corpus of structurally diverse valid results.
+std::vector<ExecutionResult> ResultCorpus() {
+  std::vector<ExecutionResult> corpus;
+  corpus.emplace_back();  // all defaults: kFalse, zero cost
+
+  ExecutionResult match;
+  match.verdict3 = Truth::kTrue;
+  match.verdict = true;
+  match.cost = 133.0;
+  match.acquisitions = 4;
+  match.acquired.Insert(0);
+  match.acquired.Insert(1);
+  match.acquired.Insert(2);
+  match.acquired.Insert(3);
+  corpus.push_back(match);
+
+  ExecutionResult degraded;
+  degraded.verdict3 = Truth::kUnknown;
+  degraded.cost = 51.5;
+  degraded.acquisitions = 2;
+  degraded.retries = 3;
+  degraded.acquired.Insert(0);
+  degraded.failed.Insert(2);
+  corpus.push_back(degraded);
+
+  ExecutionResult aborted;
+  aborted.verdict3 = Truth::kUnknown;
+  aborted.aborted = true;
+  aborted.cost = 1.0;
+  aborted.acquisitions = 1;
+  aborted.acquired.Insert(1);
+  aborted.failed.Insert(3);
+  corpus.push_back(aborted);
+  return corpus;
+}
+
+TEST(SerdeFuzzResultTest, RoundTripIsExact) {
+  for (const ExecutionResult& r : ResultCorpus()) {
+    const std::vector<uint8_t> bytes = SerializeExecutionResult(r);
+    ASSERT_FALSE(bytes.empty());
+    EXPECT_EQ(bytes[0], kResultWireFormatVersion);
+    const Result<ExecutionResult> back = DeserializeExecutionResult(bytes);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back.value().verdict, r.verdict);
+    EXPECT_EQ(back.value().verdict3, r.verdict3);
+    EXPECT_EQ(back.value().aborted, r.aborted);
+    EXPECT_EQ(back.value().cost, r.cost);  // bit-exact: f64 on the wire
+    EXPECT_EQ(back.value().acquisitions, r.acquisitions);
+    EXPECT_EQ(back.value().retries, r.retries);
+    EXPECT_EQ(back.value().acquired.bits, r.acquired.bits);
+    EXPECT_EQ(back.value().failed.bits, r.failed.bits);
+  }
+}
+
+TEST(SerdeFuzzResultTest, MutatedResultBytesNeverCrashOrBreakInvariants) {
+  const std::vector<ExecutionResult> corpus = ResultCorpus();
+  size_t accepted = 0, rejected = 0;
+  for (uint64_t seed = 200; seed <= 260; ++seed) {
+    Rng rng(seed);
+    for (const ExecutionResult& r : corpus) {
+      const std::vector<uint8_t> bytes = SerializeExecutionResult(r);
+      for (int round = 0; round < 40; ++round) {
+        const std::vector<uint8_t> mutated = Mutate(bytes, rng);
+        const Result<ExecutionResult> decoded =
+            DeserializeExecutionResult(mutated);
+        if (!decoded.ok()) {
+          ++rejected;
+          continue;
+        }
+        ++accepted;
+        // Anything that survives decoding must satisfy every structural
+        // invariant a genuine shard reply would: the coordinator merges it
+        // without further checks.
+        const ExecutionResult& d = decoded.value();
+        EXPECT_LE(static_cast<uint8_t>(d.verdict3), 2u);
+        EXPECT_EQ(d.verdict, d.verdict3 == Truth::kTrue);
+        EXPECT_TRUE(std::isfinite(d.cost));
+        EXPECT_GE(d.cost, 0.0);
+        EXPECT_GE(d.acquisitions, 0);
+        EXPECT_GE(d.retries, 0);
+      }
+    }
+  }
+  EXPECT_GT(accepted, 0u);  // some bit flips still decode
+  EXPECT_GT(rejected, 500u);
+}
+
+TEST(SerdeFuzzResultTest, EmptyAndTinyResultInputsAreRejected) {
+  EXPECT_FALSE(DeserializeExecutionResult({}).ok());
+  for (int b = 0; b < 256; ++b) {
+    EXPECT_FALSE(
+        DeserializeExecutionResult({static_cast<uint8_t>(b)}).ok());
+  }
 }
 
 TEST(SerdeFuzzTest, EmptyAndTinyInputsAreRejected) {

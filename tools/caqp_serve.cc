@@ -55,6 +55,24 @@
 //                      (v -> domain-1-v), shifting the distribution away
 //                      from the training split (default off)
 // --seed S             workload RNG seed (default 20050405)
+//
+// Distributed mode (--shards N, N >= 1) replays whole-dataset queries
+// through a dist::Coordinator instead of per-tuple requests through the
+// QueryService: the test split is partitioned across N executor shards and
+// every query scatter-gathers over all of them.
+//
+// --shards N               executor shards (default 0 = per-tuple serve mode)
+// --partition hash|range   row partitioning scheme (default hash)
+// --shard-deadline-ms D    per-query gather budget; shards that overrun
+//                          degrade their partition to Unknown rows
+//                          (default 0 = wait forever)
+// --shard-fault-profile P  shard fault mini-language, e.g.
+//                          "kill@1=50,delay@2=20": shard 1 dies after 50
+//                          requests, shard 2 sleeps 20ms per request
+// --fault-profile P        row-level acquisition faults inside every shard
+//                          (fault/fault.h mini-language, per-shard seeds)
+//
+// Run `caqp_serve --help` for the full grouped flag listing.
 
 #include <algorithm>
 #include <atomic>
@@ -69,6 +87,8 @@
 
 #include "core/query_signature.h"
 #include "data/synthetic_gen.h"
+#include "dist/coordinator.h"
+#include "fault/fault.h"
 #include "obs/calibration.h"
 #include "obs/export.h"
 #include "obs/registry.h"
@@ -112,11 +132,75 @@ struct Config {
   double drift_interval_ms = 100.0;
   double shift_at = -1.0;
   uint64_t seed = 20050405;
+  // Distributed mode.
+  size_t shards = 0;  ///< 0 = per-tuple serve mode
+  std::string partition = "hash";
+  double shard_deadline_ms = 0.0;
+  std::string shard_fault_profile;
+  std::string fault_profile;
 
   bool calibration_on() const {
     return !calibration_out.empty() || drift_threshold > 0.0;
   }
 };
+
+void PrintHelp() {
+  std::printf(
+      "caqp_serve: workload replay against caqp::serve (per-tuple requests)\n"
+      "or caqp::dist (--shards N: whole-dataset scatter-gather queries).\n"
+      "\n"
+      "workload\n"
+      "  --clients N           concurrent client threads (default 8)\n"
+      "  --requests N          total requests to replay (default 20000)\n"
+      "  --distinct N          distinct queries in the workload (default 16)\n"
+      "  --tuples N            synthetic dataset size (default 20000)\n"
+      "  --attrs N             synthetic attributes (default 10)\n"
+      "  --gamma G             correlation factor, group size G+1 (default 4)\n"
+      "  --seed S              workload RNG seed (default 20050405)\n"
+      "\n"
+      "planning\n"
+      "  --planner P           greedy | greedyseq | optseq | naive\n"
+      "                        (default greedy)\n"
+      "  --max-splits K        greedy split budget (default 5)\n"
+      "  --cache-capacity N    plan-cache entries (default 1024)\n"
+      "  --no-cache            plan-per-query baseline (capacity 0)\n"
+      "  --workers N           service worker threads, serve mode only\n"
+      "                        (default 4)\n"
+      "\n"
+      "robustness (serve mode)\n"
+      "  --deadline-ms D       per-request deadline; overruns answer\n"
+      "                        kDeadlineExceeded (default 0 = none)\n"
+      "  --planner-timeout-ms T  cap on waiting for another thread's\n"
+      "                        in-flight planning before serving a cheap\n"
+      "                        fallback plan (default 0 = wait forever)\n"
+      "  --max-queue-depth N   shed admissions beyond N queued requests\n"
+      "                        (default 0 = unbounded)\n"
+      "\n"
+      "drift / calibration\n"
+      "  --calibration-out PATH  write predicted-vs-observed report as JSON\n"
+      "  --drift-threshold X   invalidate plans when per-window attribute\n"
+      "                        drift exceeds X (default 0 = report only)\n"
+      "  --drift-windows K     consecutive windows before firing (default 2)\n"
+      "  --drift-interval-ms T drift snapshot cadence (default 100)\n"
+      "  --shift-at F          complement served tuples after fraction F of\n"
+      "                        each client's requests (default off)\n"
+      "\n"
+      "distributed (--shards)\n"
+      "  --shards N            executor shards (default 0 = serve mode)\n"
+      "  --partition S         hash | range row partitioning (default hash)\n"
+      "  --shard-deadline-ms D per-query gather budget; slow shards degrade\n"
+      "                        their partition to Unknown (default 0)\n"
+      "  --shard-fault-profile P  e.g. \"kill@1=50,delay@2=20\"\n"
+      "  --fault-profile P     row-level acquisition faults inside shards,\n"
+      "                        e.g. \"transient=0.1,seed=7\"\n"
+      "\n"
+      "output\n"
+      "  --metrics-out PATH    obs metrics registries as JSON\n"
+      "  --trace-out PATH      Chrome/Perfetto trace-event JSON (enables\n"
+      "                        tracing + flight recorder)\n"
+      "  --serve-report-out PATH  ServeReport (serve mode) or DistReport\n"
+      "                        (dist mode) as JSON\n");
+}
 
 /// Distinct random conjunctive queries over the (binary) synthetic schema:
 /// each query predicates 2..n attributes on a random value, negating some.
@@ -205,6 +289,175 @@ class WorkloadPlanBuilder : public serve::PlanBuilder {
   uint64_t fingerprint_ = 0;
 };
 
+/// Distributed replay: a Coordinator over the test split, whole-dataset
+/// queries scatter-gathered across --shards executor shards. Returns the
+/// process exit code.
+int RunDist(const Config& cfg, const Dataset& train, const Dataset& test,
+            const AcquisitionCostModel& cost_model,
+            const SplitPointSet& splits,
+            const std::vector<Query>& workload) {
+  dist::Coordinator::Options dopts;
+  const Result<dist::PartitionSpec::Scheme> scheme =
+      dist::PartitionSpec::ParseScheme(cfg.partition);
+  if (!scheme.ok()) Die("--partition: " + scheme.status().ToString());
+  dopts.partition.scheme = scheme.value();
+  dopts.partition.num_shards = cfg.shards;
+  dopts.plan_cache_capacity = cfg.cache_capacity;
+  dopts.shard_deadline_seconds = cfg.shard_deadline_ms / 1000.0;
+  dopts.enable_tracing = !cfg.trace_out.empty();
+  dopts.enable_calibration = cfg.calibration_on();
+  if (!cfg.shard_fault_profile.empty()) {
+    const Result<dist::ShardFaultSpec> faults =
+        dist::ShardFaultSpec::Parse(cfg.shard_fault_profile);
+    if (!faults.ok()) {
+      Die("--shard-fault-profile: " + faults.status().ToString());
+    }
+    dopts.shard_faults = faults.value();
+  }
+  if (!cfg.fault_profile.empty()) {
+    const Result<FaultSpec> faults = FaultSpec::Parse(cfg.fault_profile);
+    if (!faults.ok()) Die("--fault-profile: " + faults.status().ToString());
+    dopts.acquisition_faults = faults.value();
+  }
+
+  dist::Coordinator coord(
+      test, cost_model,
+      [&] {
+        return std::make_unique<WorkloadPlanBuilder>(train, cost_model,
+                                                     splits, cfg);
+      },
+      dopts);
+  std::printf(
+      "dist: %zu shards (%s partition), %zu rows, deadline %.1fms\n\n",
+      coord.num_shards(), cfg.partition.c_str(), coord.num_rows(),
+      cfg.shard_deadline_ms);
+
+  std::vector<std::thread> clients;
+  std::vector<size_t> verdict_errors(cfg.clients, 0);
+  std::vector<size_t> unknown_rows(cfg.clients, 0);
+  std::vector<size_t> degraded(cfg.clients, 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t c = 0; c < cfg.clients; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937_64 rng(cfg.seed ^ (0xd1u + c));
+      const size_t quota =
+          cfg.requests / cfg.clients + (c < cfg.requests % cfg.clients);
+      for (size_t r = 0; r < quota; ++r) {
+        Conjunct preds = workload[rng() % workload.size()].predicates();
+        std::shuffle(preds.begin(), preds.end(), rng);
+        const Query q = Query::Conjunction(std::move(preds));
+        const dist::Coordinator::Response resp = coord.Execute(q);
+        if (!resp.ok()) {
+          ++verdict_errors[c];
+          continue;
+        }
+        degraded[c] += resp.degraded();
+        unknown_rows[c] += resp.unknown_rows;
+        // Spot-check: every defined verdict must agree with ground truth.
+        for (int probe = 0; probe < 32; ++probe) {
+          const RowId row =
+              static_cast<RowId>(rng() % test.num_rows());
+          if (resp.row_verdicts[row] == Truth::kUnknown) continue;
+          if ((resp.row_verdicts[row] == Truth::kTrue) !=
+              q.Matches(test.GetTuple(row))) {
+            ++verdict_errors[c];
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  size_t total_errors = 0, total_unknown = 0, total_degraded = 0;
+  for (size_t c = 0; c < cfg.clients; ++c) {
+    total_errors += verdict_errors[c];
+    total_unknown += unknown_rows[c];
+    total_degraded += degraded[c];
+  }
+  const dist::DistReport report = coord.Report();
+  const double qps = static_cast<double>(cfg.requests) / elapsed;
+  CAQP_OBS_GAUGE_SET("dist.replay.throughput_qps", qps);
+  CAQP_OBS_GAUGE_SET("dist.replay.elapsed_seconds", elapsed);
+
+  std::printf("replayed %zu queries in %.3fs  (%.0f q/s)\n", cfg.requests,
+              elapsed, qps);
+  std::printf(
+      "degraded queries: %zu   unknown rows served: %zu   verdict errors: "
+      "%zu\n",
+      total_degraded, total_unknown, total_errors);
+  std::printf(
+      "coordinator: %llu planned, %llu cache hits, %llu stragglers, "
+      "%llu probes\n",
+      static_cast<unsigned long long>(report.planned),
+      static_cast<unsigned long long>(report.cache_hits),
+      static_cast<unsigned long long>(report.stragglers),
+      static_cast<unsigned long long>(report.probes));
+  std::printf(
+      "query latency: mean %.1fus  p50 %.1fus  p99 %.1fus  max %.1fus\n",
+      report.query_latency.mean() * 1e6, report.query_latency.p50() * 1e6,
+      report.query_latency.p99() * 1e6, report.query_latency.max * 1e6);
+  for (const dist::ShardReportRow& row : report.shards) {
+    std::printf(
+        "  shard %zu: %-8s %6zu rows  %6llu reqs  %4llu failures  "
+        "%4llu timeouts  p99 %.1fus\n",
+        row.shard, dist::ShardHealthStateName(row.state), row.rows,
+        static_cast<unsigned long long>(row.requests),
+        static_cast<unsigned long long>(row.failures),
+        static_cast<unsigned long long>(row.timeouts),
+        row.exec_latency.p99() * 1e6);
+  }
+
+  if (cfg.calibration_on()) {
+    const obs::CalibrationReport cal = coord.CalibrationSnapshot();
+    std::printf(
+        "calibration: %llu executions, realized %.1f vs predicted %.1f "
+        "(regret %+.3f/exec)\n",
+        static_cast<unsigned long long>(cal.executions), cal.realized_cost,
+        cal.predicted_cost, cal.regret());
+    if (!cfg.calibration_out.empty()) {
+      const std::string cal_json =
+          obs::CalibrationReportToJson(cal, &test.schema());
+      if (obs::WriteFileOrComplain(cfg.calibration_out, cal_json)) {
+        std::printf("[wrote %s]\n", cfg.calibration_out.c_str());
+      }
+    }
+  }
+  if (!cfg.serve_report_out.empty()) {
+    if (obs::WriteFileOrComplain(cfg.serve_report_out,
+                                 dist::DistReportToJson(report))) {
+      std::printf("[wrote %s]\n", cfg.serve_report_out.c_str());
+    }
+  }
+  if (!cfg.trace_out.empty()) {
+    const std::string trace_json =
+        obs::TraceEventsToJson(coord.trace_recorder());
+    if (obs::WriteFileOrComplain(cfg.trace_out, trace_json)) {
+      std::printf("[wrote %s — open at https://ui.perfetto.dev]\n",
+                  cfg.trace_out.c_str());
+    }
+  }
+  if (!cfg.metrics_out.empty()) {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("registry");
+    obs::WriteRegistrySnapshot(w, obs::DefaultRegistry().Snapshot());
+    w.Key("dist");
+    obs::WriteRegistrySnapshot(w, coord.metrics().Snapshot());
+    w.EndObject();
+    if (obs::WriteFileOrComplain(cfg.metrics_out, w.TakeString())) {
+      std::printf("[wrote %s]\n", cfg.metrics_out.c_str());
+    }
+  }
+  if (total_errors != 0) {
+    std::fprintf(stderr, "caqp_serve: verdict mismatches detected\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -264,8 +517,18 @@ int main(int argc, char** argv) {
       cfg.shift_at = std::strtod(next().c_str(), nullptr);
     } else if (arg == "--seed") {
       cfg.seed = next_num();
+    } else if (arg == "--shards") {
+      cfg.shards = next_num();
+    } else if (arg == "--partition") {
+      cfg.partition = next();
+    } else if (arg == "--shard-deadline-ms") {
+      cfg.shard_deadline_ms = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--shard-fault-profile") {
+      cfg.shard_fault_profile = next();
+    } else if (arg == "--fault-profile") {
+      cfg.fault_profile = next();
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: see header comment of tools/caqp_serve.cc\n");
+      PrintHelp();
       return 0;
     } else {
       Die("unknown flag " + arg);
@@ -289,6 +552,16 @@ int main(int argc, char** argv) {
       schema, static_cast<double>(schema.num_attributes()));
 
   const std::vector<Query> workload = MakeWorkload(schema, cfg);
+  if (cfg.shards > 0) {
+    std::printf(
+        "dataset: %u binary attrs, gamma=%u, %zu train / %zu test rows\n"
+        "workload: %zu distinct queries, %zu requests, %zu clients, "
+        "planner=%s, cache=%zu\n",
+        cfg.attrs, cfg.gamma, train.num_rows(), test.num_rows(),
+        cfg.distinct, cfg.requests, cfg.clients, cfg.planner.c_str(),
+        cfg.cache_capacity);
+    return RunDist(cfg, train, test, cost_model, splits, workload);
+  }
   std::printf(
       "dataset: %u binary attrs, gamma=%u, %zu train / %zu test rows\n"
       "workload: %zu distinct queries, %zu requests, %zu clients, "
