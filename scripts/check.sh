@@ -7,8 +7,9 @@
 # concurrency-sensitive suites (caqp::serve incl. deadline/shedding paths,
 # the caqp::dist coordinator/shard scatter-gather suites, the adaptive
 # replanner, the obs v2 span/histogram/shard/flight-recorder suites, the
-# calibration aggregator and drift-policy suites) plus the fault suites
-# again.
+# calibration aggregator and drift-policy suites, the regret-planner and
+# uncertainty-box suites incl. the widen-mode drift loop) plus the fault
+# suites again.
 # Usage: scripts/check.sh [--skip-sanitizers]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -35,6 +36,6 @@ echo "== TSan build + concurrency and fault suites =="
 cmake -B build-tsan -S . -DCAQP_SANITIZE=thread
 cmake --build build-tsan -j
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-  -R '^Serve|^Dist|^Adaptive|^Fault|^SerdeFuzz|^CompiledPlan|^Span|^Histogram|^ShardedRegistry|^FlightRecorder|^Calibration|^Drift'
+  -R '^Serve|^Dist|^Adaptive|^Fault|^SerdeFuzz|^CompiledPlan|^Span|^Histogram|^ShardedRegistry|^FlightRecorder|^Calibration|^Drift|^Regret'
 
 echo "== all checks passed =="

@@ -46,10 +46,31 @@ double FaultSpec::TransientFor(AttrId attr) const {
 
 Result<FaultSpec> FaultSpec::Parse(const std::string& text) {
   FaultSpec spec;
+  if (!text.empty() && text.back() == ',') {
+    // getline never yields the empty segment after a trailing ',', so the
+    // dangling comma must be rejected up front or it would pass silently.
+    return Status::InvalidArgument(
+        "fault profile: trailing ',' (dangling empty item)");
+  }
+  std::vector<std::string> seen_keys;  // duplicate detection, incl. @attr
+  const auto claim_key = [&seen_keys](const std::string& key) -> Status {
+    for (const std::string& s : seen_keys) {
+      if (s == key) {
+        return Status::InvalidArgument(
+            "fault profile: duplicate key '" + key +
+            "' (each key may appear once; last-write-wins is not supported)");
+      }
+    }
+    seen_keys.push_back(key);
+    return Status::OK();
+  };
   std::stringstream ss(text);
   std::string item;
   while (std::getline(ss, item, ',')) {
-    if (item.empty()) continue;
+    if (item.empty()) {
+      return Status::InvalidArgument(
+          "fault profile: empty item (stray ',')");
+    }
     const size_t eq = item.find('=');
     if (eq == std::string::npos) {
       return Status::InvalidArgument("fault profile: expected key=value, got '" +
@@ -57,6 +78,7 @@ Result<FaultSpec> FaultSpec::Parse(const std::string& text) {
     }
     const std::string key = item.substr(0, eq);
     const std::string val = item.substr(eq + 1);
+    CAQP_RETURN_IF_ERROR(claim_key(key));
     if (key == "transient") {
       CAQP_RETURN_IF_ERROR(ParseProbability(key, val, &spec.transient));
     } else if (key == "stuck") {
@@ -89,6 +111,16 @@ Result<FaultSpec> FaultSpec::Parse(const std::string& text) {
       }
       double p = 0.0;
       CAQP_RETURN_IF_ERROR(ParseProbability(key, val, &p));
+      for (const auto& [existing, prob] : spec.transient_overrides) {
+        (void)prob;
+        // Catches spellings claim_key can't ("transient@3" vs
+        // "transient@03"): one stream per attribute, no silent override.
+        if (existing == static_cast<AttrId>(attr)) {
+          return Status::InvalidArgument(
+              "fault profile: duplicate transient override for attribute " +
+              attr_text);
+        }
+      }
       spec.transient_overrides.emplace_back(static_cast<AttrId>(attr), p);
     } else {
       return Status::InvalidArgument("fault profile: unknown key '" + key +

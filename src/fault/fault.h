@@ -62,6 +62,9 @@ struct FaultSpec {
   /// pairs, e.g. "transient=0.1,stuck=0.01,spike=0.05,spike_mult=3,seed=7".
   /// Per-attribute transient overrides use "transient@<attr>=<p>".
   /// Probabilities must lie in [0,1]; spike_mult must be positive.
+  /// Malformed input is rejected with a descriptive InvalidArgument rather
+  /// than repaired: duplicate keys (including a second override for the
+  /// same attribute), empty items, and trailing commas are all errors.
   static Result<FaultSpec> Parse(const std::string& text);
 
   /// Round-trips through Parse (modulo float formatting).

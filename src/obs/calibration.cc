@@ -136,6 +136,10 @@ std::string CalibrationReportToJson(const CalibrationReport& report,
     w.Key("acquisitions").UInt(p.acquisitions);
     w.Key("has_estimates").Bool(p.has_estimates);
     w.Key("predicted_cost").Double(p.predicted_cost);
+    if (p.has_cost_bounds) {
+      w.Key("predicted_cost_lo").Double(p.predicted_cost_lo);
+      w.Key("predicted_cost_hi").Double(p.predicted_cost_hi);
+    }
     w.Key("realized_mean_cost").Double(p.realized_mean_cost());
     w.Key("regret").Double(p.regret());
     w.Key("nodes").BeginArray();
@@ -233,6 +237,11 @@ CalibrationReport CalibrationAggregator::Snapshot() const {
     pc.realized_cost = m.snap.realized_cost;
     pc.has_estimates = est != nullptr;
     pc.predicted_cost = est != nullptr ? est->expected_cost : 0.0;
+    if (est != nullptr && est->has_cost_bounds) {
+      pc.has_cost_bounds = true;
+      pc.predicted_cost_lo = est->cost_lo;
+      pc.predicted_cost_hi = est->cost_hi;
+    }
     const size_t num_nodes = m.plan != nullptr ? m.plan->NumNodes() : 0;
     pc.nodes.reserve(num_nodes);
     for (uint32_t i = 0; i < num_nodes; ++i) {

@@ -104,6 +104,13 @@ struct PlanCalibration {
   bool has_estimates = false;
   double predicted_cost = 0.0;  ///< expected acquisition cost per execution
   double realized_cost = 0.0;   ///< total over all executions
+  /// Interval cost promise for plans built under an uncertainty box
+  /// (opt::StampEstimatesWithBox): the robust plan promised a per-execution
+  /// cost in [predicted_cost_lo, predicted_cost_hi]; a realized mean cost
+  /// outside the interval means the box itself was wrong.
+  bool has_cost_bounds = false;
+  double predicted_cost_lo = 0.0;
+  double predicted_cost_hi = 0.0;
   std::vector<NodeCalibration> nodes;
 
   double realized_mean_cost() const {
@@ -138,12 +145,20 @@ struct AttrCalibration {
                                                    predicted_evals)
                                : 0.0;
   }
+  /// Signed calibration gap: observed minus predicted pass rate, in
+  /// [-1, 1]. Positive: the predicate passes more often than predicted.
+  /// 0 until both sides have data. The sign is what turns a drift score
+  /// into a *directional* uncertainty interval
+  /// (opt::UncertaintyBox::FromCalibration).
+  double signed_drift() const {
+    if (evals == 0 || predicted_evals <= 0) return 0.0;
+    return observed_pass_rate() - predicted_pass_rate();
+  }
   /// Drift score: |observed − predicted| pass rate in [0, 1]. 0 until both
   /// sides have data (zero-eval attributes and estimate-less plans never
   /// report drift).
   double drift() const {
-    if (evals == 0 || predicted_evals <= 0) return 0.0;
-    const double d = observed_pass_rate() - predicted_pass_rate();
+    const double d = signed_drift();
     return d < 0 ? -d : d;
   }
 };
@@ -175,7 +190,8 @@ struct CalibrationReport {
 ///    "max_drift":...,
 ///    "plans":[{"query_sig","estimator_version","planner_fingerprint",
 ///              "executions","unknown_executions","acquisitions",
-///              "predicted_cost","realized_mean_cost","regret",
+///              "predicted_cost","predicted_cost_lo"?,"predicted_cost_hi"?,
+///              "realized_mean_cost","regret",
 ///              "nodes":[{"node","kind","attr","predicted_reach",
 ///                        "predicted_pass","evals","passes","unknowns",
 ///                        "observed_pass"},...]},...],

@@ -1,0 +1,354 @@
+#include "opt/uncertainty.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "fault/fault.h"
+#include "obs/calibration.h"
+
+namespace caqp {
+namespace opt {
+
+namespace {
+
+double Clamp(double v, double lo, double hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+double Clamp01(double v) { return Clamp(v, 0.0, 1.0); }
+
+/// Expected-attempts multiplier for a transient-failure rate f under
+/// retry-until-success. Rates are clamped below 1 so a (mis)configured
+/// box can never divide by zero.
+double FaultMultiplier(double f) { return 1.0 / (1.0 - Clamp(f, 0.0, 0.99)); }
+
+}  // namespace
+
+UncertaintyBox UncertaintyBox::Uniform(double eps) {
+  UncertaintyBox box;
+  eps = Clamp01(eps);
+  for (size_t a = 0; a < kEstimateMaxAttrs; ++a) {
+    box.shift_lo[a] = -eps;
+    box.shift_hi[a] = eps;
+  }
+  return box;
+}
+
+UncertaintyBox UncertaintyBox::FromCalibration(
+    const obs::CalibrationReport& report, double scale, double cap,
+    uint64_t min_evals) {
+  UncertaintyBox box;
+  cap = Clamp01(cap);
+  for (const obs::AttrCalibration& a : report.attrs) {
+    if (a.attr == kInvalidAttr ||
+        static_cast<size_t>(a.attr) >= kEstimateMaxAttrs) {
+      continue;
+    }
+    if (a.evals < min_evals) continue;
+    const double d = Clamp(scale * a.signed_drift(), -cap, cap);
+    const size_t i = static_cast<size_t>(a.attr);
+    // Directional: the interval spans from "no drift" to "exactly the drift
+    // we measured", so the box hedges the move we observed without also
+    // hedging the (unobserved) opposite move.
+    box.shift_lo[i] = std::min(0.0, d);
+    box.shift_hi[i] = std::max(0.0, d);
+  }
+  return box;
+}
+
+UncertaintyBox UncertaintyBox::FromFaultSpec(const FaultSpec& spec, double eps,
+                                             double max_rate) {
+  UncertaintyBox box;
+  max_rate = Clamp(max_rate, 0.0, 0.99);
+  for (size_t a = 0; a < kEstimateMaxAttrs; ++a) {
+    const double r = spec.TransientFor(static_cast<AttrId>(a));
+    if (r <= 0.0 && eps <= 0.0) continue;
+    box.fault_lo[a] = Clamp(r - eps, 0.0, max_rate);
+    box.fault_hi[a] = Clamp(r + eps, 0.0, max_rate);
+  }
+  return box;
+}
+
+void UncertaintyBox::MergeFrom(const UncertaintyBox& other) {
+  for (size_t a = 0; a < kEstimateMaxAttrs; ++a) {
+    shift_lo[a] = std::min(shift_lo[a], other.shift_lo[a]);
+    shift_hi[a] = std::max(shift_hi[a], other.shift_hi[a]);
+    fault_lo[a] = std::min(fault_lo[a], other.fault_lo[a]);
+    fault_hi[a] = std::max(fault_hi[a], other.fault_hi[a]);
+  }
+}
+
+double UncertaintyBox::max_width() const {
+  double w = 0.0;
+  for (size_t a = 0; a < kEstimateMaxAttrs; ++a) {
+    w = std::max(w, std::max(shift_width(a), fault_width(a)));
+  }
+  return w;
+}
+
+bool UncertaintyBox::degenerate(double tol) const {
+  for (size_t a = 0; a < kEstimateMaxAttrs; ++a) {
+    if (std::abs(shift_lo[a]) > tol || std::abs(shift_hi[a]) > tol) {
+      return false;
+    }
+    // A degenerate fault interval at a nonzero rate still perturbs costs
+    // relative to the (fault-free) point estimates, so only zero counts.
+    if (std::abs(fault_lo[a]) > tol || std::abs(fault_hi[a]) > tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string UncertaintyBox::ToString() const {
+  std::ostringstream out;
+  bool any = false;
+  for (size_t a = 0; a < kEstimateMaxAttrs; ++a) {
+    const bool has_shift = shift_lo[a] != 0.0 || shift_hi[a] != 0.0;
+    const bool has_fault = fault_lo[a] != 0.0 || fault_hi[a] != 0.0;
+    if (!has_shift && !has_fault) continue;
+    if (any) out << " ";
+    any = true;
+    out << "a" << a << ":";
+    if (has_shift) out << "shift[" << shift_lo[a] << "," << shift_hi[a] << "]";
+    if (has_fault) out << "fault[" << fault_lo[a] << "," << fault_hi[a] << "]";
+  }
+  return any ? out.str() : "(point)";
+}
+
+std::vector<CostScenario> CornerScenarios(const UncertaintyBox& box,
+                                          size_t max_scenarios) {
+  constexpr double kTol = 1e-12;
+  if (max_scenarios == 0) max_scenarios = 1;
+
+  // Dimensions: attributes with a non-degenerate interval. Each dimension's
+  // lo/hi choice moves the attribute's shift and fault ends together (the
+  // standard corner coupling; shift-lo/fault-hi mixed corners are covered
+  // well enough by the per-attribute flips for regret ranking).
+  std::vector<size_t> dims;
+  for (size_t a = 0; a < kEstimateMaxAttrs; ++a) {
+    if (box.shift_width(a) > kTol || box.fault_width(a) > kTol) {
+      dims.push_back(a);
+    }
+  }
+
+  CostScenario nominal;
+  for (size_t a = 0; a < kEstimateMaxAttrs; ++a) {
+    nominal.shift[a] = Clamp(0.0, box.shift_lo[a], box.shift_hi[a]);
+    nominal.fault[a] = box.fault_lo[a];
+  }
+  std::vector<CostScenario> out;
+  out.push_back(nominal);
+  if (dims.empty()) return out;
+
+  const auto corner = [&](uint64_t bits) {
+    CostScenario s = nominal;
+    for (size_t d = 0; d < dims.size(); ++d) {
+      const size_t a = dims[d];
+      const bool hi = (bits >> d) & 1;
+      s.shift[a] = hi ? box.shift_hi[a] : box.shift_lo[a];
+      s.fault[a] = hi ? box.fault_hi[a] : box.fault_lo[a];
+    }
+    return s;
+  };
+
+  std::vector<uint64_t> picked;
+  const auto add = [&](uint64_t bits) {
+    if (out.size() >= max_scenarios) return;
+    if (std::find(picked.begin(), picked.end(), bits) != picked.end()) return;
+    picked.push_back(bits);
+    out.push_back(corner(bits));
+  };
+
+  const size_t k = dims.size();
+  if (k < 64 && (uint64_t{1} << k) <= max_scenarios) {
+    for (uint64_t bits = 0; bits < (uint64_t{1} << k); ++bits) add(bits);
+    return out;
+  }
+  // Too many corners: extremes first, then single flips off each extreme,
+  // then a Gray-code sweep for whatever budget remains. Deterministic, so
+  // two evaluations of the same box always price the same scenario set.
+  const uint64_t all =
+      k >= 64 ? ~uint64_t{0} : ((uint64_t{1} << k) - 1);
+  add(0);
+  add(all);
+  for (size_t d = 0; d < k && out.size() < max_scenarios; ++d) {
+    add(uint64_t{1} << d);
+    add(all ^ (uint64_t{1} << d));
+  }
+  for (uint64_t i = 0; out.size() < max_scenarios; ++i) {
+    add((i ^ (i >> 1)) & all);  // Gray code
+    if (i == all) break;
+  }
+  return out;
+}
+
+namespace {
+
+/// ExpectedCoster (plan/plan_cost.cc) with the scenario's perturbations:
+/// pass probabilities shifted additively per attribute and acquisition
+/// costs multiplied by the retry factor of the scenario's fault rate. Keep
+/// the recursion structure (incl. degenerate-split routing and
+/// zero-probability pruning) in lockstep with plan_cost.cc so a zero
+/// scenario is bit-for-bit ExpectedPlanCost.
+class ScenarioCoster {
+ public:
+  ScenarioCoster(const CompiledPlan& plan, CondProbEstimator& est,
+                 const AcquisitionCostModel& cm, const CostScenario& scenario)
+      : plan_(plan),
+        est_(est),
+        cm_(cm),
+        scenario_(scenario),
+        schema_(est.schema()) {}
+
+  double Cost(uint32_t index, const RangeVec& ranges) {
+    const CompiledPlan::Node& node = plan_.node(index);
+    switch (node.kind) {
+      case CompiledPlan::Kind::kVerdict:
+        return 0.0;
+      case CompiledPlan::Kind::kSequential:
+        return SequentialCost(plan_.sequence(node), ranges);
+      case CompiledPlan::Kind::kGeneric:
+        return GenericCost(node, 0, ranges);
+      case CompiledPlan::Kind::kSplit:
+        break;
+    }
+    const AttrSet acquired = AcquiredAttrs(schema_, ranges);
+    const double observe =
+        acquired.Contains(node.attr) ? 0.0 : Charge(node.attr, acquired);
+    const ValueRange r = ranges[node.attr];
+    if (node.split_value <= r.lo) return observe + Cost(node.a, ranges);
+    if (node.split_value > r.hi) {
+      return observe + Cost(CompiledPlan::LtChild(index), ranges);
+    }
+
+    const ValueRange lt_r{r.lo, static_cast<Value>(node.split_value - 1)};
+    const ValueRange ge_r{node.split_value, r.hi};
+    // The split's "pass" is the >= branch (plan_estimates.h semantics), so
+    // the shift perturbs p_ge and p_lt follows as its complement.
+    const double p_lt = est_.RangeProbability(ranges, node.attr, lt_r);
+    const double p_ge =
+        Clamp01(1.0 - p_lt + scenario_.shift[node.attr]);
+    const double p_lt_s = 1.0 - p_ge;
+    double cost = observe;
+    if (p_lt_s > 0) {
+      cost += p_lt_s * Cost(CompiledPlan::LtChild(index),
+                            Refined(ranges, node.attr, lt_r));
+    }
+    if (p_ge > 0) {
+      cost += p_ge * Cost(node.a, Refined(ranges, node.attr, ge_r));
+    }
+    return cost;
+  }
+
+ private:
+  double Charge(AttrId attr, const AttrSet& acquired) const {
+    return cm_.Cost(attr, acquired) * FaultMultiplier(scenario_.fault[attr]);
+  }
+
+  double SequentialCost(std::span<const Predicate> seq,
+                        const RangeVec& ranges) {
+    if (seq.empty()) return 0.0;
+    const std::vector<Predicate> preds(seq.begin(), seq.end());
+    const MaskDistribution masks = est_.PredicateMasks(ranges, preds);
+    if (masks.total() <= 0) return 0.0;
+    AttrSet acquired = AcquiredAttrs(schema_, ranges);
+    double cost = 0.0;
+    double reach = 1.0;  // shifted P(all predicates so far passed)
+    double point_prefix_mass = masks.total();
+    uint64_t prefix = 0;
+    for (size_t i = 0; i < seq.size(); ++i) {
+      if (reach <= 0 || point_prefix_mass <= 0) break;
+      const AttrId a = seq[i].attr;
+      if (!acquired.Contains(a)) {
+        cost += reach * Charge(a, acquired);
+        acquired.Insert(a);
+      }
+      // Point conditional pass probability of predicate i given the prefix
+      // passed, then shifted by the attribute's scenario shift; the chain
+      // of shifted conditionals replaces plan_cost.cc's mass quotient.
+      prefix |= uint64_t{1} << i;
+      const double next_mass = masks.MassAllTrue(prefix);
+      const double p_point = next_mass / point_prefix_mass;
+      reach *= Clamp01(p_point + scenario_.shift[a]);
+      point_prefix_mass = next_mass;
+    }
+    return cost;
+  }
+
+  double GenericCost(const CompiledPlan::Node& node, size_t k,
+                     const RangeVec& ranges) {
+    const Query& query = plan_.residual_query(node);
+    if (query.EvaluateOnRanges(ranges) != Truth::kUnknown) {
+      return 0.0;
+    }
+    const std::span<const AttrId> order = plan_.acquire_order(node);
+    if (k >= order.size()) return 0.0;
+    const AttrId attr = order[k];
+    const AttrSet acquired = AcquiredAttrs(schema_, ranges);
+    double cost = acquired.Contains(attr) ? 0.0 : Charge(attr, acquired);
+    const Histogram h = est_.Marginal(ranges, attr);
+    if (h.total() <= 0) return 0.0;
+    for (Value v = ranges[attr].lo; v <= ranges[attr].hi; ++v) {
+      const double p = h.Count(v) / h.total();
+      if (p > 0) {
+        cost += p * GenericCost(node, k + 1,
+                                Refined(ranges, attr, ValueRange{v, v}));
+      }
+    }
+    return cost;
+  }
+
+  const CompiledPlan& plan_;
+  CondProbEstimator& est_;
+  const AcquisitionCostModel& cm_;
+  const CostScenario& scenario_;
+  const Schema& schema_;
+};
+
+}  // namespace
+
+double ScenarioPlanCost(const CompiledPlan& plan, CondProbEstimator& estimator,
+                        const AcquisitionCostModel& cost_model,
+                        const CostScenario& scenario) {
+  ScenarioCoster coster(plan, estimator, cost_model, scenario);
+  return coster.Cost(0, estimator.schema().FullRanges());
+}
+
+CostBounds ExpectedPlanCostBounds(const CompiledPlan& plan,
+                                  CondProbEstimator& estimator,
+                                  const AcquisitionCostModel& cost_model,
+                                  const UncertaintyBox& box,
+                                  size_t max_scenarios) {
+  const std::vector<CostScenario> scenarios =
+      CornerScenarios(box, max_scenarios);
+  CostBounds bounds;
+  bool first = true;
+  for (const CostScenario& s : scenarios) {
+    const double c = ScenarioPlanCost(plan, estimator, cost_model, s);
+    if (first) {
+      bounds.lo = bounds.hi = c;
+      first = false;
+    } else {
+      bounds.lo = std::min(bounds.lo, c);
+      bounds.hi = std::max(bounds.hi, c);
+    }
+  }
+  return bounds;
+}
+
+void StampEstimatesWithBox(PlanEstimates& estimates, const UncertaintyBox& box,
+                           CostBounds bounds) {
+  estimates.has_cost_bounds = true;
+  estimates.cost_lo = bounds.lo;
+  estimates.cost_hi = bounds.hi;
+  for (size_t a = 0; a < kEstimateMaxAttrs; ++a) {
+    estimates.box_shift_lo[a] = box.shift_lo[a];
+    estimates.box_shift_hi[a] = box.shift_hi[a];
+  }
+}
+
+}  // namespace opt
+}  // namespace caqp

@@ -63,6 +63,21 @@ struct PlanEstimates {
   /// Version of the estimator that produced these numbers (the serve layer's
   /// estimator-version counter; 0 outside serve).
   uint64_t estimator_version = 0;
+
+  // --- Robust-planning stamp (opt/uncertainty.h) -------------------------
+  // When the plan was built (or costed) under an uncertainty box, the box
+  // and the interval cost evaluation over it ride along with the point
+  // estimates, so calibration can score the robust plan against the range
+  // it promised, not just its point cost. Raw arrays rather than the
+  // UncertaintyBox type to keep plan/ free of an opt/uncertainty include
+  // cycle; opt::StampEstimatesWithBox fills them.
+  bool has_cost_bounds = false;
+  double cost_lo = 0.0;  ///< min expected cost over the box's corners
+  double cost_hi = 0.0;  ///< max expected cost over the box's corners
+  /// The box itself: additive pass-probability shift intervals per
+  /// attribute. All-zero (with has_cost_bounds false) means point planning.
+  std::array<double, kEstimateMaxAttrs> box_shift_lo{};
+  std::array<double, kEstimateMaxAttrs> box_shift_hi{};
 };
 
 /// Stamps predicted side tables for `plan` under `estimator`/`cost_model`.

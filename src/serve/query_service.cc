@@ -265,6 +265,16 @@ std::shared_ptr<const CompiledPlan> QueryService::CompileForServe(
           EstimatePlan(compiled, *estimator, cost_model_));
       estimates->estimator_version =
           estimator_version_.load(std::memory_order_acquire);
+      opt::UncertaintyBox box;
+      if (builder.PlanningBox(&box) && !box.degenerate()) {
+        // Robust builder: record the box and its interval cost promise so
+        // calibration can score the plan against the range, not just the
+        // point (obs::PlanCalibration::predicted_cost_lo/hi).
+        opt::StampEstimatesWithBox(
+            *estimates, box,
+            opt::ExpectedPlanCostBounds(compiled, *estimator, cost_model_,
+                                        box));
+      }
       compiled.AttachEstimates(std::move(estimates));
     }
   }
@@ -285,12 +295,50 @@ DriftStatus QueryService::CheckDrift() {
   drift_baseline_ = std::move(cumulative);
   status.max_drift = status.window.MaxDrift(options_.drift.min_window_evals);
   const DriftPolicy& policy = options_.drift;
+  status.box = robust_box_;
   if (policy.threshold <= 0.0) return status;  // reporting only
-  status.over_threshold = status.max_drift > policy.threshold;
+
+  double effective = status.max_drift;
+  if (policy.widen_on_drift) {
+    // Excess drift: how far each attribute's signed calibration gap falls
+    // *outside* the installed box's shift interval. Drift the box already
+    // covers is hedged by the robust plans, so it must not re-fire — this
+    // is what makes the widen loop converge in one invalidation instead of
+    // thrashing on the residual gap every window.
+    double excess = 0.0;
+    for (const obs::AttrCalibration& a : status.window.attrs) {
+      if (a.evals < policy.min_window_evals) continue;
+      if (a.attr == kInvalidAttr ||
+          static_cast<size_t>(a.attr) >= kEstimateMaxAttrs) {
+        continue;
+      }
+      const double d = a.signed_drift();
+      const size_t i = static_cast<size_t>(a.attr);
+      excess = std::max(excess, std::max(d - robust_box_.shift_hi[i],
+                                         robust_box_.shift_lo[i] - d));
+    }
+    status.excess_drift = std::max(0.0, excess);
+    effective = status.excess_drift;
+  } else {
+    status.excess_drift = status.max_drift;
+  }
+
+  status.over_threshold = effective > policy.threshold;
   drift_streak_ = status.over_threshold ? drift_streak_ + 1 : 0;
   status.streak = drift_streak_;
   if (drift_streak_ >= policy.consecutive_windows) {
-    // Retrain hook first, so the replanned plans InvalidateCache forces
+    if (policy.widen_on_drift) {
+      // Widen first: the box the replanned plans hedge against must be
+      // installed (and pushed via on_widen) before the retrain hook and
+      // the invalidation force rebuilds.
+      robust_box_.MergeFrom(opt::UncertaintyBox::FromCalibration(
+          status.window, policy.widen_scale, policy.widen_cap,
+          policy.min_window_evals));
+      status.box = robust_box_;
+      status.widened = true;
+      if (policy.on_widen) policy.on_widen(robust_box_, status.window);
+    }
+    // Retrain hook next, so the replanned plans InvalidateCache forces
     // are built from refreshed beliefs, not the drifted ones.
     if (policy.on_drift) policy.on_drift(status.window);
     InvalidateCache();
@@ -299,6 +347,11 @@ DriftStatus QueryService::CheckDrift() {
     status.fired = true;
   }
   return status;
+}
+
+opt::UncertaintyBox QueryService::CurrentUncertaintyBox() const {
+  std::lock_guard<std::mutex> lock(drift_mu_);
+  return robust_box_;
 }
 
 void QueryService::InvalidateCache() {

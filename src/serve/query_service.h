@@ -70,6 +70,7 @@
 #include "obs/span.h"
 #include "opt/cost_model.h"
 #include "opt/planner.h"
+#include "opt/uncertainty.h"
 #include "serve/plan_cache.h"
 #include "serve/single_flight.h"
 #include "serve/thread_pool.h"
@@ -103,6 +104,17 @@ class PlanBuilder {
   /// non-shareable estimators are fine. nullptr skips prediction stamping;
   /// observed counters are still collected.
   virtual CondProbEstimator* CalibrationEstimator() { return nullptr; }
+  /// The uncertainty box Build's plans hedge against, when this builder
+  /// plans robustly (e.g. wraps an opt::RegretPlanner following a
+  /// SharedUncertaintyBox). Fill `*out` and return true to have
+  /// CompileForServe stamp the box and its interval cost evaluation
+  /// (ExpectedPlanCostBounds) onto the plan's estimates, so calibration
+  /// scores the robust plan against the range it promised. Default: point
+  /// planning, nothing stamped.
+  virtual bool PlanningBox(opt::UncertaintyBox* out) {
+    (void)out;
+    return false;
+  }
 };
 
 using PlanBuilderFactory = std::function<std::unique_ptr<PlanBuilder>()>;
@@ -149,6 +161,29 @@ struct DriftPolicy {
   /// just before InvalidateCache, e.g. to retrain estimators so the
   /// replanned plans actually reflect the new distribution.
   std::function<void(const obs::CalibrationReport&)> on_drift;
+
+  // --- "Widen, don't just invalidate" mode (opt/uncertainty.h) -----------
+  /// When true, a firing window additionally converts its per-attribute
+  /// *signed* drift into a directional UncertaintyBox
+  /// (UncertaintyBox::FromCalibration) and merges it into the service's
+  /// installed box, so robust builders replan hedged against the move that
+  /// was just observed instead of re-trusting the same point estimates.
+  /// Once a box is installed, the firing decision itself switches to
+  /// *excess* drift — drift beyond what the installed box already covers —
+  /// so a widened-and-replanned service does not keep invalidating on the
+  /// residual gap it has already hedged (the loop converges in one
+  /// invalidation for a one-off shift).
+  bool widen_on_drift = false;
+  /// Interval width per unit of drift (FromCalibration's scale).
+  double widen_scale = 1.0;
+  /// Per-attribute cap on interval half-width (FromCalibration's cap).
+  double widen_cap = 1.0;
+  /// Invoked (before on_drift) with the post-merge installed box and the
+  /// firing window — the hook that pushes the box to whatever
+  /// SharedUncertaintyBox the per-worker robust builders read.
+  std::function<void(const opt::UncertaintyBox&,
+                     const obs::CalibrationReport&)>
+      on_widen;
 };
 
 /// What one CheckDrift() call saw and did.
@@ -163,6 +198,14 @@ struct DriftStatus {
   /// True iff this call invalidated the cache (streak reached the policy's
   /// consecutive_windows). The streak resets to zero after firing.
   bool fired = false;
+  /// Widen mode only: window's max drift in excess of the installed box
+  /// (== max_drift while no box is installed). This is what the firing
+  /// decision compares against the threshold in widen mode.
+  double excess_drift = 0.0;
+  /// True iff this call widened the installed box (fired in widen mode).
+  bool widened = false;
+  /// The installed box after this call (post-merge when widened).
+  opt::UncertaintyBox box;
 };
 
 /// One worker's share of the request stream (its metric shard), so per-shard
@@ -332,6 +375,10 @@ class QueryService {
   /// No-op status (empty window) unless Options::enable_calibration.
   DriftStatus CheckDrift();
 
+  /// The box installed by widen-mode drift firings so far (default box —
+  /// degenerate — before the first firing). Thread-safe.
+  opt::UncertaintyBox CurrentUncertaintyBox() const;
+
  private:
   /// Metric refs prefetched from one worker's shard at construction: the
   /// hot path does zero by-name lookups and writes only worker-local lines.
@@ -379,10 +426,12 @@ class QueryService {
   /// Options::enable_calibration.
   std::unique_ptr<obs::CalibrationAggregator> calibration_;
   /// Serializes CheckDrift callers and guards the window state below.
-  std::mutex drift_mu_;
+  mutable std::mutex drift_mu_;
   /// Cumulative report as of the previous CheckDrift (window baseline).
   obs::CalibrationReport drift_baseline_;
   int drift_streak_ = 0;
+  /// Box accumulated by widen-mode firings (monotone under MergeFrom).
+  opt::UncertaintyBox robust_box_;
 
   /// Last member: its destructor drains the queue while everything the
   /// workers touch is still alive.

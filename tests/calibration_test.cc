@@ -355,6 +355,119 @@ TEST(CalibrationAggregatorTest, DeltaSinceYieldsTheWindow) {
   EXPECT_EQ(idle.executions, 0u);
 }
 
+TEST(CalibrationAggregatorTest, DeltaSinceEmptyBaselineIsCumulative) {
+  auto shared = std::make_shared<const CompiledPlan>(OneSplitPlan());
+  obs::CalibrationAggregator agg(1);
+  ExecutionProfile* p = agg.Profile(0, obs::CalibrationKey{5, 0, 7}, shared);
+  p->NodeEval(0);
+  p->NodePass(0);
+  p->PredEval(0, true);
+  p->EndExecution(2.0, 1, false);
+
+  // The very first window has an empty (default) baseline: the delta must
+  // reproduce the cumulative report, not drop everything.
+  const obs::CalibrationReport cumulative = agg.Snapshot();
+  const obs::CalibrationReport window =
+      cumulative.DeltaSince(obs::CalibrationReport{});
+  ASSERT_EQ(window.plans.size(), 1u);
+  EXPECT_EQ(window.plans[0].executions, cumulative.plans[0].executions);
+  EXPECT_DOUBLE_EQ(window.realized_cost, cumulative.realized_cost);
+  ASSERT_EQ(window.attrs.size(), 1u);
+  EXPECT_EQ(window.attrs[0].evals, cumulative.attrs[0].evals);
+
+  // Both sides empty: the delta is empty, not a crash or a phantom row.
+  const obs::CalibrationReport nothing =
+      obs::CalibrationReport{}.DeltaSince(obs::CalibrationReport{});
+  EXPECT_TRUE(nothing.plans.empty());
+  EXPECT_TRUE(nothing.attrs.empty());
+  EXPECT_EQ(nothing.executions, 0u);
+}
+
+TEST(CalibrationAggregatorTest, DeltaSinceKeepsVersionBumpMidWindow) {
+  auto shared = std::make_shared<const CompiledPlan>(OneSplitPlan());
+  obs::CalibrationAggregator agg(1);
+  ExecutionProfile* v0 = agg.Profile(0, obs::CalibrationKey{5, 0, 7}, shared);
+  v0->PredEval(0, true);
+  v0->EndExecution(2.0, 1, false);
+  const obs::CalibrationReport first = agg.Snapshot();
+
+  // Mid-window the estimator version bumps: the old plan drains its last
+  // requests while the replanned generation starts. Both keys are active
+  // in the same window.
+  v0->PredEval(0, false);
+  v0->EndExecution(4.0, 1, false);
+  ExecutionProfile* v1 = agg.Profile(0, obs::CalibrationKey{5, 1, 7}, shared);
+  v1->PredEval(0, true);
+  v1->PredEval(0, true);
+  v1->EndExecution(3.0, 1, false);
+  v1->EndExecution(3.0, 1, false);
+  const obs::CalibrationReport window = agg.Snapshot().DeltaSince(first);
+
+  // Two rows, joinable by version; each carries only its window activity.
+  ASSERT_EQ(window.plans.size(), 2u);
+  EXPECT_EQ(window.plans[0].key.estimator_version, 0u);
+  EXPECT_EQ(window.plans[0].executions, 1u);  // 2 cumulative - 1 baseline
+  EXPECT_DOUBLE_EQ(window.plans[0].realized_cost, 4.0);
+  EXPECT_EQ(window.plans[1].key.estimator_version, 1u);
+  EXPECT_EQ(window.plans[1].executions, 2u);  // no baseline to subtract
+  EXPECT_DOUBLE_EQ(window.plans[1].realized_cost, 6.0);
+  EXPECT_EQ(window.executions, 3u);
+  // The attribute row pools predicate evaluations across both generations.
+  ASSERT_EQ(window.attrs.size(), 1u);
+  EXPECT_EQ(window.attrs[0].evals, 3u);
+  EXPECT_EQ(window.attrs[0].passes, 2u);
+}
+
+TEST(CalibrationAggregatorTest, CostBoundsSurfaceInJsonOnlyWhenStamped) {
+  obs::CalibrationReport report;
+  obs::PlanCalibration pc;
+  pc.key = obs::CalibrationKey{1, 0, 2};
+  pc.executions = 1;
+  pc.has_estimates = true;
+  pc.predicted_cost = 5.0;
+  pc.realized_cost = 5.0;
+  pc.has_cost_bounds = true;
+  pc.predicted_cost_lo = 4.0;
+  pc.predicted_cost_hi = 9.0;
+  report.plans.push_back(pc);
+  report.executions = 1;
+
+  const std::string json = obs::CalibrationReportToJson(report);
+  EXPECT_NE(json.find("\"predicted_cost_lo\""), std::string::npos);
+  EXPECT_NE(json.find("\"predicted_cost_hi\""), std::string::npos);
+  // Point plans omit the interval fields entirely.
+  report.plans[0].has_cost_bounds = false;
+  EXPECT_EQ(obs::CalibrationReportToJson(report).find("predicted_cost_lo"),
+            std::string::npos);
+}
+
+TEST(CalibrationAggregatorTest, SignedDriftCarriesDirection) {
+  obs::AttrCalibration up;
+  up.evals = 100;
+  up.passes = 80;
+  up.predicted_evals = 100.0;
+  up.predicted_passes = 50.0;
+  EXPECT_NEAR(up.signed_drift(), 0.3, 1e-12);  // observed 0.8 > predicted 0.5
+  EXPECT_NEAR(up.drift(), 0.3, 1e-12);
+
+  obs::AttrCalibration down;
+  down.evals = 100;
+  down.passes = 20;
+  down.predicted_evals = 100.0;
+  down.predicted_passes = 60.0;
+  EXPECT_NEAR(down.signed_drift(), -0.4, 1e-12);
+  EXPECT_NEAR(down.drift(), 0.4, 1e-12);  // drift() is the magnitude
+
+  // No observations, or no predicted side: no drift either way.
+  obs::AttrCalibration unseen;
+  EXPECT_DOUBLE_EQ(unseen.signed_drift(), 0.0);
+  obs::AttrCalibration unpredicted;
+  unpredicted.evals = 10;
+  unpredicted.passes = 5;
+  EXPECT_DOUBLE_EQ(unpredicted.signed_drift(), 0.0);
+  EXPECT_DOUBLE_EQ(unpredicted.drift(), 0.0);
+}
+
 TEST(CalibrationAggregatorTest, ReportSerializesToJson) {
   const Schema schema = SmallSchema();
   auto shared = std::make_shared<const CompiledPlan>(OneSplitPlan());

@@ -54,6 +54,34 @@ TEST(FaultSpecTest, ParseRejectsMalformedInput) {
   EXPECT_FALSE(FaultSpec::Parse("bogus=1").ok());
 }
 
+TEST(FaultSpecTest, ParseRejectsDuplicateKeys) {
+  EXPECT_FALSE(FaultSpec::Parse("transient=0.1,transient=0.2").ok());
+  EXPECT_FALSE(FaultSpec::Parse("seed=1,seed=2").ok());
+  EXPECT_FALSE(FaultSpec::Parse("transient@3=0.1,transient@3=0.2").ok());
+  // Different spellings of the same attribute still collide: each attribute
+  // has one fault stream, so a silent last-write-wins would be a trap.
+  EXPECT_FALSE(FaultSpec::Parse("transient@3=0.1,transient@03=0.2").ok());
+  // A global and a per-attribute transient setting may coexist.
+  EXPECT_TRUE(FaultSpec::Parse("transient=0.1,transient@3=0.2").ok());
+  // The error names the offender rather than generically failing.
+  const Status dup = FaultSpec::Parse("stuck=0.1,stuck=0.1").status();
+  EXPECT_NE(dup.ToString().find("duplicate key 'stuck'"), std::string::npos);
+  const Status dup_at =
+      FaultSpec::Parse("transient@3=0.1,transient@03=0.2").status();
+  EXPECT_NE(dup_at.ToString().find("attribute 03"), std::string::npos);
+}
+
+TEST(FaultSpecTest, ParseRejectsEmptyItemsAndTrailingCommas) {
+  EXPECT_FALSE(FaultSpec::Parse("transient=0.1,").ok());
+  EXPECT_FALSE(FaultSpec::Parse(",transient=0.1").ok());
+  EXPECT_FALSE(FaultSpec::Parse("transient=0.1,,stuck=0.1").ok());
+  EXPECT_FALSE(FaultSpec::Parse(",").ok());
+  const Status trailing = FaultSpec::Parse("seed=3,").status();
+  EXPECT_NE(trailing.ToString().find("trailing ','"), std::string::npos);
+  const Status empty = FaultSpec::Parse("seed=3,,spike=0.1").status();
+  EXPECT_NE(empty.ToString().find("empty item"), std::string::npos);
+}
+
 TEST(FaultSpecTest, ToStringRoundtrips) {
   FaultSpec spec;
   spec.transient = 0.25;

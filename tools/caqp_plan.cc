@@ -7,20 +7,11 @@
 //     --attr temp:16:100 --where light:5:15 --where temp:0:7
 //     --planner heuristic --max-splits 5 --train-frac 0.6 --explain
 //
-// --attr NAME:BINS:COST     discretization + acquisition cost per column
-// --where NAME:LO:HI[:not]  conjunctive range predicate (discretized bins)
-// --planner naive|corrseq|heuristic|exhaustive
-// --max-splits K            heuristic split budget (default 5)
-// --spsf LOG10              split-point budget (default: all points)
-// --train-frac F            head fraction used for training (default 0.6)
-// --explain                 annotate the plan with reach/cost estimates
-// --emit tree|flat          plan rendering: pretty tree (default) or the
-//                           compiled flat IR, one node per line in index
-//                           order (also accepts --emit=flat)
-// --trace-out PATH          JSONL execution trace of the test run: one line
-//                           per tuple (acquisition order, branch path,
-//                           charged costs, verdict) plus a summary line with
-//                           per-attribute acquisition histograms
+// Planners: naive | corrseq | heuristic | exhaustive | regret. The regret
+// planner wraps the heuristic point plan in a minmax-regret sweep over a
+// symmetric --uncertainty=eps box (opt/regret.h).
+//
+// Run `caqp_plan --help` for the full grouped flag listing.
 
 #include <cstdio>
 #include <cstdlib>
@@ -38,6 +29,8 @@
 #include "opt/greedyseq.h"
 #include "opt/naive.h"
 #include "opt/optseq.h"
+#include "opt/regret.h"
+#include "opt/uncertainty.h"
 #include "plan/plan_cost.h"
 #include "plan/plan_printer.h"
 #include "plan/plan_serde.h"
@@ -79,6 +72,42 @@ long ParseLong(const std::string& s, const std::string& what) {
   const long v = std::strtol(s.c_str(), &end, 10);
   if (end == s.c_str() || *end != '\0') Die("bad " + what + ": '" + s + "'");
   return v;
+}
+
+void PrintHelp() {
+  std::printf(
+      "caqp_plan: build a conditional plan for a conjunctive range query\n"
+      "over a CSV of historical readings, explain it, and report train/test\n"
+      "costs against the Naive baseline.\n"
+      "\n"
+      "input\n"
+      "  --csv PATH            CSV of historical readings (required)\n"
+      "  --attr NAME:BINS:COST discretization + acquisition cost per column\n"
+      "                        (required, repeatable)\n"
+      "  --where NAME:LO:HI[:not]  conjunctive range predicate over\n"
+      "                        discretized bins (required, repeatable)\n"
+      "  --train-frac F        head fraction used for training (default 0.6)\n"
+      "\n"
+      "planning\n"
+      "  --planner P           naive | corrseq | heuristic | exhaustive |\n"
+      "                        regret (default heuristic)\n"
+      "  --max-splits K        heuristic split budget (default 5)\n"
+      "  --spsf LOG10          split-point budget (default: all points)\n"
+      "\n"
+      "robustness\n"
+      "  --uncertainty EPS     plan under a symmetric +-EPS pass-probability\n"
+      "                        uncertainty box; with --planner regret the\n"
+      "                        plan minimizes worst-case regret over the\n"
+      "                        box's corners (EPS 0 reproduces the point\n"
+      "                        plan; also accepts --uncertainty=EPS)\n"
+      "\n"
+      "output\n"
+      "  --explain             annotate the plan with reach/cost estimates\n"
+      "  --emit tree|flat      pretty tree (default) or the compiled flat\n"
+      "                        IR, one node per line (also --emit=flat)\n"
+      "  --trace-out PATH      JSONL execution trace of the test run: one\n"
+      "                        line per tuple plus a summary line with\n"
+      "                        per-attribute acquisition histograms\n");
 }
 
 /// TraceSink that writes one JSON line per executed tuple: the acquisition
@@ -143,6 +172,7 @@ int main(int argc, char** argv) {
   size_t max_splits = 5;
   double train_frac = 0.6;
   double spsf_log10 = -1.0;  // <0: all points
+  double uncertainty_eps = 0.0;
   bool explain = false;
   std::string emit = "tree";
   std::string trace_out;
@@ -182,6 +212,10 @@ int main(int argc, char** argv) {
       train_frac = std::strtod(next().c_str(), nullptr);
     } else if (arg == "--spsf") {
       spsf_log10 = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--uncertainty") {
+      uncertainty_eps = std::strtod(next().c_str(), nullptr);
+    } else if (arg.rfind("--uncertainty=", 0) == 0) {
+      uncertainty_eps = std::strtod(arg.c_str() + 14, nullptr);
     } else if (arg == "--explain") {
       explain = true;
     } else if (arg == "--emit") {
@@ -191,7 +225,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace-out") {
       trace_out = next();
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: see header comment of tools/caqp_plan.cc\n");
+      PrintHelp();
       return 0;
     } else {
       Die("unknown flag " + arg);
@@ -204,6 +238,9 @@ int main(int argc, char** argv) {
     Die("--train-frac must be in (0,1)");
   }
   if (emit != "tree" && emit != "flat") Die("--emit expects tree or flat");
+  if (uncertainty_eps < 0.0 || uncertainty_eps > 1.0) {
+    Die("--uncertainty must be in [0,1]");
+  }
 
   // --- Load and discretize ------------------------------------------------
   Result<CsvTable> table = LoadCsvFile(csv_path);
@@ -263,6 +300,31 @@ int main(int argc, char** argv) {
     opts.split_points = &splits;
     ExhaustivePlanner planner(estimator, cost_model, opts);
     plan = planner.BuildPlan(query);
+  } else if (planner_name == "regret") {
+    // Minmax regret over a symmetric +-eps box around the point estimates;
+    // the heuristic plan is the point planner (candidate 0 + degenerate-box
+    // fallback).
+    GreedyPlanner::Options gopts;
+    gopts.split_points = &splits;
+    gopts.seq_solver = &base;
+    gopts.max_splits = max_splits;
+    GreedyPlanner point(estimator, cost_model, gopts);
+    opt::RegretPlanner::Options ropts;
+    ropts.point_planner = &point;
+    ropts.box = opt::UncertaintyBox::Uniform(uncertainty_eps);
+    opt::RegretPlanner planner(estimator, cost_model, std::move(ropts));
+    plan = planner.BuildPlan(query);
+    if (planner.stats().degenerate_fallback) {
+      std::printf("regret: degenerate box (eps=%.3f), point plan kept\n",
+                  uncertainty_eps);
+    } else {
+      std::printf(
+          "regret: %zu candidates x %zu scenarios, worst-case regret "
+          "%.3f (point plan's: %.3f)\n",
+          planner.stats().candidates, planner.stats().scenarios,
+          planner.stats().worst_case_regret,
+          planner.stats().point_plan_regret);
+    }
   } else {
     Die("unknown --planner " + planner_name);
   }

@@ -50,6 +50,10 @@
 // --drift-windows K    consecutive over-threshold windows before firing
 //                      (default 2)
 // --drift-interval-ms T    drift monitor snapshot cadence (default 100)
+// --robust-drift       widen-don't-invalidate: firing windows install an
+//                      uncertainty box from the observed signed drift and
+//                      workers replan with the minmax-regret planner over
+//                      it; re-fires only on drift exceeding the box
 // --shift-at F         adversarial drift injection: after fraction F of each
 //                      client's requests, served tuples are complemented
 //                      (v -> domain-1-v), shifting the distribution away
@@ -96,7 +100,9 @@
 #include "opt/greedyseq.h"
 #include "opt/naive.h"
 #include "opt/optseq.h"
+#include "opt/regret.h"
 #include "opt/split_points.h"
+#include "opt/uncertainty.h"
 #include "prob/dataset_estimator.h"
 #include "serve/query_service.h"
 
@@ -130,6 +136,7 @@ struct Config {
   double drift_threshold = 0.0;
   int drift_windows = 2;
   double drift_interval_ms = 100.0;
+  bool robust_drift = false;
   double shift_at = -1.0;
   uint64_t seed = 20050405;
   // Distributed mode.
@@ -140,7 +147,7 @@ struct Config {
   std::string fault_profile;
 
   bool calibration_on() const {
-    return !calibration_out.empty() || drift_threshold > 0.0;
+    return !calibration_out.empty() || drift_threshold > 0.0 || robust_drift;
   }
 };
 
@@ -182,6 +189,12 @@ void PrintHelp() {
       "                        drift exceeds X (default 0 = report only)\n"
       "  --drift-windows K     consecutive windows before firing (default 2)\n"
       "  --drift-interval-ms T drift snapshot cadence (default 100)\n"
+      "  --robust-drift        widen, don't just invalidate: firing windows\n"
+      "                        convert signed drift into an uncertainty box\n"
+      "                        and workers replan with the minmax-regret\n"
+      "                        planner over it; once a box is installed the\n"
+      "                        monitor only re-fires on drift in excess of\n"
+      "                        the box (one invalidation per shift)\n"
       "  --shift-at F          complement served tuples after fraction F of\n"
       "                        each client's requests (default off)\n"
       "\n"
@@ -232,13 +245,18 @@ std::vector<Query> MakeWorkload(const Schema& schema, const Config& cfg) {
 
 /// Per-worker planning bundle: own DatasetEstimator (not shareable — see
 /// prob/dataset_estimator.h) over the shared training split, plus the
-/// chosen planner.
+/// chosen planner. With --robust-drift, the chosen planner becomes the
+/// point planner inside an opt::RegretPlanner that reads the shared
+/// uncertainty box the drift monitor widens.
 class WorkloadPlanBuilder : public serve::PlanBuilder {
  public:
   WorkloadPlanBuilder(const Dataset& train,
                       const AcquisitionCostModel& cost_model,
-                      const SplitPointSet& splits, const Config& cfg)
-      : estimator_(train), cost_model_(&cost_model) {
+                      const SplitPointSet& splits, const Config& cfg,
+                      std::shared_ptr<opt::SharedUncertaintyBox> robust_box =
+                          nullptr)
+      : estimator_(train), cost_model_(&cost_model),
+        robust_box_(std::move(robust_box)) {
     if (cfg.planner == "greedy") {
       GreedyPlanner::Options gopts;
       gopts.split_points = &splits;
@@ -259,6 +277,18 @@ class WorkloadPlanBuilder : public serve::PlanBuilder {
     }
     fingerprint_ = std::hash<std::string>{}(cfg.planner) ^
                    (cfg.max_splits * 0x9e3779b97f4a7c15ULL);
+    if (robust_box_ != nullptr) {
+      // The point planner stays alive as the regret planner's candidate-0
+      // source and degenerate-box fallback: until the first widening the
+      // box is degenerate and plans are bit-identical to the point plans.
+      point_planner_ = std::move(planner_);
+      opt::RegretPlanner::Options ropts;
+      ropts.point_planner = point_planner_.get();
+      ropts.box_provider = [box = robust_box_] { return box->Get(); };
+      planner_ = std::make_unique<opt::RegretPlanner>(
+          estimator_, cost_model, std::move(ropts));
+      fingerprint_ ^= 0x5e67e7a11dbadb0full;  // regret wrapper != point plan
+    }
   }
 
   Plan Build(const Query& query) override {
@@ -280,11 +310,21 @@ class WorkloadPlanBuilder : public serve::PlanBuilder {
   /// calibration report can score them against live traffic.
   CondProbEstimator* CalibrationEstimator() override { return &estimator_; }
 
+  /// Robust mode: report the current shared box so CompileForServe stamps
+  /// the interval cost promise onto the plan's estimates.
+  bool PlanningBox(opt::UncertaintyBox* out) override {
+    if (robust_box_ == nullptr) return false;
+    *out = robust_box_->Get();
+    return true;
+  }
+
  private:
   DatasetEstimator estimator_;
   const AcquisitionCostModel* cost_model_;
+  std::shared_ptr<opt::SharedUncertaintyBox> robust_box_;
   GreedySeqSolver greedyseq_;
   OptSeqSolver optseq_;
+  std::unique_ptr<Planner> point_planner_;  // kept alive under planner_
   std::unique_ptr<Planner> planner_;
   uint64_t fingerprint_ = 0;
 };
@@ -513,6 +553,8 @@ int main(int argc, char** argv) {
       cfg.drift_windows = static_cast<int>(next_num());
     } else if (arg == "--drift-interval-ms") {
       cfg.drift_interval_ms = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--robust-drift") {
+      cfg.robust_drift = true;
     } else if (arg == "--shift-at") {
       cfg.shift_at = std::strtod(next().c_str(), nullptr);
     } else if (arg == "--seed") {
@@ -581,11 +623,23 @@ int main(int argc, char** argv) {
   sopts.drift.threshold = cfg.drift_threshold;
   sopts.drift.consecutive_windows = cfg.drift_windows;
   sopts.drift.min_window_evals = 32;
+  // --robust-drift: firing windows widen a shared uncertainty box (pushed
+  // to the per-worker regret planners via on_widen) instead of merely
+  // invalidating; see serve::DriftPolicy.
+  std::shared_ptr<opt::SharedUncertaintyBox> robust_box;
+  if (cfg.robust_drift) {
+    robust_box = std::make_shared<opt::SharedUncertaintyBox>();
+    sopts.drift.widen_on_drift = true;
+    sopts.drift.on_widen = [robust_box](const opt::UncertaintyBox& box,
+                                        const obs::CalibrationReport&) {
+      robust_box->Set(box);
+    };
+  }
   serve::QueryService service(
       schema, cost_model,
       [&] {
         return std::make_unique<WorkloadPlanBuilder>(train, cost_model,
-                                                     splits, cfg);
+                                                     splits, cfg, robust_box);
       },
       sopts);
 
@@ -727,6 +781,10 @@ int main(int argc, char** argv) {
           "estimator version now %llu\n",
           cfg.drift_threshold, cfg.drift_windows, drift_fired.load(),
           static_cast<unsigned long long>(service.estimator_version()));
+    }
+    if (cfg.robust_drift) {
+      std::printf("robust drift: installed box %s\n",
+                  service.CurrentUncertaintyBox().ToString().c_str());
     }
     if (!cfg.calibration_out.empty()) {
       const std::string cal_json = obs::CalibrationReportToJson(cal, &schema);
