@@ -1,19 +1,27 @@
-// Executor hot path: CompiledPlan flat iteration vs Plan tree recursion.
+// Executor hot path: tree recursion vs flat per-tuple iteration vs columnar
+// batch execution.
 //
 // The CompiledPlan refactor exists so motes and the serve layer never walk a
-// pointer tree per tuple. This bench quantifies that on the garden workload
-// (the paper's deployment scenario): plan every query with the heuristic
-// planner, then execute the test split both ways --
+// pointer tree per tuple; the columnar batch executor exists so batch
+// consumers (dist shards, the simulator) never pay per-tuple dispatch at
+// all. This bench quantifies both on the garden workload (the paper's
+// deployment scenario): plan every query with the heuristic planner, then
+// execute the test split three ways --
 //
 //   tree   ExecutePlan(const Plan&)        recursive, pointer-chasing,
 //                                          AttrSet dedup on every split
 //   flat   ExecuteBatch(const CompiledPlan&)  iterative over the node array,
 //                                          first-acquisition flags, reused
 //                                          scratch across tuples
+//   batch  ColumnarBatchExecutor::Execute  selection-vector kernels over
+//                                          column slices, statically
+//                                          precomputed marginal costs
 //
-// The acceptance bar is flat >= 1.5x tree on per-tuple latency. A second
-// section replays a repeated-query workload through a cached QueryService
-// and asserts the hot path performs zero PlanNode clones end to end.
+// Acceptance bars: flat >= 1.5x tree and batch >= 4x flat on per-tuple
+// latency, with all three paths agreeing on total acquisition cost to the
+// bit. A second section replays a repeated-query workload through a cached
+// QueryService and asserts the hot path performs zero PlanNode clones end
+// to end.
 //
 // --json-out <path> writes the obs metrics registry (bench_util.h).
 
@@ -26,6 +34,7 @@
 #include "bench_util.h"
 #include "data/garden_gen.h"
 #include "data/workload.h"
+#include "exec/batch_executor.h"
 #include "exec/executor.h"
 #include "obs/registry.h"
 #include "opt/greedy_plan.h"
@@ -50,10 +59,12 @@ double Seconds(std::chrono::steady_clock::time_point t0) {
 struct ExecTiming {
   double tree_ns_per_tuple = 0.0;
   double flat_ns_per_tuple = 0.0;
+  double batch_ns_per_tuple = 0.0;
   double checksum = 0.0;  ///< anti-DCE sink; also a tree/flat agreement check
+  double batch_checksum = 0.0;  ///< flat vs columnar total-cost agreement
 };
 
-/// Times one plan both ways over every test tuple, best-of-kReps.
+/// Times one plan all three ways over every test tuple, best-of-kReps.
 ExecTiming TimePlan(const Plan& tree, const CompiledPlan& flat,
                     const Dataset& test, const AcquisitionCostModel& cm) {
   const Schema& schema = test.schema();
@@ -61,9 +72,14 @@ ExecTiming TimePlan(const Plan& tree, const CompiledPlan& flat,
   std::vector<RowId> ids(rows);
   for (RowId r = 0; r < rows; ++r) ids[r] = r;
 
+  // Built once outside the timed reps, like a shard would hold it: the
+  // constructor's per-node cost precomputation and scratch allocation
+  // amortize over every batch the plan ever executes.
+  ColumnarBatchExecutor batch_exec(flat, test, cm);
+
   ExecTiming out;
-  double tree_best = 1e300, flat_best = 1e300;
-  double tree_cost = 0.0, flat_cost = 0.0;
+  double tree_best = 1e300, flat_best = 1e300, batch_best = 1e300;
+  double tree_cost = 0.0, flat_cost = 0.0, batch_cost = 0.0;
   for (size_t rep = 0; rep < kReps; ++rep) {
     tree_cost = 0.0;
     auto t0 = std::chrono::steady_clock::now();
@@ -78,10 +94,17 @@ ExecTiming TimePlan(const Plan& tree, const CompiledPlan& flat,
     const BatchExecutionStats stats = ExecuteBatch(flat, test, ids, cm);
     flat_best = std::min(flat_best, Seconds(t0));
     flat_cost = stats.total_cost;
+
+    t0 = std::chrono::steady_clock::now();
+    const BatchExecutionStats batch_stats = batch_exec.Execute(ids);
+    batch_best = std::min(batch_best, Seconds(t0));
+    batch_cost = batch_stats.total_cost;
   }
   out.tree_ns_per_tuple = tree_best * 1e9 / static_cast<double>(rows);
   out.flat_ns_per_tuple = flat_best * 1e9 / static_cast<double>(rows);
-  out.checksum = tree_cost - flat_cost;  // identical semantics => 0
+  out.batch_ns_per_tuple = batch_best * 1e9 / static_cast<double>(rows);
+  out.checksum = tree_cost - flat_cost;        // identical semantics => 0
+  out.batch_checksum = flat_cost - batch_cost;  // bit-identical => 0
   return out;
 }
 
@@ -138,33 +161,48 @@ int main(int argc, char** argv) {
               "best of %zu passes\n\n",
               schema.num_attributes(), queries.size(), test.num_rows(), kReps);
 
-  std::printf("%5s %6s %6s %12s %12s %8s\n", "query", "nodes", "depth",
-              "tree ns/tup", "flat ns/tup", "speedup");
+  std::printf("%5s %6s %6s %12s %12s %13s %8s %8s\n", "query", "nodes",
+              "depth", "tree ns/tup", "flat ns/tup", "batch ns/tup",
+              "f/t", "b/f");
   std::vector<std::string> rows;
-  double tree_total = 0.0, flat_total = 0.0, checksum = 0.0;
+  double tree_total = 0.0, flat_total = 0.0, batch_total = 0.0;
+  double checksum = 0.0, batch_checksum = 0.0;
   for (size_t i = 0; i < queries.size(); ++i) {
     const Plan plan = heuristic.BuildPlan(queries[i]);
     const CompiledPlan compiled = CompiledPlan::Compile(plan);
     const ExecTiming t = TimePlan(plan, compiled, test, cm);
     tree_total += t.tree_ns_per_tuple;
     flat_total += t.flat_ns_per_tuple;
+    batch_total += t.batch_ns_per_tuple;
     checksum += t.checksum;
-    std::printf("%5zu %6zu %6zu %12.0f %12.0f %7.2fx\n", i,
+    batch_checksum += t.batch_checksum;
+    std::printf("%5zu %6zu %6zu %12.0f %12.0f %13.1f %7.2fx %7.2fx\n", i,
                 compiled.NumNodes(), compiled.Depth(), t.tree_ns_per_tuple,
-                t.flat_ns_per_tuple, t.tree_ns_per_tuple / t.flat_ns_per_tuple);
+                t.flat_ns_per_tuple, t.batch_ns_per_tuple,
+                t.tree_ns_per_tuple / t.flat_ns_per_tuple,
+                t.flat_ns_per_tuple / t.batch_ns_per_tuple);
     rows.push_back(std::to_string(i) + "," +
                    std::to_string(compiled.NumNodes()) + "," +
                    std::to_string(t.tree_ns_per_tuple) + "," +
-                   std::to_string(t.flat_ns_per_tuple));
+                   std::to_string(t.flat_ns_per_tuple) + "," +
+                   std::to_string(t.batch_ns_per_tuple));
   }
   const double speedup = tree_total / flat_total;
-  std::printf("\nmean per-tuple latency: tree %.0f ns, flat %.0f ns -> "
-              "%.2fx (bar: >= 1.5x)\n",
+  const double batch_speedup = flat_total / batch_total;
+  std::printf("\nmean per-tuple latency: tree %.0f ns, flat %.0f ns, "
+              "batch %.1f ns -> flat/tree %.2fx (bar: >= 1.5x), "
+              "batch/flat %.2fx (bar: >= 4x)\n",
               tree_total / static_cast<double>(queries.size()),
-              flat_total / static_cast<double>(queries.size()), speedup);
+              flat_total / static_cast<double>(queries.size()),
+              batch_total / static_cast<double>(queries.size()), speedup,
+              batch_speedup);
   if (checksum != 0.0) {
     std::printf("ERROR: tree and flat execution disagree on total cost "
                 "(delta %.17g)\n", checksum);
+  }
+  if (batch_checksum != 0.0) {
+    std::printf("ERROR: flat and columnar batch execution disagree on total "
+                "cost (delta %.17g)\n", batch_checksum);
   }
 
   // -------------------------------------------------------------------------
@@ -208,13 +246,18 @@ int main(int argc, char** argv) {
                      tree_total / static_cast<double>(queries.size()));
   CAQP_OBS_GAUGE_SET("bench_exec.flat_ns_per_tuple",
                      flat_total / static_cast<double>(queries.size()));
+  CAQP_OBS_GAUGE_SET("bench_exec.batch_ns_per_tuple",
+                     batch_total / static_cast<double>(queries.size()));
   CAQP_OBS_GAUGE_SET("bench_exec.speedup", speedup);
+  CAQP_OBS_GAUGE_SET("bench_exec.batch_speedup", batch_speedup);
   CAQP_OBS_GAUGE_SET("bench_exec.cached_serve_rps", serve_rps);
   CAQP_OBS_GAUGE_SET("bench_exec.hot_path_clones",
                      static_cast<double>(hot_clones));
 
   bench::WriteCsv("exec_latency", "query,nodes,tree_ns_per_tuple,"
-                  "flat_ns_per_tuple", rows);
+                  "flat_ns_per_tuple,batch_ns_per_tuple", rows);
   bench::FinishBench();
-  return speedup >= 1.5 && hot_clones == 0 && checksum == 0.0 ? 0 : 1;
+  const bool ok = speedup >= 1.5 && batch_speedup >= 4.0 && hot_clones == 0 &&
+                  checksum == 0.0 && batch_checksum == 0.0;
+  return ok ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "dist/merge.h"
+#include "exec/batch_executor.h"
 #include "exec/result_serde.h"
 #include "plan/plan_serde.h"
 
@@ -236,21 +237,43 @@ ShardReply ExecutorShard::Handle(const ShardRequest& request,
   {
     CAQP_OBS_SPAN(exec_span, "shard.exec");
     ExecutionResult partial = MergeIdentity();
-    reply.row_verdicts.reserve(rows_.size());
-    RowSource rows_source(data_);
-    AcquisitionSource* source = &rows_source;
-    std::optional<FaultyAcquisitionSource> faulty;
-    if (injector_ != nullptr) {
-      faulty.emplace(rows_source, *injector_);
-      source = &*faulty;
-    }
-    for (RowId row : rows_) {
-      rows_source.SetRow(row);
-      const ExecutionResult r =
-          ExecutePlan(*plan, data_.schema(), cost_model_, *source,
-                      /*trace=*/nullptr, options_.row_policy, profile);
-      reply.row_verdicts.push_back(r.verdict3);
-      partial = MergeExecutionResults(partial, r);
+    if (injector_ == nullptr) {
+      // Columnar scan path. With no fault injector acquisition is
+      // infallible, so row_policy can never engage and the per-row merge
+      // reduces to: verdict3 = exists-a-match, costs/acquisitions sum,
+      // acquired unions — exactly what BatchExecutionStats carries (the
+      // row-order cost sum even matches the per-row merge bitwise).
+      // Profiling rides the obs switch like the scalar ExecutePlan path.
+      ColumnarBatchExecutor exec(*plan, data_, cost_model_);
+      BatchExecOptions batch_options;
+      batch_options.profile = obs::Enabled() ? profile : nullptr;
+      std::vector<uint8_t> verdicts;
+      const BatchExecutionStats stats =
+          exec.Execute(rows_, &verdicts, batch_options);
+      partial.verdict3 = stats.matches > 0 ? Truth::kTrue : Truth::kFalse;
+      partial.verdict = stats.matches > 0;
+      partial.cost = stats.total_cost;
+      partial.acquisitions = static_cast<int>(stats.total_acquisitions);
+      partial.acquired = stats.acquired;
+      reply.row_verdicts.resize(verdicts.size());
+      for (size_t i = 0; i < verdicts.size(); ++i) {
+        reply.row_verdicts[i] = verdicts[i] ? Truth::kTrue : Truth::kFalse;
+      }
+    } else {
+      // Fault-injected path: the deterministic per-attribute fault streams
+      // are consumed in per-row acquisition order, so this stays on the
+      // scalar executor.
+      reply.row_verdicts.reserve(rows_.size());
+      RowSource rows_source(data_);
+      FaultyAcquisitionSource faulty(rows_source, *injector_);
+      for (RowId row : rows_) {
+        rows_source.SetRow(row);
+        const ExecutionResult r =
+            ExecutePlan(*plan, data_.schema(), cost_model_, faulty,
+                        /*trace=*/nullptr, options_.row_policy, profile);
+        reply.row_verdicts.push_back(r.verdict3);
+        partial = MergeExecutionResults(partial, r);
+      }
     }
     reply.result_bytes = SerializeExecutionResult(partial);
   }

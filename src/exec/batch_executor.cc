@@ -1,0 +1,453 @@
+#include "exec/batch_executor.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "exec/batch_masked.h"
+#include "obs/obs.h"
+#include "obs/registry.h"
+#include "obs/span.h"
+
+namespace caqp {
+
+#ifndef CAQP_HAVE_AVX512
+// Toolchain without AVX-512 support: the masked engine's TU is not built,
+// so satisfy its interface with a never-eligible stub.
+namespace internal {
+bool MaskedChunkAvailable() { return false; }
+void RunChunkMasked(const MaskedChunkArgs&) {
+  CAQP_CHECK(false);  // unreachable: callers gate on MaskedChunkAvailable()
+}
+}  // namespace internal
+#endif
+
+namespace {
+
+/// The masked engine keeps rows in place, so it only applies when the batch
+/// addresses a consecutive dataset range (the overwhelmingly common serving
+/// shape: whole table or partition slice).
+bool RowsConsecutive(const RowId* rows, size_t n) {
+  const RowId base = rows[0];
+  for (size_t i = 1; i < n; ++i) {
+    if (rows[i] != base + i) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ColumnarBatchExecutor::ColumnarBatchExecutor(
+    const CompiledPlan& plan, const Dataset& data,
+    const AcquisitionCostModel& cost_model)
+    : plan_(plan),
+      data_(data),
+      cost_model_(cost_model),
+      view_(plan),
+      full_ranges_(data.schema().FullRanges()) {
+  // Hard runtime bound in every build mode: AttrSet and the executor value
+  // scratch are 64-wide, and a wider schema would silently corrupt them.
+  // Schema construction enforces the same bound, so this is
+  // defense-in-depth against hand-built schemas bypassing it.
+  CAQP_CHECK(data_.schema().num_attributes() <= 64);
+
+  // Fold the exact-cost tables (header comment): path_cost[s] is the scalar
+  // path's running cost when a row *enters* slot s — 0.0 at the root, plus
+  // one static marginal per first-acquisition split along the way, added in
+  // root→leaf order. BFS slot order assigns every child after its parent,
+  // so one forward pass suffices. Each leaf then extends its entry cost
+  // through its acquisition steps: entry k of its leaf_cost_ range is the
+  // exact total for a row that executed k steps there. Because these are
+  // the same IEEE additions in the same order the scalar executor performs
+  // per row, every table entry is bit-identical to the scalar result.
+  const size_t num_slots = view_.num_slots();
+  std::vector<double> path_cost(num_slots, 0.0);
+  leaf_cost_offset_.assign(num_slots, UINT32_MAX);
+  for (uint32_t s = 0; s < num_slots; ++s) {
+    const BatchPlanView::Node& node = view_.slot(s);
+    switch (node.op) {
+      case BatchPlanView::Op::kSplitFirst: {
+        const double child = path_cost[s] + cost_model_.Cost(node.attr,
+                                                             node.entry_acquired);
+        path_cost[node.lt] = child;
+        path_cost[node.ge] = child;
+        break;
+      }
+      case BatchPlanView::Op::kSplitRepeat:
+        path_cost[node.lt] = path_cost[s];
+        path_cost[node.ge] = path_cost[s];
+        break;
+      default: {
+        leaf_cost_offset_[s] = static_cast<uint32_t>(leaf_cost_.size());
+        double c = path_cost[s];
+        leaf_cost_.push_back(c);
+        for (const BatchPlanView::AcqStep& st : view_.steps(node)) {
+          // Non-charging steps copy the previous entry: the scalar path
+          // performs no addition there, and even adding 0.0 could flip the
+          // sign of a -0.0 intermediate.
+          if (st.is_new) c = c + cost_model_.Cost(st.attr, st.acquired_before);
+          leaf_cost_.push_back(c);
+        }
+        break;
+      }
+    }
+  }
+
+  // The masked engine indexes the cost table through u16 lanes; plans whose
+  // tables outgrow that (thousands of deep leaves) keep the selection path.
+  masked_eligible_ =
+      internal::MaskedChunkAvailable() && leaf_cost_.size() <= 65535;
+}
+
+void ColumnarBatchExecutor::EnsureScratch(size_t capacity) {
+  if (capacity <= chunk_capacity_ && sel_.size() == view_.num_slots()) return;
+  chunk_capacity_ = std::max(capacity, chunk_capacity_);
+  sel_.resize(view_.num_slots());
+  for (auto& s : sel_) s.resize(chunk_capacity_);
+  sel_n_.assign(view_.num_slots(), 0);
+  seq_scratch_.resize(chunk_capacity_);
+  row_cost_.resize(chunk_capacity_);
+  iota_.resize(chunk_capacity_);
+  std::iota(iota_.begin(), iota_.end(), SelIdx{0});
+  if (masked_eligible_) {
+    // Per-row lanes are rounded up to whole 32-row blocks: the engine's
+    // 512-bit loads/stores touch full blocks (mask-protected lanes
+    // included), so the buffers must cover the round-up.
+    const size_t blocks = (chunk_capacity_ + 31) / 32;
+    mask_slots_.resize(view_.num_slots() * blocks);
+    mask_alive_.resize(blocks);
+    mask_verdict_.resize(blocks);
+    mask_exec_.resize(blocks * 32);
+    mask_cost_idx_.resize(blocks * 32);
+  }
+}
+
+template <bool kFirstAcq, bool kProfiled>
+void ColumnarBatchExecutor::SplitKernel(const BatchPlanView::Node& node,
+                                        uint32_t slot, const SelIdx* sel_in,
+                                        const RowId* rows,
+                                        ExecutionProfile* profile,
+                                        BatchExecutionStats* stats) {
+  const uint32_t cnt = sel_n_[slot];
+  // All five buffers are genuinely disjoint (children are distinct slots;
+  // the input is the parent's buffer or the identity table), so __restrict
+  // lets the compiler overlap iterations instead of replaying loads after
+  // every partition store.
+  const Value* __restrict col = data_.column(node.attr).data();
+  const SelIdx* __restrict in = sel_in;
+  const RowId* __restrict row_ids = rows;
+  const Value split_value = node.split_value;
+  SelIdx* __restrict lt_out = sel_[node.lt].data();
+  SelIdx* __restrict ge_out = sel_[node.ge].data();
+  // A plan is a tree: this split is its children's only parent, so both
+  // output selections start empty. Cost is not touched here — the split's
+  // charge is folded into every downstream leaf's cost table.
+  uint32_t nl = 0;
+  uint32_t ng = 0;
+  for (uint32_t i = 0; i < cnt; ++i) {
+    const SelIdx pos = in[i];
+    const bool ge = col[row_ids[pos]] >= split_value;
+    // Branch-light partition: write both outputs, advance one count.
+    lt_out[nl] = pos;
+    ge_out[ng] = pos;
+    nl += !ge;
+    ng += ge;
+  }
+  sel_n_[node.lt] = nl;
+  sel_n_[node.ge] = ng;
+  if constexpr (kFirstAcq) {
+    stats->total_acquisitions += cnt;
+    stats->acquired.Insert(node.attr);
+  }
+  if constexpr (kProfiled) {
+    profile->NodeEvalN(node.plan_index, cnt);
+    profile->PredEvalN(node.attr, cnt, ng);
+    profile->NodePassN(node.plan_index, ng);
+  }
+}
+
+template <int kArity, bool kProfiled, bool kVerdicts>
+void ColumnarBatchExecutor::SeqKernel(const BatchPlanView::Node& node,
+                                      uint32_t slot, const SelIdx* sel_in,
+                                      const RowId* rows, uint8_t* verdicts,
+                                      ExecutionProfile* profile,
+                                      BatchExecutionStats* stats) {
+  const uint32_t cnt = sel_n_[slot];
+  if constexpr (kProfiled) profile->NodeEvalN(node.plan_index, cnt);
+  // Failing rows stop being copied forward, so default every verdict in the
+  // selection to false and overwrite the survivors at the end.
+  if constexpr (kVerdicts) {
+    uint8_t* __restrict vd = verdicts;
+    const SelIdx* __restrict in = sel_in;
+    for (uint32_t i = 0; i < cnt; ++i) vd[in[i]] = 0;
+  }
+
+  const auto steps = view_.steps(node);
+  const double* cost_at = leaf_cost_.data() + leaf_cost_offset_[slot];
+  // kArity > 0 fixes the step count at compile time (the 1..4 hot shapes
+  // fully unroll); kArity == 0 is the dynamic kSeqN fallback.
+  const int num_steps = kArity > 0 ? kArity : static_cast<int>(steps.size());
+  uint32_t live = cnt;
+  // Compaction ping-pongs between the shared scratch and this slot's own
+  // buffer, so every step's source and destination are disjoint — the
+  // precondition for the __restrict qualifiers below (an in-place filter
+  // would make each store a potential clobber of the next load and
+  // serialize the loop).
+  const SelIdx* src = sel_in;
+  SelIdx* ping = seq_scratch_.data();
+  SelIdx* pong = sel_[slot].data();
+  for (int k = 0; k < num_steps && live > 0; ++k) {
+    const BatchPlanView::AcqStep& st = steps[k];
+    const Value* __restrict col = data_.column(st.attr).data();
+    const SelIdx* __restrict in = src;
+    SelIdx* __restrict dst = ping;
+    const RowId* __restrict row_ids = rows;
+    double* __restrict rc = row_cost_.data();
+    // Branchless predicate: Matches() with the range compare folded to
+    // bit ops so the survivor count never depends on a predicted branch.
+    const Value lo = st.pred.lo;
+    const Value hi = st.pred.hi;
+    const uint32_t neg = st.pred.negated ? 1u : 0u;
+    // Exact cost after executing steps 0..k: rows failing here keep this
+    // value; survivors are overwritten at the next step. One plain store
+    // per evaluated row replaces the scalar path's accumulate.
+    const double cost_after = cost_at[k + 1];
+    uint32_t out = 0;
+    for (uint32_t i = 0; i < live; ++i) {
+      const SelIdx pos = in[i];
+      rc[pos] = cost_after;
+      dst[out] = pos;
+      const Value v = col[row_ids[pos]];
+      out += (static_cast<uint32_t>(lo <= v) &
+              static_cast<uint32_t>(v <= hi)) ^
+             neg;
+    }
+    if (st.is_new) {
+      stats->total_acquisitions += live;
+      stats->acquired.Insert(st.attr);
+    }
+    if constexpr (kProfiled) profile->PredEvalN(st.attr, live, out);
+    live = out;
+    src = ping;
+    std::swap(ping, pong);
+  }
+  if constexpr (kVerdicts) {
+    uint8_t* __restrict vd = verdicts;
+    const SelIdx* __restrict in = src;
+    for (uint32_t i = 0; i < live; ++i) vd[in[i]] = 1;
+  }
+  stats->matches += live;
+  if constexpr (kProfiled) profile->NodePassN(node.plan_index, live);
+}
+
+template <bool kProfiled, bool kVerdicts>
+void ColumnarBatchExecutor::GenericKernel(const BatchPlanView::Node& node,
+                                          uint32_t slot, const SelIdx* sel_in,
+                                          const RowId* rows, uint8_t* verdicts,
+                                          ExecutionProfile* profile,
+                                          BatchExecutionStats* stats) {
+  // Residual-query leaves evaluate three-valued range semantics whose
+  // acquisition count is data-dependent per row — this is the generic
+  // per-row fallback, textually parallel to the scalar ExecuteBatch leaf.
+  // Costs still come from the static table: a row's exact cost is
+  // determined by how many steps it executed before resolving.
+  const uint32_t cnt = sel_n_[slot];
+  if constexpr (kProfiled) profile->NodeEvalN(node.plan_index, cnt);
+  const Query& query = view_.residual_query(node);
+  const auto steps = view_.steps(node);
+  const double* cost_at = leaf_cost_.data() + leaf_cost_offset_[slot];
+  const size_t num_attrs = data_.schema().num_attributes();
+  uint64_t matches = 0;
+  for (uint32_t i = 0; i < cnt; ++i) {
+    const SelIdx pos = sel_in[i];
+    const RowId row = rows[pos];
+    ranges_scratch_ = full_ranges_;
+    for (size_t a = 0; a < num_attrs; ++a) {
+      if (node.entry_acquired.Contains(static_cast<AttrId>(a))) {
+        const Value v = data_.at(row, static_cast<AttrId>(a));
+        ranges_scratch_[a] = ValueRange{v, v};
+      }
+    }
+    Truth t = query.EvaluateOnRanges(ranges_scratch_);
+    size_t executed = 0;
+    for (size_t k = 0; k < steps.size(); ++k) {
+      if (t != Truth::kUnknown) break;
+      const BatchPlanView::AcqStep& st = steps[k];
+      executed = k + 1;
+      if (st.is_new) {
+        ++stats->total_acquisitions;
+        stats->acquired.Insert(st.attr);
+      }
+      const Value v = data_.at(row, st.attr);
+      ranges_scratch_[st.attr] = ValueRange{v, v};
+      t = query.EvaluateOnRanges(ranges_scratch_);
+    }
+    // Infallible acquisition: the order must resolve the query.
+    CAQP_CHECK(t != Truth::kUnknown);
+    row_cost_[pos] = cost_at[executed];
+    const bool verdict = t == Truth::kTrue;
+    if constexpr (kVerdicts) verdicts[pos] = verdict ? 1 : 0;
+    matches += verdict;
+  }
+  stats->matches += matches;
+  if constexpr (kProfiled) profile->NodePassN(node.plan_index, matches);
+}
+
+template <bool kProfiled, bool kVerdicts>
+void ColumnarBatchExecutor::RunChunk(const RowId* rows, uint32_t n,
+                                     uint8_t* verdicts,
+                                     ExecutionProfile* profile,
+                                     BatchExecutionStats* stats) {
+  using Op = BatchPlanView::Op;
+  std::fill(sel_n_.begin(), sel_n_.end(), 0u);
+  sel_n_[0] = n;
+
+  // One forward sweep: BFS slot order visits every parent before its
+  // children, so each node's selection is complete when reached. The root
+  // reads the persistent identity table instead of a per-chunk iota; every
+  // row receives exactly one row_cost_ store at its unique leaf, so there
+  // is no per-chunk cost fill either.
+  const uint32_t num_slots = static_cast<uint32_t>(view_.num_slots());
+  for (uint32_t s = 0; s < num_slots; ++s) {
+    if (sel_n_[s] == 0) continue;
+    const BatchPlanView::Node& node = view_.slot(s);
+    const SelIdx* sel_in = s == 0 ? iota_.data() : sel_[s].data();
+    switch (node.op) {
+      case Op::kSplitFirst:
+        SplitKernel<true, kProfiled>(node, s, sel_in, rows, profile, stats);
+        break;
+      case Op::kSplitRepeat:
+        SplitKernel<false, kProfiled>(node, s, sel_in, rows, profile, stats);
+        break;
+      case Op::kVerdictTrue:
+      case Op::kVerdictFalse: {
+        const uint32_t cnt = sel_n_[s];
+        const bool truth = node.op == Op::kVerdictTrue;
+        const double entry_cost = leaf_cost_[leaf_cost_offset_[s]];
+        const SelIdx* __restrict in = sel_in;
+        double* __restrict rc = row_cost_.data();
+        uint8_t* __restrict vd = verdicts;
+        for (uint32_t i = 0; i < cnt; ++i) {
+          const SelIdx pos = in[i];
+          rc[pos] = entry_cost;
+          if constexpr (kVerdicts) vd[pos] = truth ? 1 : 0;
+        }
+        if (truth) stats->matches += cnt;
+        if constexpr (kProfiled) {
+          profile->NodeEvalN(node.plan_index, cnt);
+          if (truth) profile->NodePassN(node.plan_index, cnt);
+        }
+        break;
+      }
+      case Op::kSeq1:
+        SeqKernel<1, kProfiled, kVerdicts>(node, s, sel_in, rows, verdicts,
+                                           profile, stats);
+        break;
+      case Op::kSeq2:
+        SeqKernel<2, kProfiled, kVerdicts>(node, s, sel_in, rows, verdicts,
+                                           profile, stats);
+        break;
+      case Op::kSeq3:
+        SeqKernel<3, kProfiled, kVerdicts>(node, s, sel_in, rows, verdicts,
+                                           profile, stats);
+        break;
+      case Op::kSeq4:
+        SeqKernel<4, kProfiled, kVerdicts>(node, s, sel_in, rows, verdicts,
+                                           profile, stats);
+        break;
+      case Op::kSeqN:
+        SeqKernel<0, kProfiled, kVerdicts>(node, s, sel_in, rows, verdicts,
+                                           profile, stats);
+        break;
+      case Op::kGeneric:
+        GenericKernel<kProfiled, kVerdicts>(node, s, sel_in, rows, verdicts,
+                                            profile, stats);
+        break;
+    }
+  }
+
+  // Row-order summation reproduces the scalar path's addition sequence
+  // exactly: each row_cost_[pos] is a table entry folded in path order, so
+  // total_cost is bit-identical to scalar ExecuteBatch.
+  const double* row_cost = row_cost_.data();
+  for (uint32_t i = 0; i < n; ++i) stats->total_cost += row_cost[i];
+}
+
+BatchExecutionStats ColumnarBatchExecutor::Execute(
+    std::span<const RowId> rows, std::vector<uint8_t>* verdicts,
+    const BatchExecOptions& options) {
+  CAQP_OBS_SPAN(batch_span, "exec.batch_columnar");
+  BatchExecutionStats stats;
+  stats.tuples = rows.size();
+  if (verdicts != nullptr) verdicts->assign(rows.size(), 0);
+  if (rows.empty()) return stats;
+
+  size_t chunk = options.chunk_size == 0 ? rows.size() : options.chunk_size;
+  chunk = std::min(chunk, kMaxChunk);  // SelIdx is 16-bit
+  EnsureScratch(std::min(chunk, rows.size()));
+  ExecutionProfile* profile = options.profile;
+  const bool masked =
+      masked_eligible_ && RowsConsecutive(rows.data(), rows.size());
+
+  for (size_t off = 0; off < rows.size(); off += chunk) {
+    const uint32_t n =
+        static_cast<uint32_t>(std::min(chunk, rows.size() - off));
+    uint8_t* out = verdicts != nullptr ? verdicts->data() + off : nullptr;
+    const RowId* chunk_rows = rows.data() + off;
+    if (masked) {
+      internal::MaskedChunkArgs args;
+      args.view = &view_;
+      args.data = &data_;
+      args.leaf_cost = leaf_cost_.data();
+      args.leaf_cost_offset = leaf_cost_offset_.data();
+      args.full_ranges = &full_ranges_;
+      args.ranges_scratch = &ranges_scratch_;
+      args.node_masks = mask_slots_.data();
+      args.alive_scratch = mask_alive_.data();
+      args.exec_scratch = mask_exec_.data();
+      args.cost_idx = mask_cost_idx_.data();
+      args.verdict_masks = mask_verdict_.data();
+      args.row_base = chunk_rows[0];
+      args.n = n;
+      args.blocks = (n + 31) / 32;
+      args.verdicts = out;
+      args.profile = profile;
+      args.stats = &stats;
+      internal::RunChunkMasked(args);
+    } else if (profile != nullptr) {
+      if (out != nullptr) {
+        RunChunk<true, true>(chunk_rows, n, out, profile, &stats);
+      } else {
+        RunChunk<true, false>(chunk_rows, n, nullptr, profile, &stats);
+      }
+    } else {
+      if (out != nullptr) {
+        RunChunk<false, true>(chunk_rows, n, out, nullptr, &stats);
+      } else {
+        RunChunk<false, false>(chunk_rows, n, nullptr, nullptr, &stats);
+      }
+    }
+  }
+
+  if (profile != nullptr) {
+    // One bulk total per call: a fresh profile's realized_cost then equals
+    // the per-tuple path bitwise (0 + row-order total).
+    profile->EndBatch(stats.total_cost, stats.total_acquisitions,
+                      stats.tuples);
+  }
+  CAQP_OBS_COUNTER_ADD("exec.tuples", static_cast<uint64_t>(stats.tuples));
+  CAQP_OBS_COUNTER_ADD("exec.acquisitions",
+                       static_cast<uint64_t>(stats.total_acquisitions));
+  return stats;
+}
+
+BatchExecutionStats ExecuteBatchColumnar(const CompiledPlan& plan,
+                                         const Dataset& data,
+                                         std::span<const RowId> rows,
+                                         const AcquisitionCostModel& cost_model,
+                                         std::vector<uint8_t>* verdicts,
+                                         const BatchExecOptions& options) {
+  ColumnarBatchExecutor exec(plan, data, cost_model);
+  return exec.Execute(rows, verdicts, options);
+}
+
+}  // namespace caqp

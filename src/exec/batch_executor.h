@@ -1,0 +1,197 @@
+// Columnar batch execution of a CompiledPlan — the batch-at-a-time twin of
+// the scalar ExecuteBatch (exec/executor.h), which stays as its differential
+// oracle.
+//
+// Instead of walking one root→leaf path per tuple, the executor routes a
+// whole chunk of rows through the plan with selection vectors: each plan
+// node owns a buffer of chunk-local row positions, split nodes repartition
+// their selection against a contiguous Dataset column slice in one
+// branch-light loop (both outputs written each iteration, counts advanced by
+// the comparison result), and sequential leaves drain their selection with
+// an in-place filter per conjunct — rows that fail a predicate simply stop
+// being copied forward, which *is* the scalar short-circuit. Because a plan
+// is a tree in BFS (level-major) slot order, one forward sweep over
+// BatchPlanView slots visits every parent before its children.
+//
+// What makes the batch path fast is hoisting, twice over:
+//  * The acquired-set at any node is static (plan/batch_plan.h), so every
+//    marginal AcquisitionCostModel::Cost() — a virtual call per acquisition
+//    in the scalar loop — is precomputed once per plan at construction.
+//  * A row's total cost is fully determined by (leaf reached, number of
+//    leaf steps executed): every such row adds the same static marginals in
+//    the same order. The constructor folds those additions once into an
+//    exact-cost table, so the row loops never touch a cost accumulator —
+//    each row stores one precomputed double at its leaf, and Execute sums
+//    them in row order.
+//
+// Equivalence contract (enforced by tests/batch_executor_test.cc):
+// Execute() is bit-identical to scalar ExecuteBatch over the same rows —
+// verdict vector, match count, acquisition count, acquired-attribute union,
+// and total_cost as an exact double (the cost table replays the scalar
+// addition sequence, and the final sum runs in row order, so every
+// intermediate double matches). With a profile attached, the per-node /
+// per-attribute counters match a per-tuple profiled ExecutePlan run counter
+// for counter; realized_cost matches bitwise when the profile starts fresh
+// (EndBatch adds one row-order total per Execute call).
+//
+// Dispatch is a computed-goto-style switch over BatchPlanView::Op: the hot
+// shapes (first-acquisition vs repeat splits, sequential arities 1..4) get
+// their own specialized kernels; kSeqN loops, and kGeneric — residual-query
+// leaves, only produced by the exhaustive planner — falls back to a per-row
+// scalar loop (three-valued range evaluation is inherently per-row).
+//
+// When the batch's RowIds are consecutive, the CPU has AVX-512 (F/BW/DQ/VL,
+// probed at runtime), and the cost table fits 16-bit indices, chunks are
+// instead routed through the mask-based engine in exec/batch_masked.h: per
+// plan node a 32-row alive bitmask replaces the selection vector, splits
+// become one 512-bit compare plus two mask ANDs per block, and leaf costs
+// collapse to a single u16 table-index store per row. Same observable
+// results, bit for bit — the selection kernels remain the universal
+// fallback (arbitrary row lists, huge plans, older CPUs).
+//
+// Thread safety: one ColumnarBatchExecutor is single-threaded scratch
+// (selection buffers are reused across chunks and calls); build one per
+// thread over the same shared CompiledPlan. The plan, dataset, and cost
+// model must outlive the executor.
+
+#ifndef CAQP_EXEC_BATCH_EXECUTOR_H_
+#define CAQP_EXEC_BATCH_EXECUTOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/dataset.h"
+#include "exec/exec_profile.h"
+#include "exec/executor.h"
+#include "opt/cost_model.h"
+#include "plan/batch_plan.h"
+#include "plan/compiled_plan.h"
+
+namespace caqp {
+
+struct BatchExecOptions {
+  /// Rows are driven through the plan in morsels of this many rows
+  /// (bounding selection-buffer footprint and keeping column slices hot in
+  /// cache). 0 means "as large as possible"; either way chunks are capped
+  /// at 64Ki rows so chunk-local positions fit in 16 bits. Chunking is
+  /// transparent: results are identical for every chunk size.
+  size_t chunk_size = 1024;
+  /// Optional calibration profile; counters are recorded under CompiledPlan
+  /// node indices exactly like the per-tuple profiled path. Unlike
+  /// ExecutePlan the batch path does not gate profiling on obs::Enabled() —
+  /// passing a profile here is already an explicit opt-in (dist::shard
+  /// applies the obs gate itself to mirror scalar serving).
+  ExecutionProfile* profile = nullptr;
+};
+
+class ColumnarBatchExecutor {
+ public:
+  /// Builds the level-decomposed view and precomputes the exact-cost
+  /// tables. `plan`, `data`, and `cost_model` must outlive the executor.
+  /// Aborts if the schema exceeds 64 attributes (the AttrSet / value-scratch
+  /// bound, checked here at runtime in all build modes).
+  ColumnarBatchExecutor(const CompiledPlan& plan, const Dataset& data,
+                        const AcquisitionCostModel& cost_model);
+
+  ColumnarBatchExecutor(const ColumnarBatchExecutor&) = delete;
+  ColumnarBatchExecutor& operator=(const ColumnarBatchExecutor&) = delete;
+
+  /// Executes the plan over `rows` (infallible, dedup'd acquisition straight
+  /// from the dataset). If `verdicts` is non-null it is resized to
+  /// rows.size() with 1/0 per-row verdicts in row order (passing nullptr
+  /// skips the verdict stores entirely). See the file comment for the
+  /// equivalence contract with scalar ExecuteBatch.
+  BatchExecutionStats Execute(std::span<const RowId> rows,
+                              std::vector<uint8_t>* verdicts = nullptr,
+                              const BatchExecOptions& options = {});
+
+  const BatchPlanView& view() const { return view_; }
+
+ private:
+  /// Chunk-local row position. 16-bit on purpose: selection vectors are the
+  /// densest traffic in the kernels, and halving them roughly halves the
+  /// partition bandwidth. Chunks are capped at kMaxChunk rows to match.
+  using SelIdx = uint16_t;
+  static constexpr size_t kMaxChunk = 65536;
+
+  void EnsureScratch(size_t capacity);
+
+  template <bool kProfiled, bool kVerdicts>
+  void RunChunk(const RowId* rows, uint32_t n, uint8_t* verdicts,
+                ExecutionProfile* profile, BatchExecutionStats* stats);
+
+  template <bool kFirstAcq, bool kProfiled>
+  void SplitKernel(const BatchPlanView::Node& node, uint32_t slot,
+                   const uint16_t* sel_in, const RowId* rows,
+                   ExecutionProfile* profile, BatchExecutionStats* stats);
+
+  template <int kArity, bool kProfiled, bool kVerdicts>
+  void SeqKernel(const BatchPlanView::Node& node, uint32_t slot,
+                 const uint16_t* sel_in, const RowId* rows, uint8_t* verdicts,
+                 ExecutionProfile* profile, BatchExecutionStats* stats);
+
+  template <bool kProfiled, bool kVerdicts>
+  void GenericKernel(const BatchPlanView::Node& node, uint32_t slot,
+                     const uint16_t* sel_in, const RowId* rows,
+                     uint8_t* verdicts, ExecutionProfile* profile,
+                     BatchExecutionStats* stats);
+
+  const CompiledPlan& plan_;
+  const Dataset& data_;
+  const AcquisitionCostModel& cost_model_;
+  BatchPlanView view_;
+
+  /// Exact-cost tables (see file comment). leaf_cost_ holds, per leaf slot,
+  /// num_steps + 1 doubles: entry k is the exact total cost of a row that
+  /// reached this leaf and executed k acquisition steps, folded in the
+  /// scalar addition order (root-path first-acquisition splits, then leaf
+  /// steps; non-charging steps copy the previous entry — no +0.0 rounding
+  /// hazards). leaf_cost_offset_[slot] indexes the table; ~0u for splits.
+  std::vector<double> leaf_cost_;
+  std::vector<uint32_t> leaf_cost_offset_;
+
+  RangeVec full_ranges_;     ///< cached Schema::FullRanges()
+  RangeVec ranges_scratch_;  ///< generic-fallback per-row range vector
+
+  /// Selection scratch, reused across chunks and Execute calls. sel_[slot]
+  /// holds chunk-local positions; iota_ is the persistent identity
+  /// selection the root reads (never mutated, filled once); row_cost_[pos]
+  /// receives each row's exact cost at its leaf.
+  size_t chunk_capacity_ = 0;
+  std::vector<std::vector<SelIdx>> sel_;
+  std::vector<uint32_t> sel_n_;
+  std::vector<SelIdx> iota_;
+  /// Sequential leaves ping-pong between their slot buffer and this shared
+  /// scratch so every filter step reads and writes *disjoint* buffers —
+  /// which is what lets the kernels declare their pointers __restrict and
+  /// keeps the compiler from serializing loads against the compaction
+  /// stores (SelIdx aliases SelIdx).
+  std::vector<SelIdx> seq_scratch_;
+  std::vector<double> row_cost_;
+
+  /// Masked-engine eligibility (CPU probe && cost table fits u16 indices)
+  /// and its scratch: per-slot alive masks, leaf working masks, per-row
+  /// executed-step lanes and cost indices, and final verdict masks. See
+  /// exec/batch_masked.h.
+  bool masked_eligible_ = false;
+  std::vector<uint32_t> mask_slots_;
+  std::vector<uint32_t> mask_alive_;
+  std::vector<uint32_t> mask_verdict_;
+  std::vector<uint16_t> mask_exec_;
+  std::vector<uint16_t> mask_cost_idx_;
+};
+
+/// One-shot convenience wrapper: builds a ColumnarBatchExecutor and runs a
+/// single Execute. Callers with a hot loop (benches, shards) should build
+/// the executor once and reuse it — construction does one virtual cost-model
+/// call per plan node/step plus scratch allocation.
+BatchExecutionStats ExecuteBatchColumnar(
+    const CompiledPlan& plan, const Dataset& data, std::span<const RowId> rows,
+    const AcquisitionCostModel& cost_model,
+    std::vector<uint8_t>* verdicts = nullptr,
+    const BatchExecOptions& options = {});
+
+}  // namespace caqp
+
+#endif  // CAQP_EXEC_BATCH_EXECUTOR_H_

@@ -90,6 +90,32 @@ class ExecutionProfile {
     realized_cost_.fetch_add(cost, std::memory_order_relaxed);
   }
 
+  // --- bulk hooks (columnar batch executor; one call per node per chunk) ---
+
+  /// `count` tuples reached `node` (== count NodeEval calls).
+  void NodeEvalN(uint32_t node, uint64_t count) {
+    nodes_[node].evals.fetch_add(count, std::memory_order_relaxed);
+  }
+  /// `count` tuples passed `node`'s test.
+  void NodePassN(uint32_t node, uint64_t count) {
+    nodes_[node].passes.fetch_add(count, std::memory_order_relaxed);
+  }
+  /// `evals` evaluations of `attr`'s predicate, of which `passes` passed.
+  void PredEvalN(AttrId attr, uint64_t evals, uint64_t passes) {
+    attr_evals_[attr].fetch_add(evals, std::memory_order_relaxed);
+    attr_passes_[attr].fetch_add(passes, std::memory_order_relaxed);
+  }
+  /// Batch-total twin of per-tuple EndExecution: `executions` tuples
+  /// finished with `acquisitions` total acquisitions and `cost` total
+  /// realized cost (infallible acquisition — no unknown executions). Call
+  /// once per Execute() with the whole batch's totals so realized_cost adds
+  /// the same row-order sum the per-tuple path accumulates.
+  void EndBatch(double cost, uint64_t acquisitions, uint64_t executions) {
+    executions_.fetch_add(executions, std::memory_order_relaxed);
+    acquisitions_.fetch_add(acquisitions, std::memory_order_relaxed);
+    realized_cost_.fetch_add(cost, std::memory_order_relaxed);
+  }
+
   size_t num_nodes() const { return nodes_.size(); }
 
   /// Relaxed point-in-time copy; safe concurrent with writers.

@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <type_traits>
 
 #include "obs/obs.h"
 #include "obs/registry.h"
@@ -376,41 +377,68 @@ void EmitExecObs(const ExecutionResult& out) {
 }  // namespace
 
 namespace internal {
+namespace {
 
-ExecutionResult ExecutePlanObs(const Plan& plan, const Schema& schema,
-                               const AcquisitionCostModel& cost_model,
-                               AcquisitionSource& source, TraceSink* trace,
-                               const DegradationPolicy& policy,
-                               ExecutionProfile* profile) {
+// Single kTraced/kProfiled/plan-form dispatch point shared by both Obs entry
+// paths (and any future ones): the 2x2 trace/profile fan-out is written once
+// here instead of per plan form.
+template <bool kTraced, bool kProfiled, typename PlanT>
+ExecutionResult DispatchImpl(const PlanT& plan, const Schema& schema,
+                             const AcquisitionCostModel& cost_model,
+                             AcquisitionSource& source, TraceSink* trace,
+                             const DegradationPolicy& policy,
+                             ExecutionProfile* profile) {
+  if constexpr (std::is_same_v<PlanT, Plan>) {
+    return ExecutePlanImpl<kTraced, kProfiled>(plan, schema, cost_model,
+                                               source, trace, policy, profile);
+  } else {
+    return ExecuteCompiledImpl<kTraced, kProfiled>(
+        plan, schema, cost_model, source, trace, policy, profile);
+  }
+}
+
+template <typename PlanT>
+ExecutionResult ExecuteObs(const PlanT& plan, const Schema& schema,
+                           const AcquisitionCostModel& cost_model,
+                           AcquisitionSource& source, TraceSink* trace,
+                           const DegradationPolicy& policy,
+                           ExecutionProfile* profile) {
   // Reached when instrumentation is enabled or a trace sink is present. The
   // whole obs block — the request-tracing span, the counter emission, and
   // calibration profiling — still sits behind one relaxed load, so a
   // traced-but-disabled run pays no obs cost. Spans additionally require
   // the thread to be bound to a serve request scope (obs/span.h).
   if (!obs::Enabled()) {
-    return trace ? ExecutePlanImpl<true, false>(plan, schema, cost_model,
-                                                source, trace, policy, nullptr)
-                 : ExecutePlanImpl<false, false>(plan, schema, cost_model,
-                                                 source, nullptr, policy,
-                                                 nullptr);
+    return trace ? DispatchImpl<true, false>(plan, schema, cost_model, source,
+                                             trace, policy, nullptr)
+                 : DispatchImpl<false, false>(plan, schema, cost_model, source,
+                                              nullptr, policy, nullptr);
   }
   CAQP_OBS_SPAN(exec_span, "exec");
   ExecutionResult out;
   if (profile != nullptr) {
-    out = trace ? ExecutePlanImpl<true, true>(plan, schema, cost_model,
-                                              source, trace, policy, profile)
-                : ExecutePlanImpl<false, true>(plan, schema, cost_model,
-                                               source, nullptr, policy,
-                                               profile);
+    out = trace ? DispatchImpl<true, true>(plan, schema, cost_model, source,
+                                           trace, policy, profile)
+                : DispatchImpl<false, true>(plan, schema, cost_model, source,
+                                            nullptr, policy, profile);
   } else {
-    out = trace ? ExecutePlanImpl<true, false>(plan, schema, cost_model,
-                                               source, trace, policy, nullptr)
-                : ExecutePlanImpl<false, false>(plan, schema, cost_model,
-                                                source, nullptr, policy,
-                                                nullptr);
+    out = trace ? DispatchImpl<true, false>(plan, schema, cost_model, source,
+                                            trace, policy, nullptr)
+                : DispatchImpl<false, false>(plan, schema, cost_model, source,
+                                             nullptr, policy, nullptr);
   }
   EmitExecObs(out);
   return out;
+}
+
+}  // namespace
+
+ExecutionResult ExecutePlanObs(const Plan& plan, const Schema& schema,
+                               const AcquisitionCostModel& cost_model,
+                               AcquisitionSource& source, TraceSink* trace,
+                               const DegradationPolicy& policy,
+                               ExecutionProfile* profile) {
+  return ExecuteObs(plan, schema, cost_model, source, trace, policy, profile);
 }
 
 ExecutionResult ExecuteCompiledObs(const CompiledPlan& plan,
@@ -419,35 +447,7 @@ ExecutionResult ExecuteCompiledObs(const CompiledPlan& plan,
                                    AcquisitionSource& source, TraceSink* trace,
                                    const DegradationPolicy& policy,
                                    ExecutionProfile* profile) {
-  // Same structure as the tree overload above; the flat path is ~2x faster
-  // per tuple, so its disabled-obs budget is even tighter.
-  if (!obs::Enabled()) {
-    return trace ? ExecuteCompiledImpl<true, false>(plan, schema, cost_model,
-                                                    source, trace, policy,
-                                                    nullptr)
-                 : ExecuteCompiledImpl<false, false>(plan, schema, cost_model,
-                                                     source, nullptr, policy,
-                                                     nullptr);
-  }
-  CAQP_OBS_SPAN(exec_span, "exec");
-  ExecutionResult out;
-  if (profile != nullptr) {
-    out = trace ? ExecuteCompiledImpl<true, true>(plan, schema, cost_model,
-                                                  source, trace, policy,
-                                                  profile)
-                : ExecuteCompiledImpl<false, true>(plan, schema, cost_model,
-                                                   source, nullptr, policy,
-                                                   profile);
-  } else {
-    out = trace ? ExecuteCompiledImpl<true, false>(plan, schema, cost_model,
-                                                   source, trace, policy,
-                                                   nullptr)
-                : ExecuteCompiledImpl<false, false>(plan, schema, cost_model,
-                                                    source, nullptr, policy,
-                                                    nullptr);
-  }
-  EmitExecObs(out);
-  return out;
+  return ExecuteObs(plan, schema, cost_model, source, trace, policy, profile);
 }
 
 }  // namespace internal
@@ -455,10 +455,13 @@ ExecutionResult ExecuteCompiledObs(const CompiledPlan& plan,
 BatchExecutionStats ExecuteBatch(const CompiledPlan& plan, const Dataset& data,
                                  std::span<const RowId> rows,
                                  const AcquisitionCostModel& cost_model,
-                                 std::vector<bool>* verdicts) {
+                                 std::vector<uint8_t>* verdicts) {
   CAQP_OBS_SPAN(batch_span, "exec.batch");
   const Schema& schema = data.schema();
-  CAQP_DCHECK(schema.num_attributes() <= 64);
+  // Runtime check in every build mode: the Value scratch below is 64-wide,
+  // and a wider schema would corrupt it silently in release builds. Schema
+  // construction enforces the same bound; this guards hand-built schemas.
+  CAQP_CHECK(schema.num_attributes() <= 64);
   BatchExecutionStats stats;
   stats.tuples = rows.size();
   if (verdicts != nullptr) {
@@ -533,8 +536,9 @@ BatchExecutionStats ExecuteBatch(const CompiledPlan& plan, const Dataset& data,
         CAQP_CHECK(false);
     }
     stats.total_cost += cost;
+    stats.acquired = stats.acquired.Union(acquired);
     if (verdict) ++stats.matches;
-    if (verdicts != nullptr) verdicts->push_back(verdict);
+    if (verdicts != nullptr) verdicts->push_back(verdict ? 1 : 0);
   }
   CAQP_OBS_COUNTER_ADD("exec.tuples", static_cast<uint64_t>(stats.tuples));
   CAQP_OBS_COUNTER_ADD("exec.acquisitions",

@@ -225,22 +225,28 @@ inline ExecutionResult ExecutePlan(const CompiledPlan& plan,
                                       policy, profile);
 }
 
-/// Aggregate outcome of ExecuteBatch.
+/// Aggregate outcome of ExecuteBatch / ColumnarBatchExecutor::Execute.
 struct BatchExecutionStats {
   size_t tuples = 0;
   size_t matches = 0;            ///< verdicts that came back true
   size_t total_acquisitions = 0;
   double total_cost = 0.0;
+  /// Union of the attributes acquired for any row — what a dist shard
+  /// reports in its partial ExecutionResult (merge semantics: union).
+  AttrSet acquired;
 };
 
 /// Executes the plan over the given dataset rows with infallible, dedup'd
 /// acquisition (ground truth straight from the dataset) and reused scratch
-/// across tuples — the simulator / bench inner loop. If `verdicts` is
-/// non-null it is resized to rows.size() with the per-row verdicts.
+/// across tuples — the scalar row-at-a-time loop, kept as the differential
+/// oracle for the columnar path (exec/batch_executor.h). If `verdicts` is
+/// non-null it is resized to rows.size() with 1/0 per-row verdicts
+/// (uint8_t, not vector<bool>: byte stores keep the batch paths free of
+/// bit-proxy read-modify-write).
 BatchExecutionStats ExecuteBatch(const CompiledPlan& plan, const Dataset& data,
                                  std::span<const RowId> rows,
                                  const AcquisitionCostModel& cost_model,
-                                 std::vector<bool>* verdicts = nullptr);
+                                 std::vector<uint8_t>* verdicts = nullptr);
 
 }  // namespace caqp
 

@@ -264,7 +264,7 @@ TEST(CompiledPlanEquivalenceTest, ExecuteBatchMatchesPerTupleExecution) {
     const CompiledPlan compiled = CompiledPlan::Compile(plan);
     std::vector<RowId> rows(test.num_rows());
     for (RowId r = 0; r < test.num_rows(); ++r) rows[r] = r;
-    std::vector<bool> verdicts;
+    std::vector<uint8_t> verdicts;
     const BatchExecutionStats stats =
         ExecuteBatch(compiled, test, rows, cm, &verdicts);
     ASSERT_EQ(verdicts.size(), rows.size());
@@ -276,7 +276,7 @@ TEST(CompiledPlanEquivalenceTest, ExecuteBatchMatchesPerTupleExecution) {
       const Tuple t = test.GetTuple(r);
       TupleSource src(t);
       const ExecutionResult res = ExecutePlan(compiled, schema, cm, src);
-      EXPECT_EQ(verdicts[r], res.verdict) << "row " << r;
+      EXPECT_EQ(verdicts[r] != 0, res.verdict) << "row " << r;
       want_cost += res.cost;
       want_acq += static_cast<size_t>(res.acquisitions);
       if (res.verdict) ++want_matches;

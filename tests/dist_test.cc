@@ -444,7 +444,7 @@ void ExpectMatchesBatch(const DistFixture& fx, const Query& q,
 
   std::vector<RowId> all_rows(fx.data.num_rows());
   for (RowId r = 0; r < fx.data.num_rows(); ++r) all_rows[r] = r;
-  std::vector<bool> verdicts;
+  std::vector<uint8_t> verdicts;
   const BatchExecutionStats stats =
       ExecuteBatch(*resp.plan, fx.data, all_rows, fx.cm, &verdicts);
 
@@ -452,13 +452,13 @@ void ExpectMatchesBatch(const DistFixture& fx, const Query& q,
   for (RowId r = 0; r < fx.data.num_rows(); ++r) {
     ASSERT_NE(resp.row_verdicts[r], Truth::kUnknown)
         << "fault-free run degraded row " << r;
-    EXPECT_EQ(resp.row_verdicts[r] == Truth::kTrue, verdicts[r])
+    EXPECT_EQ(resp.row_verdicts[r] == Truth::kTrue, verdicts[r] != 0)
         << "row " << r;
     // Ground truth, independently of the plan.
     EXPECT_EQ(resp.row_verdicts[r] == Truth::kTrue,
               q.Matches(fx.data.GetTuple(r)))
         << "row " << r;
-    if (verdicts[r]) ++matches;
+    if (verdicts[r] != 0) ++matches;
   }
   EXPECT_EQ(resp.matches, matches);
   EXPECT_EQ(resp.matches, stats.matches);
@@ -638,8 +638,11 @@ TEST(DistCoordinatorTest, StragglerTimesOutAndDegrades) {
   DistFixture fx;
   Coordinator::Options opts;
   opts.partition = PartitionSpec::Range(2);
-  opts.shard_deadline_seconds = 0.05;
-  const Result<ShardFaultSpec> faults = ShardFaultSpec::Parse("delay@1=400");
+  // Generous margins: shard 0 must finish inside the deadline even on a
+  // single-core runner under ASan/TSan, and shard 1's sleep must exceed the
+  // deadline by a wide factor so only the straggler times out.
+  opts.shard_deadline_seconds = 1.0;
+  const Result<ShardFaultSpec> faults = ShardFaultSpec::Parse("delay@1=4000");
   ASSERT_TRUE(faults.ok());
   opts.shard_faults = faults.value();
   Coordinator coord = fx.MakeCoordinator(opts);

@@ -42,6 +42,7 @@
 
 #include "core/query_signature.h"
 #include "data/garden_gen.h"
+#include "exec/batch_executor.h"
 #include "exec/executor.h"
 #include "fault/fault.h"
 #include "obs/calibration.h"
@@ -201,13 +202,14 @@ obs::CalibrationReport CalibrateLocally(
     auto shared = std::make_shared<const CompiledPlan>(std::move(compiled));
     ExecutionProfile* profile = agg.Profile(
         0, obs::CalibrationKey{sig, 0, /*planner_fingerprint=*/i}, shared);
-    for (size_t row = 0; row < test.num_rows(); ++row) {
-      // TupleSource holds a reference; the tuple must outlive it.
-      const Tuple tuple = test.GetTuple(static_cast<RowId>(row));
-      TupleSource source(tuple);
-      ExecutePlan(*shared, schema, cm, source, /*trace=*/nullptr,
-                  DegradationPolicy{}, profile);
-    }
+    // Columnar replay: per-node counters land under the same CompiledPlan
+    // node indices as a per-tuple profiled ExecutePlan loop would record.
+    std::vector<RowId> rows(test.num_rows());
+    for (RowId r = 0; r < test.num_rows(); ++r) rows[r] = r;
+    ColumnarBatchExecutor exec(*shared, test, cm);
+    BatchExecOptions batch_options;
+    batch_options.profile = profile;
+    exec.Execute(rows, /*verdicts=*/nullptr, batch_options);
   }
 
   obs::CalibrationReport report = agg.Snapshot();
