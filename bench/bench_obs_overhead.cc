@@ -21,11 +21,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "exec/exec_profile.h"
 #include "exec/executor.h"
+#include "obs/exposer.h"
 #include "obs/obs.h"
+#include "obs/registry.h"
 #include "obs/trace.h"
 #include "opt/greedy_plan.h"
 #include "opt/greedyseq.h"
@@ -373,7 +377,16 @@ struct PathReport {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBench("bench_obs", argc, argv);
+  // The PR 10 exposer contract: the serving binary compiles the metrics
+  // endpoint in unconditionally, and a constructed-but-not-started exposer
+  // must cost nothing. Linking it here (never Start()ed) keeps the <5%
+  // disabled-path bar honest against the full telemetry plane.
+  obs::MetricsExposer exposer([] { return std::string(); },
+                              obs::MetricsExposer::Options{});
+  if (exposer.running()) return 1;  // never started; also defeats DCE
+
   const Dataset data = benchsupport::MakeCorrelated(8, 16, 50000, 17);
   const Query query = benchsupport::MidRangeQuery(data.schema(), 4);
   DatasetEstimator est(data);
@@ -476,5 +489,21 @@ int main() {
     std::printf("FAIL: flat executor misses the disabled-overhead bar\n");
     ok = false;
   }
+
+  // Structured export for scripts/check_bench_bars.py: the <5% bar becomes
+  // "headroom >= 0" so --min works directly, and the raw numbers ride along
+  // for baseline (BENCH_obs.json) diffing.
+  obs::MetricsRegistry& reg = obs::DefaultRegistry();
+  reg.GetGauge("bench_obs.tree_overhead_pct").Set(tree_over);
+  reg.GetGauge("bench_obs.flat_overhead_pct").Set(flat_over);
+  reg.GetGauge("bench_obs.tree_headroom_pct").Set(kBarPct - tree_over);
+  reg.GetGauge("bench_obs.flat_headroom_pct").Set(kBarPct - flat_over);
+  reg.GetGauge("bench_obs.tree_bare_ns").Set(tree.bare);
+  reg.GetGauge("bench_obs.tree_off_ns").Set(tree.off);
+  reg.GetGauge("bench_obs.tree_on_ns").Set(tree.on);
+  reg.GetGauge("bench_obs.flat_bare_ns").Set(flat_path.bare);
+  reg.GetGauge("bench_obs.flat_off_ns").Set(flat_path.off);
+  reg.GetGauge("bench_obs.flat_on_ns").Set(flat_path.on);
+  bench::FinishBench();
   return ok ? 0 : 1;
 }

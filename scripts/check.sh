@@ -9,8 +9,10 @@
 # replanner, the obs v2 span/histogram/shard/flight-recorder suites, the
 # calibration aggregator and drift-policy suites, the regret-planner and
 # uncertainty-box suites incl. the widen-mode drift loop, the columnar
-# batch-executor differential and shared-profile concurrency suites) plus
-# the fault suites again.
+# batch-executor differential and shared-profile concurrency suites, and
+# the PR 10 telemetry suites — exposer scrapes, SLO burn recording, and the
+# shard-flapping calibration/trace-join stress tests) plus the fault
+# suites again.
 # Usage: scripts/check.sh [--skip-sanitizers]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -37,6 +39,6 @@ echo "== TSan build + concurrency and fault suites =="
 cmake -B build-tsan -S . -DCAQP_SANITIZE=thread
 cmake --build build-tsan -j
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-  -R '^Serve|^Dist|^Adaptive|^Fault|^SerdeFuzz|^CompiledPlan|^Span|^Histogram|^ShardedRegistry|^FlightRecorder|^Calibration|^Drift|^Regret|^BatchExec'
+  -R '^Serve|^Dist|^Adaptive|^Fault|^SerdeFuzz|^CompiledPlan|^Span|^Histogram|^ShardedRegistry|^FlightRecorder|^Calibration|^Drift|^Regret|^BatchExec|^Telemetry'
 
 echo "== all checks passed =="

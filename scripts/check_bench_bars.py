@@ -40,6 +40,12 @@ def load_gauges(path):
     # Counters can serve as bars too (e.g. plan.node_clones).
     for name, value in metrics.get("counters", {}).items():
         gauges.setdefault(name, value)
+    # Current exports emit canonical snake_case names plus an aliases map
+    # (legacy -> canonical); resolve the legacy keys too so bars and old
+    # baselines written against dotted names keep working for one release.
+    for legacy, canonical in metrics.get("aliases", {}).items():
+        if canonical in gauges:
+            gauges.setdefault(legacy, gauges[canonical])
     return gauges
 
 

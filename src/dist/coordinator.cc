@@ -41,9 +41,9 @@ Coordinator::Coordinator(const Dataset& data,
       metrics_(options_.partition.num_shards + 1),
       tracer_(options_.partition.num_shards + 1,
               obs::TraceRecorder::Options{
-                  /*max_events_per_worker=*/size_t{1} << 15,
+                  /*max_events_per_worker=*/options_.max_span_events_per_worker,
                   /*flight_capacity=*/options_.flight_capacity,
-                  /*max_incidents=*/8192}),
+                  /*max_incidents=*/options_.max_incidents}),
       cache_(serve::ShardedPlanCache::Options{options_.plan_cache_capacity,
                                               /*shards=*/8}) {
   const size_t n = options_.partition.num_shards;
@@ -62,6 +62,7 @@ Coordinator::Coordinator(const Dataset& data,
   cm_.probes = &coord.GetCounter("dist.probes");
   cm_.planned = &coord.GetCounter("dist.planned");
   cm_.cache_hits = &coord.GetCounter("dist.cache_hits");
+  cm_.trace_mismatches = &coord.GetCounter("dist.trace_echo_mismatches");
   cm_.query_latency = &coord.GetHistogram("dist.query_latency_seconds");
 
   std::vector<std::vector<RowId>> partitions =
@@ -180,7 +181,12 @@ Coordinator::Response Coordinator::Execute(const Query& query) {
   std::vector<std::future<ShardReply>> futures(n);
   std::vector<char> attempted(n, 0);
   {
-    CAQP_OBS_SPAN(scatter_span, "dist.scatter");
+    // Declared directly (not via CAQP_OBS_SPAN): its context is the parent
+    // every shard span joins under. Inert when obs is compiled out or the
+    // request is untraced — shards then receive span_id 0 (no parent).
+    obs::ScopedSpan scatter_span("dist.scatter");
+    obs::SpanContext parent = scatter_span.context();
+    parent.trace_id = trace_id;  // propagate even when spans are inactive
     for (size_t i = 0; i < n; ++i) {
       bool attempt = false;
       bool probe = false;
@@ -197,7 +203,7 @@ Coordinator::Response Coordinator::Execute(const Query& query) {
       }
       if (probe) cm_.probes->Increment();
       attempted[i] = 1;
-      futures[i] = shards_[i]->Submit(ShardRequest{key, plan_bytes}, trace_id);
+      futures[i] = shards_[i]->Submit(ShardRequest{key, plan_bytes}, parent);
     }
   }
 
@@ -251,8 +257,9 @@ Coordinator::Response Coordinator::Execute(const Query& query) {
         fail(std::move(reply.status), "shard_unavailable");
         continue;
       }
+      ResultTraceContext echo;
       Result<ExecutionResult> partial =
-          DeserializeExecutionResult(reply.result_bytes);
+          DeserializeExecutionResult(reply.result_bytes, &echo);
       if (!partial.ok() ||
           reply.row_verdicts.size() != shards_[i]->num_rows()) {
         // A reply we cannot validate merges exactly like a lost shard.
@@ -261,6 +268,15 @@ Coordinator::Response Coordinator::Execute(const Query& query) {
                                     " reply row count mismatch")
                  : partial.status(),
              "shard_reply_corrupt");
+        continue;
+      }
+      if (echo.present() && echo.trace_id != trace_id) {
+        // The reply executed under some other trace — a scatter/gather
+        // pairing bug or a stale wire buffer. Degrade like corruption.
+        cm_.trace_mismatches->Increment();
+        fail(Status::DataLoss("shard " + std::to_string(i) +
+                              " echoed a foreign trace id"),
+             "shard_trace_mismatch");
         continue;
       }
       {

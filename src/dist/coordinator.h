@@ -103,7 +103,14 @@ class Coordinator {
     ShardFaultSpec shard_faults{};
     ShardHealth::Policy health{};
     bool enable_tracing = false;
+    /// TraceRecorder sizing — one buffer + one flight ring per worker slot
+    /// (slot 0 = coordinator, i + 1 = shard i). A SpanEvent is 72 bytes, so
+    /// per slot this budgets roughly
+    /// (max_span_events_per_worker + flight_capacity) * 72 bytes; incidents
+    /// add flight_capacity * 72 bytes each, capped at max_incidents.
+    size_t max_span_events_per_worker = size_t{1} << 15;
     size_t flight_capacity = 128;
+    size_t max_incidents = 8192;
     bool enable_calibration = false;
   };
 
@@ -198,6 +205,10 @@ class Coordinator {
     obs::Counter* probes = nullptr;
     obs::Counter* planned = nullptr;
     obs::Counter* cache_hits = nullptr;
+    /// Replies whose echoed trace context names a different trace — the
+    /// scatter/gather pairing went wrong somewhere; the reply is degraded
+    /// like corruption.
+    obs::Counter* trace_mismatches = nullptr;
     obs::Histogram* query_latency = nullptr;
   };
 

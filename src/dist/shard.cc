@@ -150,27 +150,33 @@ ExecutorShard::ExecutorShard(size_t shard_id, const Dataset& data,
 }
 
 std::future<ShardReply> ExecutorShard::Submit(ShardRequest request,
-                                              uint64_t trace_id) {
+                                              obs::SpanContext parent) {
   auto promise = std::make_shared<std::promise<ShardReply>>();
   std::future<ShardReply> fut = promise->get_future();
-  pool_.Submit([this, request = std::move(request), trace_id,
+  pool_.Submit([this, request = std::move(request), parent,
                 promise](size_t /*worker*/) mutable {
-    promise->set_value(Handle(request, trace_id));
+    promise->set_value(Handle(request, parent));
   });
   return fut;
 }
 
 ShardReply ExecutorShard::Handle(const ShardRequest& request,
-                                 uint64_t trace_id) {
+                                 obs::SpanContext parent) {
   const uint64_t t0 = obs::MonotonicNowNs();
   std::optional<obs::TraceRecorder::RequestScope> scope;
   if (options_.tracer != nullptr) {
-    scope.emplace(options_.tracer, options_.trace_worker, trace_id);
+    // The coordinator span rides in as the cross-worker parent: every span
+    // this shard records (worker-namespaced ids, span.h) joins the request
+    // trace instead of forming an orphaned per-worker tree.
+    scope.emplace(options_.tracer, options_.trace_worker, parent.trace_id,
+                  parent.span_id);
     obs::SetRequestPlanContext(request.key.query_sig,
                                request.key.planner_fingerprint,
                                request.key.estimator_version);
   }
-  CAQP_OBS_SPAN(handle_span, "shard.handle");
+  // Declared directly (not via CAQP_OBS_SPAN) because the reply's trace echo
+  // below reads its context; with obs compiled out the span is inert.
+  obs::ScopedSpan handle_span("shard.handle");
 
   if (options_.delay_seconds > 0.0) {
     std::this_thread::sleep_for(
@@ -275,7 +281,15 @@ ShardReply ExecutorShard::Handle(const ShardRequest& request,
         partial = MergeExecutionResults(partial, r);
       }
     }
-    reply.result_bytes = SerializeExecutionResult(partial);
+    // Echo the trace context with the partial result: trace id, this
+    // shard's root span, and the coordinator parent it was joined under.
+    ResultTraceContext echo;
+    if (scope.has_value() && parent.trace_id != 0) {
+      echo.trace_id = parent.trace_id;
+      echo.root_span_id = handle_span.context().span_id;
+      echo.parent_span_id = parent.span_id;
+    }
+    reply.result_bytes = SerializeExecutionResult(partial, echo);
   }
   reply.status = Status::OK();
   return finish();

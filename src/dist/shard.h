@@ -110,7 +110,16 @@ class ExecutorShard {
 
   /// Enqueues the request on the shard thread. The future is always
   /// fulfilled (a dead shard replies kShardUnavailable promptly).
-  std::future<ShardReply> Submit(ShardRequest request, uint64_t trace_id);
+  ///
+  /// `parent` is the coordinator-side trace context: trace_id names the
+  /// request trace and span_id the coordinator span (the scatter span) the
+  /// shard's own spans should hang under. The shard echoes this context —
+  /// plus its root span id — in the reply's result bytes
+  /// (exec/result_serde.h trace-context tail), which is how a remote
+  /// coordinator would re-join shard spans; the in-process tier records
+  /// into the shared TraceRecorder directly and uses the echo to validate.
+  std::future<ShardReply> Submit(ShardRequest request,
+                                 obs::SpanContext parent);
 
   size_t shard_id() const { return shard_id_; }
   size_t num_rows() const { return rows_.size(); }
@@ -134,7 +143,7 @@ class ExecutorShard {
   void InvalidatePlans() { plan_cache_.InvalidateAll(); }
 
  private:
-  ShardReply Handle(const ShardRequest& request, uint64_t trace_id);
+  ShardReply Handle(const ShardRequest& request, obs::SpanContext parent);
 
   /// Metric references resolved once at construction (registry lookups take
   /// a mutex; requests should not).

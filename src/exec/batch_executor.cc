@@ -310,6 +310,7 @@ void ColumnarBatchExecutor::RunChunk(const RowId* rows, uint32_t n,
   for (uint32_t s = 0; s < num_slots; ++s) {
     if (sel_n_[s] == 0) continue;
     const BatchPlanView::Node& node = view_.slot(s);
+    kernel_rows_[static_cast<size_t>(node.op)] += sel_n_[s];
     const SelIdx* sel_in = s == 0 ? iota_.data() : sel_[s].data();
     switch (node.op) {
       case Op::kSplitFirst:
@@ -412,7 +413,10 @@ BatchExecutionStats ColumnarBatchExecutor::Execute(
       args.verdicts = out;
       args.profile = profile;
       args.stats = &stats;
+      args.kernel_rows = kernel_rows_.data();
       internal::RunChunkMasked(args);
+      ++masked_chunks_;
+      masked_rows_ += n;
     } else if (profile != nullptr) {
       if (out != nullptr) {
         RunChunk<true, true>(chunk_rows, n, out, profile, &stats);
@@ -426,6 +430,7 @@ BatchExecutionStats ColumnarBatchExecutor::Execute(
         RunChunk<false, false>(chunk_rows, n, nullptr, nullptr, &stats);
       }
     }
+    if (!masked) ++selection_chunks_;
   }
 
   if (profile != nullptr) {
@@ -437,6 +442,44 @@ BatchExecutionStats ColumnarBatchExecutor::Execute(
   CAQP_OBS_COUNTER_ADD("exec.tuples", static_cast<uint64_t>(stats.tuples));
   CAQP_OBS_COUNTER_ADD("exec.acquisitions",
                        static_cast<uint64_t>(stats.total_acquisitions));
+#if CAQP_OBS_ENABLED
+  if (obs::Enabled()) {
+    // The CAQP_OBS_COUNTER_ADD macro caches one Counter& per call site, so
+    // it cannot loop over per-op names; resolve the whole table once.
+    struct KernelCounters {
+      std::array<obs::Counter*, BatchPlanView::kNumOps> rows;
+      obs::Counter* masked_chunks;
+      obs::Counter* masked_rows;
+      obs::Counter* selection_chunks;
+      KernelCounters() {
+        obs::MetricsRegistry& reg = obs::DefaultRegistry();
+        for (size_t op = 0; op < BatchPlanView::kNumOps; ++op) {
+          rows[op] = &reg.GetCounter(
+              std::string("exec.batch.kernel_rows.") +
+              BatchPlanView::OpName(static_cast<BatchPlanView::Op>(op)));
+        }
+        masked_chunks = &reg.GetCounter("exec.batch.masked_chunks");
+        masked_rows = &reg.GetCounter("exec.batch.masked_rows");
+        selection_chunks = &reg.GetCounter("exec.batch.selection_chunks");
+      }
+    };
+    static KernelCounters counters;
+    for (size_t op = 0; op < BatchPlanView::kNumOps; ++op) {
+      if (kernel_rows_[op] != 0) counters.rows[op]->Add(kernel_rows_[op]);
+    }
+    if (masked_chunks_ != 0) counters.masked_chunks->Add(masked_chunks_);
+    if (masked_rows_ != 0) counters.masked_rows->Add(masked_rows_);
+    if (selection_chunks_ != 0) {
+      counters.selection_chunks->Add(selection_chunks_);
+    }
+  }
+#endif
+  // Reset the scratch either way: tallies accumulated while obs is disabled
+  // are dropped, not deferred, so enabling obs mid-run starts clean.
+  kernel_rows_.fill(0);
+  masked_chunks_ = 0;
+  masked_rows_ = 0;
+  selection_chunks_ = 0;
   return stats;
 }
 

@@ -57,6 +57,7 @@
 #ifndef CAQP_EXEC_BATCH_EXECUTOR_H_
 #define CAQP_EXEC_BATCH_EXECUTOR_H_
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -169,6 +170,16 @@ class ColumnarBatchExecutor {
   /// stores (SelIdx aliases SelIdx).
   std::vector<SelIdx> seq_scratch_;
   std::vector<double> row_cost_;
+
+  /// Per-kernel telemetry scratch, accumulated per Execute call (one add
+  /// per active slot per chunk — noise next to the kernels) and flushed to
+  /// the obs counters exec.batch.kernel_rows.<op> /
+  /// exec.batch.{masked,selection}_chunks only when obs::Enabled(), so the
+  /// disabled path stays under the bench_obs_overhead bar.
+  std::array<uint64_t, BatchPlanView::kNumOps> kernel_rows_{};
+  uint64_t masked_chunks_ = 0;
+  uint64_t masked_rows_ = 0;
+  uint64_t selection_chunks_ = 0;
 
   /// Masked-engine eligibility (CPU probe && cost table fits u16 indices)
   /// and its scratch: per-slot alive masks, leaf working masks, per-row

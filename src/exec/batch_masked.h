@@ -79,6 +79,10 @@ struct MaskedChunkArgs {
   uint8_t* verdicts = nullptr;          ///< optional, chunk-local, n bytes
   ExecutionProfile* profile = nullptr;  ///< optional
   BatchExecutionStats* stats = nullptr;
+  /// Optional per-op row tallies (BatchPlanView::kNumOps entries): each
+  /// slot adds its alive-row count under its op, matching the selection
+  /// path's kernel_rows_ accounting (see batch_executor.h).
+  uint64_t* kernel_rows = nullptr;
 };
 
 /// True iff the running CPU has the AVX-512 subset the engine uses

@@ -230,12 +230,15 @@ void RunChunkMasked(const MaskedChunkArgs& a) {
   for (uint32_t s = 0; s < num_slots; ++s) {
     const BatchPlanView::Node& node = view.slot(s);
     const uint32_t* M = a.node_masks + size_t{s} * a.blocks;
+    uint64_t entered = 0;
+    for (uint32_t b = 0; b < a.blocks; ++b) entered += Pop(M[b]);
+    if (a.kernel_rows != nullptr) {
+      a.kernel_rows[static_cast<size_t>(node.op)] += entered;
+    }
     if (node.op == Op::kSplitFirst || node.op == Op::kSplitRepeat) {
       SplitMasked(a, node, M, node.op == Op::kSplitFirst);
       continue;
     }
-    uint64_t entered = 0;
-    for (uint32_t b = 0; b < a.blocks; ++b) entered += Pop(M[b]);
     if (entered == 0) continue;
     switch (node.op) {
       case Op::kVerdictTrue:

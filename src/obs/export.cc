@@ -7,6 +7,8 @@
 
 #include "common/check.h"
 #include "core/schema.h"
+#include "obs/prometheus.h"
+#include "obs/trace_join.h"
 
 namespace caqp {
 namespace obs {
@@ -155,15 +157,21 @@ JsonWriter& JsonWriter::Null() {
 }
 
 void WriteRegistrySnapshot(JsonWriter& w, const RegistrySnapshot& snap) {
+  // JSON and /metrics agree key for key: both export canonical names. The
+  // aliases map (legacy -> canonical) lets existing consumers keep resolving
+  // the historical dotted keys for one release (check_bench_bars.py applies
+  // it when loading).
+  MetricAliases aliases;
+  const RegistrySnapshot canon = CanonicalizeSnapshot(snap, &aliases);
   w.BeginObject();
   w.Key("counters").BeginObject();
-  for (const auto& c : snap.counters) w.Key(c.name).UInt(c.value);
+  for (const auto& c : canon.counters) w.Key(c.name).UInt(c.value);
   w.EndObject();
   w.Key("gauges").BeginObject();
-  for (const auto& g : snap.gauges) w.Key(g.name).Double(g.value);
+  for (const auto& g : canon.gauges) w.Key(g.name).Double(g.value);
   w.EndObject();
   w.Key("stats").BeginObject();
-  for (const auto& s : snap.stats) {
+  for (const auto& s : canon.stats) {
     w.Key(s.name).BeginObject();
     w.Key("count").UInt(s.count);
     w.Key("mean").Double(s.mean);
@@ -176,9 +184,14 @@ void WriteRegistrySnapshot(JsonWriter& w, const RegistrySnapshot& snap) {
   }
   w.EndObject();
   w.Key("histograms").BeginObject();
-  for (const auto& h : snap.histograms) {
+  for (const auto& h : canon.histograms) {
     w.Key(h.name);
     WriteHistogram(w, h.hist);
+  }
+  w.EndObject();
+  w.Key("aliases").BeginObject();
+  for (const auto& [legacy, canonical] : aliases) {
+    w.Key(legacy).String(canonical);
   }
   w.EndObject();
   w.EndObject();
@@ -244,6 +257,11 @@ void WriteTraceEvent(JsonWriter& w, const SpanEvent& ev) {
 }  // namespace
 
 std::string TraceEventsToJson(const TraceRecorder& recorder) {
+  return TraceEventsToJson(recorder, recorder.Events());
+}
+
+std::string TraceEventsToJson(const TraceRecorder& recorder,
+                              const std::vector<SpanEvent>& events) {
   JsonWriter w;
   w.BeginObject();
   w.Key("displayTimeUnit").String("ms");
@@ -260,7 +278,7 @@ std::string TraceEventsToJson(const TraceRecorder& recorder) {
     w.Key("args").BeginObject().Key("name").String(name).EndObject();
     w.EndObject();
   }
-  for (const SpanEvent& ev : recorder.Events()) WriteTraceEvent(w, ev);
+  for (const SpanEvent& ev : events) WriteTraceEvent(w, ev);
   w.EndArray();
   w.Key("caqpFlightRecorder").BeginArray();
   for (const TraceRecorder::Incident& incident : recorder.Incidents()) {
@@ -281,6 +299,44 @@ std::string TraceEventsToJson(const TraceRecorder& recorder) {
   w.Key("caqpDroppedSpanEvents").UInt(recorder.dropped_events());
   w.EndObject();
   return w.TakeString();
+}
+
+std::string UnifiedTraceToJson(const TraceRecorder& recorder) {
+  const TraceJoinResult joined = JoinTraces(recorder.Events());
+  std::vector<SpanEvent> flat;
+  flat.reserve(joined.total_events);
+  for (const JoinedTrace& trace : joined.traces) {
+    flat.insert(flat.end(), trace.events.begin(), trace.events.end());
+  }
+  std::string doc = TraceEventsToJson(recorder, flat);
+
+  // Splice the join summary in before the closing brace; the document the
+  // overload returns is always a single JSON object.
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traces").BeginArray();
+  for (const JoinedTrace& trace : joined.traces) {
+    w.BeginObject();
+    w.Key("trace_id").UInt(trace.trace_id);
+    w.Key("root_span_id").UInt(trace.root_span_id);
+    w.Key("root_name").String(trace.root_name);
+    w.Key("events").UInt(trace.events.size());
+    w.Key("adopted_orphans").UInt(trace.adopted_orphans);
+    w.Key("duplicate_span_ids").UInt(trace.duplicate_span_ids);
+    w.Key("all_under_root").Bool(trace.AllUnderRoot());
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("total_adopted").UInt(joined.total_adopted);
+  w.Key("total_duplicates").UInt(joined.total_duplicates);
+  w.EndObject();
+
+  CAQP_DCHECK(!doc.empty() && doc.back() == '}');
+  doc.pop_back();
+  doc += ",\"caqpTraceJoin\":";
+  doc += w.TakeString();
+  doc += '}';
+  return doc;
 }
 
 void WritePlannerStats(JsonWriter& w, const PlannerStats& stats) {

@@ -1,0 +1,193 @@
+#include "obs/exposer.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace caqp {
+namespace obs {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8192;
+
+void CloseIfOpen(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+bool SendAll(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void SendResponse(int fd, const char* status_line, const char* content_type,
+                  const std::string& body) {
+  std::string head;
+  head.reserve(160);
+  head += "HTTP/1.1 ";
+  head += status_line;
+  head += "\r\nContent-Type: ";
+  head += content_type;
+  head += "\r\nContent-Length: ";
+  head += std::to_string(body.size());
+  head += "\r\nConnection: close\r\n\r\n";
+  if (SendAll(fd, head.data(), head.size())) {
+    SendAll(fd, body.data(), body.size());
+  }
+}
+
+}  // namespace
+
+MetricsExposer::MetricsExposer(Renderer render, Options options)
+    : render_(std::move(render)), options_(std::move(options)) {}
+
+MetricsExposer::~MetricsExposer() { Stop(); }
+
+Status MetricsExposer::Start() {
+  if (running()) return Status::OK();
+  if (render_ == nullptr) {
+    return Status::InvalidArgument("metrics exposer needs a renderer");
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    return Status::InvalidArgument(std::string("pipe: ") +
+                                   std::strerror(errno));
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    CloseIfOpen(wake_pipe_[0]);
+    CloseIfOpen(wake_pipe_[1]);
+    return Status::InvalidArgument(std::string("socket: ") +
+                                   std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    Stop();
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    Stop();
+    return Status::InvalidArgument("bind/listen on " + options_.bind_address +
+                                   ":" + std::to_string(options_.port) +
+                                   ": " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void MetricsExposer::Stop() {
+  if (running_.exchange(false, std::memory_order_acq_rel)) {
+    // Wake the poll; the listener sees running_ == false and exits.
+    const char byte = 0;
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+  if (thread_.joinable()) thread_.join();
+  CloseIfOpen(listen_fd_);
+  CloseIfOpen(wake_pipe_[0]);
+  CloseIfOpen(wake_pipe_[1]);
+  port_ = 0;
+}
+
+void MetricsExposer::Serve() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int ready = ::poll(fds, 2, /*timeout_ms=*/1000);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (!running_.load(std::memory_order_acquire)) break;
+    if (ready == 0 || (fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void MetricsExposer::HandleConnection(int fd) {
+  // A scrape request fits one read in practice; loop until the header
+  // terminator anyway, bounded in size and by a receive timeout.
+  timeval timeout{/*tv_sec=*/2, /*tv_usec=*/0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  std::string request;
+  char buf[2048];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // timeout, reset, or a client that never finished the header
+    }
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  const size_t line_end = request.find("\r\n");
+  const std::string line =
+      request.substr(0, line_end == std::string::npos ? 0 : line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    SendResponse(fd, "400 Bad Request", "text/plain", "bad request\n");
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  if (method != "GET") {
+    SendResponse(fd, "405 Method Not Allowed", "text/plain",
+                 "GET only\n");
+    return;
+  }
+  if (path == "/metrics") {
+    served_.fetch_add(1, std::memory_order_relaxed);
+    SendResponse(fd, "200 OK",
+                 "text/plain; version=0.0.4; charset=utf-8", render_());
+    return;
+  }
+  if (path == "/healthz") {
+    SendResponse(fd, "200 OK", "text/plain", "ok\n");
+    return;
+  }
+  SendResponse(fd, "404 Not Found", "text/plain", "not found\n");
+}
+
+}  // namespace obs
+}  // namespace caqp

@@ -1,0 +1,94 @@
+// MetricsExposer — a minimal embedded HTTP server thread serving Prometheus
+// text exposition from a caller-supplied render callback.
+//
+// Deliberately tiny: one listener thread, one connection handled at a time,
+// GET-only, Connection: close. A metrics scrape arrives every few seconds
+// from one collector; this is not a web server and never sits on a request
+// path. No third-party dependency — plain POSIX sockets — so the serving
+// binary stays self-contained (the container bakes in no HTTP library).
+//
+// Endpoints:
+//   GET /metrics   -> 200, text/plain; version=0.0.4 — render() output
+//   GET /healthz   -> 200, "ok\n"
+//   anything else  -> 404 (non-GET: 405)
+//
+// Lifecycle: Start() binds (port 0 picks an ephemeral port, readable via
+// port() — how tests and the CI scrape smoke run without a fixed port) and
+// spawns the listener; Stop() (or the destructor) wakes it through a
+// self-pipe and joins. render() runs on the listener thread, so it must be
+// thread-safe against the serving workers — registry snapshots are.
+//
+// Cost when constructed but not started: a std::function and a few ints —
+// nothing is bound, no thread exists, no instrumentation site is touched.
+// bench_obs_overhead links the exposer in exactly this state to pin that.
+
+#ifndef CAQP_OBS_EXPOSER_H_
+#define CAQP_OBS_EXPOSER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace caqp {
+namespace obs {
+
+class MetricsExposer {
+ public:
+  struct Options {
+    /// TCP port to bind; 0 picks an ephemeral port (see port()).
+    uint16_t port = 0;
+    /// Bind address. The default stays loopback-only: exposing process
+    /// internals on all interfaces is an explicit operator decision.
+    std::string bind_address = "127.0.0.1";
+  };
+
+  /// Produces the /metrics body (Prometheus text exposition 0.0.4).
+  using Renderer = std::function<std::string()>;
+
+  MetricsExposer(Renderer render, Options options);
+  ~MetricsExposer();
+
+  MetricsExposer(const MetricsExposer&) = delete;
+  MetricsExposer& operator=(const MetricsExposer&) = delete;
+
+  /// Binds, listens, and spawns the listener thread. Fails (without
+  /// crashing) on bind/listen errors — an occupied port reports
+  /// InvalidArgument with errno text.
+  Status Start();
+
+  /// Idempotent; joins the listener. Called by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (the ephemeral one when Options::port was 0); 0 before
+  /// a successful Start().
+  uint16_t port() const { return port_; }
+
+  /// Scrapes served since Start(), for tests and the serve report.
+  uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  Renderer render_;
+  Options options_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> served_{0};
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace caqp
+
+#endif  // CAQP_OBS_EXPOSER_H_

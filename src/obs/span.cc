@@ -28,15 +28,16 @@ TraceRecorder::TraceRecorder(size_t num_workers, Options options)
 }
 
 TraceRecorder::RequestScope::RequestScope(TraceRecorder* recorder,
-                                          size_t worker, uint64_t trace_id) {
+                                          size_t worker, uint64_t trace_id,
+                                          uint32_t parent_span) {
   auto& tls = internal::g_thread_trace;
   saved_ = tls;
   tls.recorder = recorder;
   tls.worker = static_cast<uint32_t>(
       recorder ? std::min(worker, recorder->num_workers() - 1) : worker);
   tls.trace_id = trace_id;
-  tls.parent = 0;
-  tls.next_span_id = 1;
+  tls.parent = parent_span;
+  tls.next_span_id = SpanIdBase(tls.worker);
   tls.plan_sig = 0;
   tls.planner_fp = 0;
   tls.estimator_version = 0;

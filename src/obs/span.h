@@ -49,6 +49,19 @@ struct SpanContext {
   uint32_t parent_id = 0;
 };
 
+/// Span ids are namespaced by worker slot: worker w allocates ids in
+/// [w << kSpanIdWorkerShift + 1, (w + 1) << kSpanIdWorkerShift). Two scopes
+/// bound to different worker slots of one TraceRecorder therefore never
+/// collide, which is what lets a shard's spans join the coordinator's
+/// request span into one trace (dist scatter: coordinator is slot 0,
+/// shard i is slot i + 1). 2^22 spans per worker per request, 1024 workers.
+inline constexpr uint32_t kSpanIdWorkerShift = 22;
+
+/// First span id a scope bound to `worker` allocates.
+inline constexpr uint32_t SpanIdBase(uint32_t worker) {
+  return (worker << kSpanIdWorkerShift) + 1;
+}
+
 /// One completed span. `name` must point at static storage (string
 /// literals): events are copied around freely and never own the name.
 /// plan_sig / planner_fp / estimator_version are the request's plan
@@ -161,9 +174,17 @@ class TraceRecorder {
   /// Binds the calling thread to (this recorder, worker, trace_id) for the
   /// scope's lifetime; CAQP_OBS_SPAN sites on this thread record here.
   /// Scopes must not nest across recorders on one thread.
+  ///
+  /// `parent_span` is the cross-worker parent: spans opened under this scope
+  /// with no enclosing local span get it as their parent_id instead of 0.
+  /// The dist tier threads the coordinator's scatter-span id here so every
+  /// shard-side span tree hangs off the coordinator request span. Span ids
+  /// allocated under the scope start at SpanIdBase(worker), so scopes on
+  /// different worker slots of one recorder never collide.
   class RequestScope {
    public:
-    RequestScope(TraceRecorder* recorder, size_t worker, uint64_t trace_id);
+    RequestScope(TraceRecorder* recorder, size_t worker, uint64_t trace_id,
+                 uint32_t parent_span = 0);
     ~RequestScope();
     RequestScope(const RequestScope&) = delete;
     RequestScope& operator=(const RequestScope&) = delete;

@@ -1,0 +1,123 @@
+#include "obs/trace_join.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace caqp {
+namespace obs {
+
+bool JoinedTrace::AllUnderRoot() const {
+  if (root_span_id == 0) return events.empty();
+  std::unordered_map<uint32_t, uint32_t> parent_of;
+  parent_of.reserve(events.size());
+  for (const SpanEvent& ev : events) parent_of[ev.span_id] = ev.parent_id;
+  for (const SpanEvent& ev : events) {
+    if (ev.span_id == root_span_id) continue;
+    // Walk up with a step bound so a parent cycle cannot hang the check.
+    uint32_t cur = ev.parent_id;
+    size_t steps = 0;
+    bool reached = false;
+    while (steps++ <= events.size()) {
+      if (cur == root_span_id) {
+        reached = true;
+        break;
+      }
+      auto it = parent_of.find(cur);
+      if (it == parent_of.end()) break;
+      cur = it->second;
+    }
+    if (!reached) return false;
+  }
+  return true;
+}
+
+const JoinedTrace* TraceJoinResult::Find(uint64_t trace_id) const {
+  for (const JoinedTrace& t : traces) {
+    if (t.trace_id == trace_id) return &t;
+  }
+  return nullptr;
+}
+
+TraceJoinResult JoinTraces(std::vector<SpanEvent> events) {
+  TraceJoinResult result;
+  result.total_events = events.size();
+
+  std::unordered_map<uint64_t, JoinedTrace> by_trace;
+  for (SpanEvent& ev : events) {
+    by_trace[ev.trace_id].events.push_back(ev);
+  }
+
+  for (auto& [trace_id, trace] : by_trace) {
+    trace.trace_id = trace_id;
+    std::stable_sort(trace.events.begin(), trace.events.end(),
+                     [](const SpanEvent& a, const SpanEvent& b) {
+                       return a.start_ns < b.start_ns;
+                     });
+
+    std::unordered_set<uint32_t> ids;
+    ids.reserve(trace.events.size());
+    for (const SpanEvent& ev : trace.events) {
+      if (!ids.insert(ev.span_id).second) ++trace.duplicate_span_ids;
+    }
+
+    // Root election: parentless span with the earliest start, coordinator
+    // slot (worker 0) winning exact-start ties. Events are start-sorted, so
+    // the scan can stop once candidates start later than the incumbent.
+    const SpanEvent* root = nullptr;
+    for (const SpanEvent& ev : trace.events) {
+      if (ev.parent_id != 0) continue;
+      if (root == nullptr) {
+        root = &ev;
+        continue;
+      }
+      if (ev.start_ns > root->start_ns) break;
+      if (ev.worker == 0 && root->worker != 0) root = &ev;
+    }
+    if (root != nullptr) {
+      trace.root_span_id = root->span_id;
+      trace.root_name = root->name;
+    }
+
+    // Orphan adoption: a parent_id that resolves nowhere in the trace is
+    // rewritten to the root. trace 0 (unbound events) is left untouched.
+    if (trace.root_span_id != 0 && trace_id != 0) {
+      for (SpanEvent& ev : trace.events) {
+        if (ev.span_id == trace.root_span_id) continue;
+        if (ev.parent_id == 0 || ids.count(ev.parent_id) == 0) {
+          if (ev.parent_id != trace.root_span_id) {
+            ev.parent_id = trace.root_span_id;
+            ++trace.adopted_orphans;
+          }
+        }
+      }
+    }
+
+    // Root first, remainder already in start-tick order.
+    if (trace.root_span_id != 0) {
+      auto it = std::find_if(trace.events.begin(), trace.events.end(),
+                             [&](const SpanEvent& ev) {
+                               return ev.span_id == trace.root_span_id;
+                             });
+      if (it != trace.events.begin()) {
+        std::rotate(trace.events.begin(), it, it + 1);
+      }
+    }
+
+    result.total_adopted += trace.adopted_orphans;
+    result.total_duplicates += trace.duplicate_span_ids;
+  }
+
+  result.traces.reserve(by_trace.size());
+  for (auto& [trace_id, trace] : by_trace) {
+    result.traces.push_back(std::move(trace));
+  }
+  std::sort(result.traces.begin(), result.traces.end(),
+            [](const JoinedTrace& a, const JoinedTrace& b) {
+              return a.trace_id < b.trace_id;
+            });
+  return result;
+}
+
+}  // namespace obs
+}  // namespace caqp

@@ -1,0 +1,71 @@
+// TraceJoin — merges the per-worker span buffers of a scatter-gather
+// request stream into unified, single-rooted traces.
+//
+// The dist tier records coordinator spans in worker slot 0 and shard i's
+// spans in slot i + 1 of one TraceRecorder. Trace ids are propagated on the
+// scatter path and span ids are worker-namespaced (span.h::SpanIdBase), so
+// in the common case every shard span already carries a parent_id pointing
+// at the coordinator's scatter span and the join is a validation pass. The
+// join still has real work to do at the edges:
+//
+//  * Orphan adoption. A span whose parent_id does not resolve within its
+//    trace (the parent was dropped by the per-worker buffer cap, or the
+//    span predates trace propagation — e.g. a replayed legacy trace) is
+//    re-parented under the trace's root request span instead of rendering
+//    as a disconnected top-level track.
+//  * Root election. The root is the parentless span with the earliest
+//    start tick; ties break toward worker 0 (the coordinator slot).
+//  * Duplicate detection. A span id seen twice within one trace (two
+//    scopes mis-bound to one worker slot) is counted, not silently merged.
+//
+// JoinTraces never drops an event: output size equals input size, and the
+// per-trace summaries let tests assert exact parentage (dist_test /
+// telemetry_test pin "every shard span is under the coordinator request
+// span" through JoinedTrace::AllUnderRoot).
+
+#ifndef CAQP_OBS_TRACE_JOIN_H_
+#define CAQP_OBS_TRACE_JOIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace caqp {
+namespace obs {
+
+/// One trace's worth of joined spans, root first, then start-tick order.
+struct JoinedTrace {
+  uint64_t trace_id = 0;
+  uint32_t root_span_id = 0;    ///< 0 iff the trace has no parentless span
+  const char* root_name = "";   ///< static storage, like SpanEvent::name
+  size_t adopted_orphans = 0;   ///< spans re-parented under the root
+  size_t duplicate_span_ids = 0;
+  std::vector<SpanEvent> events;
+
+  /// True iff every non-root event reaches root_span_id by following
+  /// parent_id links (the acceptance predicate for dist traces).
+  bool AllUnderRoot() const;
+};
+
+/// Result of joining a whole recorder's event stream.
+struct TraceJoinResult {
+  std::vector<JoinedTrace> traces;  ///< ascending trace_id
+  size_t total_events = 0;
+  size_t total_adopted = 0;
+  size_t total_duplicates = 0;
+
+  const JoinedTrace* Find(uint64_t trace_id) const;
+};
+
+/// Groups `events` by trace_id and joins each group as described above.
+/// Events with trace_id 0 (recorded outside any RequestScope binding —
+/// should not happen, but the recorder does not forbid it) are grouped
+/// under trace 0 and never adopted.
+TraceJoinResult JoinTraces(std::vector<SpanEvent> events);
+
+}  // namespace obs
+}  // namespace caqp
+
+#endif  // CAQP_OBS_TRACE_JOIN_H_

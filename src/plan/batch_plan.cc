@@ -24,6 +24,32 @@ BatchPlanView::Op SeqOp(size_t arity) {
 
 }  // namespace
 
+const char* BatchPlanView::OpName(Op op) {
+  switch (op) {
+    case Op::kSplitFirst:
+      return "split_first";
+    case Op::kSplitRepeat:
+      return "split_repeat";
+    case Op::kVerdictTrue:
+      return "verdict_true";
+    case Op::kVerdictFalse:
+      return "verdict_false";
+    case Op::kSeq1:
+      return "seq1";
+    case Op::kSeq2:
+      return "seq2";
+    case Op::kSeq3:
+      return "seq3";
+    case Op::kSeq4:
+      return "seq4";
+    case Op::kSeqN:
+      return "seqn";
+    case Op::kGeneric:
+      return "generic";
+  }
+  return "unknown";
+}
+
 BatchPlanView::BatchPlanView(const CompiledPlan& plan) : plan_(&plan) {
   const size_t n = plan.NumNodes();
 

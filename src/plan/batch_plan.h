@@ -63,6 +63,13 @@ class BatchPlanView {
     kGeneric,         ///< residual-query leaf (per-row scalar fallback)
   };
 
+  /// Number of Op values (kGeneric is last). Sizes per-op counter tables in
+  /// the executor's kernel telemetry.
+  static constexpr size_t kNumOps = static_cast<size_t>(Op::kGeneric) + 1;
+
+  /// Stable lower_snake_case label for `op` (metric name component).
+  static const char* OpName(Op op);
+
   /// One acquisition step of a sequential or generic leaf. For sequential
   /// leaves `pred` is the conjunct evaluated at this step; generic leaves
   /// only use attr/is_new/acquired_before (the residual query drives

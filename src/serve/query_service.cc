@@ -1,5 +1,6 @@
 #include "serve/query_service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 #include <utility>
@@ -35,9 +36,9 @@ QueryService::QueryService(const Schema& schema,
       metrics_(NonZero(options.num_workers)),
       tracer_(NonZero(options.num_workers),
               obs::TraceRecorder::Options{
-                  /*max_events_per_worker=*/size_t{1} << 15,
+                  /*max_events_per_worker=*/options.max_span_events_per_worker,
                   /*flight_capacity=*/options.flight_capacity,
-                  /*max_incidents=*/8192}) {
+                  /*max_incidents=*/options.max_incidents}) {
   options_.num_workers = NonZero(options_.num_workers);
   builders_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
@@ -58,7 +59,7 @@ QueryService::QueryService(const Schema& schema,
     WorkerMetrics& wm = worker_metrics_[i];
     wm.requests = &shard.GetCounter("serve.requests");
     wm.ok = &shard.GetCounter("serve.ok");
-    wm.cache_hits = &shard.GetCounter("serve.cache_hits");
+    wm.cache_hits = &shard.GetCounter("serve.worker.cache_hits");
     wm.planned = &shard.GetCounter("serve.planned");
     wm.fallbacks = &shard.GetCounter("serve.fallbacks");
     wm.deadline_exceeded = &shard.GetCounter("serve.deadline_exceeded");
@@ -68,6 +69,30 @@ QueryService::QueryService(const Schema& schema,
   if (options_.enable_calibration) {
     calibration_ =
         std::make_unique<obs::CalibrationAggregator>(options_.num_workers);
+  }
+  if (options_.enable_slo) {
+    // Wrap the user hook with the service's own burn reaction: a counter
+    // bump, a flight-recorder incident (the ring holds the requests that
+    // burned the budget), and arming the burn-shed window. Runs on a serve
+    // worker, so everything here must stay cheap and thread-safe.
+    obs::SloMonitor::Options slo_options = options_.slo;
+    std::function<void(const obs::SloMonitor::BurnEvent&)> user_hook =
+        std::move(slo_options.on_burn);
+    slo_options.on_burn = [this, user_hook = std::move(user_hook)](
+                              const obs::SloMonitor::BurnEvent& event) {
+      CAQP_OBS_COUNTER_INC("serve.slo_burns");
+      if (tracing_on()) {
+        tracer_.RecordIncident(0, event.slo == obs::SloMonitor::Slo::kLatency
+                                      ? "slo_burn_latency"
+                                      : "slo_burn_availability");
+      }
+      if (options_.burn_shed_window_ns > 0) {
+        burn_shed_until_ns_.store(event.at_ns + options_.burn_shed_window_ns,
+                                  std::memory_order_relaxed);
+      }
+      if (user_hook) user_hook(event);
+    };
+    slo_ = std::make_unique<obs::SloMonitor>(std::move(slo_options));
   }
   pool_ = std::make_unique<ThreadPool>(options_.num_workers);
 }
@@ -83,8 +108,17 @@ std::future<QueryService::Response> QueryService::Submit(
   if (options_.max_queue_depth > 0) {
     // Load shedding: admit-or-reject before touching the worker queue so a
     // saturated service fails fast instead of growing unbounded backlog.
+    // During an armed burn-shed window (an SLO burn fired recently) the
+    // limit halves: back off admission while the error budget is burning
+    // instead of waiting for the queue to saturate.
+    size_t limit = options_.max_queue_depth;
+    const uint64_t shed_until =
+        burn_shed_until_ns_.load(std::memory_order_relaxed);
+    if (shed_until != 0 && obs::MonotonicNowNs() < shed_until) {
+      limit = std::max<size_t>(1, limit / 2);
+    }
     const size_t depth = pending_.fetch_add(1, std::memory_order_acq_rel);
-    if (depth >= options_.max_queue_depth) {
+    if (depth >= limit) {
       pending_.fetch_sub(1, std::memory_order_acq_rel);
       shed_.fetch_add(1, std::memory_order_relaxed);
       CAQP_OBS_COUNTER_INC("serve.shed");
@@ -92,6 +126,12 @@ std::future<QueryService::Response> QueryService::Submit(
         // Shed requests never reach a worker, so there is no span ring to
         // dump — record a bare incident for the postmortem trail.
         tracer_.RecordIncident(trace_id, "load_shed");
+      }
+      // Shed requests count against the availability SLO too — they are
+      // exactly the unusable answers the budget is supposed to bound.
+      if (slo_ != nullptr) {
+        slo_->RecordRequest(obs::MonotonicNowNs(), /*available=*/false,
+                            /*latency_seconds=*/0.0);
       }
       Response r;
       r.status = Status::Unavailable("queue depth limit reached");
@@ -113,6 +153,14 @@ std::future<QueryService::Response> QueryService::Submit(
                  query = std::move(query),
                  tuple = std::move(tuple)](size_t worker_id) {
     Response r = Handle(worker_id, query, tuple, deadline, trace_id, submit_ns);
+    if (slo_ != nullptr) {
+      // Availability is "usable answer": OK status AND a defined verdict.
+      // Degradation to Unknown consumes availability budget even though
+      // the request nominally succeeded.
+      slo_->RecordRequest(obs::MonotonicNowNs(),
+                          r.status.ok() && r.exec.defined(),
+                          r.latency_seconds);
+    }
     if (tracing_on()) {
       // The request span is closed by now, so the flight ring holds the
       // request's full span history when we dump it. The meta block joins
@@ -376,7 +424,7 @@ ServeReport QueryService::Report() const {
   ServeReport rep;
   rep.requests = counter_in(snap, "serve.requests");
   rep.ok = counter_in(snap, "serve.ok");
-  rep.cache_hits = counter_in(snap, "serve.cache_hits");
+  rep.cache_hits = counter_in(snap, "serve.worker.cache_hits");
   rep.planned = counter_in(snap, "serve.planned");
   rep.fallbacks = counter_in(snap, "serve.fallbacks");
   rep.deadline_exceeded = counter_in(snap, "serve.deadline_exceeded");
@@ -393,7 +441,7 @@ ServeReport QueryService::Report() const {
     w.worker = i;
     w.requests = counter_in(ws, "serve.requests");
     w.ok = counter_in(ws, "serve.ok");
-    w.cache_hits = counter_in(ws, "serve.cache_hits");
+    w.cache_hits = counter_in(ws, "serve.worker.cache_hits");
     w.planned = counter_in(ws, "serve.planned");
     w.fallbacks = counter_in(ws, "serve.fallbacks");
     w.deadline_exceeded = counter_in(ws, "serve.deadline_exceeded");

@@ -67,6 +67,7 @@
 #include "obs/histogram.h"
 #include "obs/registry.h"
 #include "obs/sharded_registry.h"
+#include "obs/slo.h"
 #include "obs/span.h"
 #include "opt/cost_model.h"
 #include "opt/planner.h"
@@ -274,8 +275,28 @@ class QueryService {
     /// trace_recorder() and flight-recorder dumps for degraded requests.
     /// Off by default: tracing buffers whole-run span events.
     bool enable_tracing = false;
+    /// Span-ring entries per worker (see obs/span.h). A SpanEvent is 72
+    /// bytes, so each worker's tracing footprint is roughly
+    /// (max_span_events_per_worker + flight_capacity) * 72 bytes, plus up
+    /// to max_incidents * flight_capacity * 72 bytes of retained incident
+    /// dumps process-wide.
+    size_t max_span_events_per_worker = size_t{1} << 15;
     /// Flight-recorder ring entries per worker (see obs/span.h).
     size_t flight_capacity = 128;
+    /// Max flight-recorder incidents retained across all workers.
+    size_t max_incidents = 8192;
+    /// Multi-window SLO burn-rate monitoring (obs/slo.h): every completed
+    /// request records availability (status OK and a defined verdict) and
+    /// latency. A burn firing bumps serve.slo_burns, records an "slo_burn"
+    /// flight-recorder incident (when tracing), arms burn shedding (below),
+    /// and then invokes slo.on_burn if set.
+    bool enable_slo = false;
+    obs::SloMonitor::Options slo;
+    /// For this long after a burn fires, Submit sheds at HALF
+    /// max_queue_depth — backing off admission while the error budget is
+    /// burning instead of waiting for the queue to saturate. 0 disables
+    /// burn shedding (and it is inert anyway when max_queue_depth == 0).
+    uint64_t burn_shed_window_ns = 5ull * 1000 * 1000 * 1000;
     /// Stamp predicted side tables on compiled plans and collect per-node
     /// observed counters into CalibrationSnapshot(). Off by default; when
     /// on, the per-execution counter cost still rides the global
@@ -364,6 +385,15 @@ class QueryService {
   /// Options::enable_tracing; export with obs::TraceEventsToJson.
   const obs::TraceRecorder& trace_recorder() const { return tracer_; }
 
+  /// Burn-rate monitor, or nullptr unless Options::enable_slo. Snapshot its
+  /// gauges for /metrics with GetSnapshot(obs::MonotonicNowNs()).
+  const obs::SloMonitor* slo_monitor() const { return slo_.get(); }
+
+  /// Burn fires so far (0 when SLO monitoring is off).
+  uint64_t slo_burns_fired() const {
+    return slo_ != nullptr ? slo_->burns_fired() : 0;
+  }
+
   /// Cumulative calibration report (predicted vs. observed, per plan and
   /// per attribute) since service start. Empty report unless
   /// Options::enable_calibration. Safe to call concurrently with traffic.
@@ -421,6 +451,11 @@ class QueryService {
   obs::ShardedRegistry metrics_;  // one shard per worker
   std::vector<WorkerMetrics> worker_metrics_;
   obs::TraceRecorder tracer_;
+
+  /// Null unless Options::enable_slo.
+  std::unique_ptr<obs::SloMonitor> slo_;
+  /// Monotonic deadline of the active burn-shed window (0 = none armed).
+  std::atomic<uint64_t> burn_shed_until_ns_{0};
 
   /// Predicted-vs-observed aggregation, one shard per worker. Null unless
   /// Options::enable_calibration.

@@ -324,10 +324,15 @@ TEST(ExportTest, RegistryJsonContainsAllKinds) {
   reg.GetGauge("n.gauge").Set(1.5);
   reg.GetStat("n.stat").Record(3.0);
   const std::string json = obs::RegistryToJson(reg);
-  EXPECT_NE(json.find("\"n.count\":7"), std::string::npos);
-  EXPECT_NE(json.find("\"n.gauge\":1.5"), std::string::npos);
-  EXPECT_NE(json.find("\"n.stat\""), std::string::npos);
+  // Exports emit canonical snake_case names (counters gain _total)...
+  EXPECT_NE(json.find("\"n_count_total\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"n_gauge\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"n_stat\""), std::string::npos);
   EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  // ...plus an aliases map resolving the legacy dotted keys for one release.
+  EXPECT_NE(json.find("\"aliases\""), std::string::npos);
+  EXPECT_NE(json.find("\"n.count\":\"n_count_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"n.gauge\":\"n_gauge\""), std::string::npos);
 
   const std::string md = obs::RegistryToMarkdown(reg);
   EXPECT_NE(md.find("n.count"), std::string::npos);

@@ -95,7 +95,10 @@
 #include "fault/fault.h"
 #include "obs/calibration.h"
 #include "obs/export.h"
+#include "obs/exposer.h"
+#include "obs/prometheus.h"
 #include "obs/registry.h"
+#include "obs/slo.h"
 #include "opt/greedy_plan.h"
 #include "opt/greedyseq.h"
 #include "opt/naive.h"
@@ -133,6 +136,24 @@ struct Config {
   std::string trace_out;
   std::string calibration_out;
   std::string serve_report_out;
+  /// Live telemetry plane: -1 = exposer off; >= 0 binds that port (0 picks
+  /// an ephemeral port and prints it — how the CI scrape smoke runs).
+  int metrics_port = -1;
+  /// When the exposer is up, write the bound port here (scrapers poll for
+  /// this file instead of parsing stdout).
+  std::string metrics_port_file;
+  /// Keep the process (and the exposer) alive this long after the replay
+  /// finishes, so external scrapers get a stable target.
+  double metrics_linger_ms = 0.0;
+  /// Flight-recorder sizing (see serve::QueryService::Options /
+  /// dist::Coordinator::Options for the memory-cost arithmetic).
+  size_t span_buffer = size_t{1} << 15;
+  size_t flight_capacity = 128;
+  size_t max_incidents = 8192;
+  /// SLO burn-rate monitoring (serve mode): enabled by --slo-latency-ms.
+  double slo_latency_ms = 0.0;
+  double slo_availability_target = 0.999;
+  double slo_latency_target = 0.99;
   double drift_threshold = 0.0;
   int drift_windows = 2;
   double drift_interval_ms = 100.0;
@@ -207,12 +228,128 @@ void PrintHelp() {
       "  --fault-profile P     row-level acquisition faults inside shards,\n"
       "                        e.g. \"transient=0.1,seed=7\"\n"
       "\n"
-      "output\n"
+      "output / telemetry\n"
       "  --metrics-out PATH    obs metrics registries as JSON\n"
+      "  --metrics-port P      serve Prometheus text exposition on\n"
+      "                        127.0.0.1:P while the replay runs (0 picks an\n"
+      "                        ephemeral port and prints it); GET /metrics\n"
+      "                        merges the process registry, the tier's\n"
+      "                        per-worker shards, shard health, calibration\n"
+      "                        drift/regret and SLO burn gauges\n"
+      "  --metrics-port-file PATH  write the bound metrics port here\n"
+      "                        (scrapers poll the file, not stdout)\n"
+      "  --metrics-linger-ms L keep the exposer up this long after the\n"
+      "                        replay finishes (default 0)\n"
       "  --trace-out PATH      Chrome/Perfetto trace-event JSON (enables\n"
-      "                        tracing + flight recorder)\n"
+      "                        tracing + flight recorder); in dist mode the\n"
+      "                        trace is the unified coordinator+shard join\n"
+      "                        with a caqpTraceJoin summary\n"
       "  --serve-report-out PATH  ServeReport (serve mode) or DistReport\n"
-      "                        (dist mode) as JSON\n");
+      "                        (dist mode) as JSON\n"
+      "  --span-buffer N       span-ring entries per worker (default 32768;\n"
+      "                        ~72 bytes each)\n"
+      "  --flight-capacity N   flight-recorder ring entries per worker\n"
+      "                        (default 128)\n"
+      "  --max-incidents N     retained flight-recorder incidents\n"
+      "                        (default 8192)\n"
+      "\n"
+      "slo (serve mode)\n"
+      "  --slo-latency-ms T    enable burn-rate SLO monitoring with this\n"
+      "                        latency threshold (default off); burns bump\n"
+      "                        serve.slo_burns and halve the shed limit\n"
+      "  --slo-availability-target X  availability SLO target (default\n"
+      "                        0.999)\n"
+      "  --slo-latency-target X  fraction of requests under the threshold\n"
+      "                        (default 0.99)\n");
+}
+
+/// Synthesized calibration gauges for one scrape: cumulative drift and
+/// regret as gauges next to the merged registry lines.
+void AppendCalibrationGauges(obs::RegistrySnapshot* snap, const char* tier,
+                             const obs::CalibrationReport& cal) {
+  const std::string prefix = std::string(tier) + ".calibration.";
+  snap->counters.push_back({prefix + "executions", cal.executions});
+  snap->gauges.push_back({prefix + "regret_per_exec", cal.regret()});
+  snap->gauges.push_back({prefix + "max_drift", cal.MaxDrift(1)});
+}
+
+/// One /metrics scrape in serve mode: process-global registry merged with
+/// the service's per-worker shards, plus SLO burn and calibration gauges.
+std::string RenderServeMetrics(const serve::QueryService& service,
+                               bool calibration_on) {
+  obs::RegistrySnapshot snap = obs::DefaultRegistry().Snapshot();
+  obs::MergeSnapshotInto(&snap, service.metrics().Snapshot());
+  if (const obs::SloMonitor* slo = service.slo_monitor()) {
+    const obs::SloMonitor::Snapshot s =
+        slo->GetSnapshot(obs::MonotonicNowNs());
+    snap.gauges.push_back(
+        {"serve.slo.availability_ratio", s.availability_ratio});
+    snap.gauges.push_back(
+        {"serve.slo.availability_fast_burn", s.availability_fast_burn});
+    snap.gauges.push_back(
+        {"serve.slo.availability_slow_burn", s.availability_slow_burn});
+    snap.gauges.push_back({"serve.slo.latency_ratio", s.latency_ratio});
+    snap.gauges.push_back(
+        {"serve.slo.latency_fast_burn", s.latency_fast_burn});
+    snap.gauges.push_back(
+        {"serve.slo.latency_slow_burn", s.latency_slow_burn});
+    snap.counters.push_back({"serve.slo.burns", s.burns_fired});
+  }
+  if (calibration_on) {
+    AppendCalibrationGauges(&snap, "serve", service.CalibrationSnapshot());
+  }
+  return obs::RenderPrometheusText(snap);
+}
+
+/// One /metrics scrape in dist mode: coordinator + shard registries merged
+/// with the process registry, plus per-shard health-state gauges.
+std::string RenderDistMetrics(const dist::Coordinator& coord,
+                              bool calibration_on) {
+  obs::RegistrySnapshot snap = obs::DefaultRegistry().Snapshot();
+  obs::MergeSnapshotInto(&snap, coord.metrics().Snapshot());
+  const dist::DistReport report = coord.Report();
+  for (const dist::ShardReportRow& row : report.shards) {
+    const std::string prefix = "dist.shard." + std::to_string(row.shard);
+    // 0 = healthy, 1 = degraded, 2 = dead (dist/health.h).
+    snap.gauges.push_back({prefix + ".health_state",
+                           static_cast<double>(static_cast<int>(row.state))});
+    snap.gauges.push_back(
+        {prefix + ".up",
+         row.state == dist::ShardHealth::State::kDead ? 0.0 : 1.0});
+  }
+  if (calibration_on) {
+    AppendCalibrationGauges(&snap, "dist", coord.CalibrationSnapshot());
+  }
+  return obs::RenderPrometheusText(snap);
+}
+
+/// Starts the exposer when --metrics-port was given; announces the bound
+/// port on stdout and in --metrics-port-file. Returns nullptr when off.
+std::unique_ptr<obs::MetricsExposer> MaybeStartExposer(
+    const Config& cfg, obs::MetricsExposer::Renderer render) {
+  if (cfg.metrics_port < 0) return nullptr;
+  obs::MetricsExposer::Options eopts;
+  eopts.port = static_cast<uint16_t>(cfg.metrics_port);
+  auto exposer =
+      std::make_unique<obs::MetricsExposer>(std::move(render), eopts);
+  const Status st = exposer->Start();
+  if (!st.ok()) Die("--metrics-port: " + st.ToString());
+  std::printf("metrics: http://127.0.0.1:%u/metrics\n",
+              static_cast<unsigned>(exposer->port()));
+  std::fflush(stdout);
+  if (!cfg.metrics_port_file.empty()) {
+    obs::WriteFileOrComplain(cfg.metrics_port_file,
+                             std::to_string(exposer->port()) + "\n");
+  }
+  return exposer;
+}
+
+/// --metrics-linger-ms: hold the exposer up after the replay so external
+/// scrapers have a stable target.
+void LingerExposer(const Config& cfg, const obs::MetricsExposer* exposer) {
+  if (exposer == nullptr || cfg.metrics_linger_ms <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(cfg.metrics_linger_ms));
 }
 
 /// Distinct random conjunctive queries over the (binary) synthetic schema:
@@ -346,6 +483,9 @@ int RunDist(const Config& cfg, const Dataset& train, const Dataset& test,
   dopts.shard_deadline_seconds = cfg.shard_deadline_ms / 1000.0;
   dopts.enable_tracing = !cfg.trace_out.empty();
   dopts.enable_calibration = cfg.calibration_on();
+  dopts.max_span_events_per_worker = cfg.span_buffer;
+  dopts.flight_capacity = cfg.flight_capacity;
+  dopts.max_incidents = cfg.max_incidents;
   if (!cfg.shard_fault_profile.empty()) {
     const Result<dist::ShardFaultSpec> faults =
         dist::ShardFaultSpec::Parse(cfg.shard_fault_profile);
@@ -371,6 +511,10 @@ int RunDist(const Config& cfg, const Dataset& train, const Dataset& test,
       "dist: %zu shards (%s partition), %zu rows, deadline %.1fms\n\n",
       coord.num_shards(), cfg.partition.c_str(), coord.num_rows(),
       cfg.shard_deadline_ms);
+  const std::unique_ptr<obs::MetricsExposer> exposer = MaybeStartExposer(
+      cfg, [&coord, calibration_on = cfg.calibration_on()] {
+        return RenderDistMetrics(coord, calibration_on);
+      });
 
   std::vector<std::thread> clients;
   std::vector<size_t> verdict_errors(cfg.clients, 0);
@@ -472,8 +616,11 @@ int RunDist(const Config& cfg, const Dataset& train, const Dataset& test,
     }
   }
   if (!cfg.trace_out.empty()) {
+    // Unified trace: coordinator and shard spans joined per trace_id (every
+    // shard span parented under the coordinator's request span) plus a
+    // caqpTraceJoin summary block asserting the join's integrity.
     const std::string trace_json =
-        obs::TraceEventsToJson(coord.trace_recorder());
+        obs::UnifiedTraceToJson(coord.trace_recorder());
     if (obs::WriteFileOrComplain(cfg.trace_out, trace_json)) {
       std::printf("[wrote %s — open at https://ui.perfetto.dev]\n",
                   cfg.trace_out.c_str());
@@ -491,6 +638,7 @@ int RunDist(const Config& cfg, const Dataset& train, const Dataset& test,
       std::printf("[wrote %s]\n", cfg.metrics_out.c_str());
     }
   }
+  LingerExposer(cfg, exposer.get());
   if (total_errors != 0) {
     std::fprintf(stderr, "caqp_serve: verdict mismatches detected\n");
     return 1;
@@ -541,6 +689,24 @@ int main(int argc, char** argv) {
       cfg.max_queue_depth = next_num();
     } else if (arg == "--metrics-out") {
       cfg.metrics_out = next();
+    } else if (arg == "--metrics-port") {
+      cfg.metrics_port = static_cast<int>(next_num());
+    } else if (arg == "--metrics-port-file") {
+      cfg.metrics_port_file = next();
+    } else if (arg == "--metrics-linger-ms") {
+      cfg.metrics_linger_ms = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--span-buffer") {
+      cfg.span_buffer = next_num();
+    } else if (arg == "--flight-capacity") {
+      cfg.flight_capacity = next_num();
+    } else if (arg == "--max-incidents") {
+      cfg.max_incidents = next_num();
+    } else if (arg == "--slo-latency-ms") {
+      cfg.slo_latency_ms = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--slo-availability-target") {
+      cfg.slo_availability_target = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--slo-latency-target") {
+      cfg.slo_latency_target = std::strtod(next().c_str(), nullptr);
     } else if (arg == "--trace-out") {
       cfg.trace_out = next();
     } else if (arg == "--calibration-out") {
@@ -620,6 +786,15 @@ int main(int argc, char** argv) {
   sopts.max_queue_depth = cfg.max_queue_depth;
   sopts.enable_tracing = !cfg.trace_out.empty();
   sopts.enable_calibration = cfg.calibration_on();
+  sopts.max_span_events_per_worker = cfg.span_buffer;
+  sopts.flight_capacity = cfg.flight_capacity;
+  sopts.max_incidents = cfg.max_incidents;
+  if (cfg.slo_latency_ms > 0.0) {
+    sopts.enable_slo = true;
+    sopts.slo.latency_threshold_seconds = cfg.slo_latency_ms / 1000.0;
+    sopts.slo.availability_target = cfg.slo_availability_target;
+    sopts.slo.latency_target = cfg.slo_latency_target;
+  }
   sopts.drift.threshold = cfg.drift_threshold;
   sopts.drift.consecutive_windows = cfg.drift_windows;
   sopts.drift.min_window_evals = 32;
@@ -642,6 +817,11 @@ int main(int argc, char** argv) {
                                                      splits, cfg, robust_box);
       },
       sopts);
+
+  const std::unique_ptr<obs::MetricsExposer> exposer = MaybeStartExposer(
+      cfg, [&service, calibration_on = cfg.calibration_on()] {
+        return RenderServeMetrics(service, calibration_on);
+      });
 
   // Drift monitor: periodic calibration windows concurrent with traffic.
   // With --drift-threshold, crossing the bar for --drift-windows consecutive
@@ -825,5 +1005,10 @@ int main(int argc, char** argv) {
     }
     std::printf("\n%s", obs::RegistryToMarkdown(obs::DefaultRegistry()).c_str());
   }
+  if (cfg.slo_latency_ms > 0.0) {
+    std::printf("slo: %llu burn fires\n",
+                static_cast<unsigned long long>(service.slo_burns_fired()));
+  }
+  LingerExposer(cfg, exposer.get());
   return 0;
 }
